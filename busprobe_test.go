@@ -1,0 +1,65 @@
+package busprobe
+
+import (
+	"testing"
+
+	"busprobe/internal/sim"
+	"busprobe/internal/transit"
+)
+
+// smallOptions keeps facade tests fast.
+func smallOptions() Options {
+	opts := DefaultOptions()
+	opts.World.Road.WidthM = 3000
+	opts.World.Road.HeightM = 2000
+	opts.World.Plan.RouteIDs = []transit.RouteID{"179", "243"}
+	opts.World.Plan.MinStops = 6
+	opts.World.Plan.MaxStops = 10
+	return opts
+}
+
+func TestNewValidation(t *testing.T) {
+	opts := smallOptions()
+	opts.SurveyRuns = 0
+	if _, err := New(opts); err == nil {
+		t.Error("want error for zero survey runs")
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	sys, err := New(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.World() == nil || sys.Backend() == nil || sys.Lab() == nil {
+		t.Fatal("system incomplete")
+	}
+	cfg := sim.DefaultCampaignConfig()
+	cfg.Days = 1
+	cfg.Participants = 8
+	cfg.SparseTripsPerDay = 4
+	cfg.IntensiveFromDay = 99
+	st, err := sys.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BusRuns == 0 || st.Beeps == 0 {
+		t.Fatalf("campaign stats empty: %+v", st)
+	}
+	snap := sys.Traffic()
+	if len(snap) == 0 {
+		t.Fatal("no traffic estimates after campaign")
+	}
+	for sid, est := range snap {
+		if est.SpeedKmh <= 0 || est.SpeedKmh > 120 {
+			t.Errorf("segment %d speed %v implausible", sid, est.SpeedKmh)
+		}
+		if est.Reports <= 0 {
+			t.Errorf("segment %d has no reports", sid)
+		}
+	}
+	back := sys.Backend().Stats()
+	if back.TripsReceived == 0 || back.VisitsMapped == 0 {
+		t.Fatalf("backend saw nothing: %+v", back)
+	}
+}

@@ -1,0 +1,210 @@
+// Command busprobe-experiments regenerates every table and figure of
+// the paper's evaluation against the simulated deployment and prints the
+// reports. EXPERIMENTS.md is produced from this command's output.
+//
+// Usage:
+//
+//	busprobe-experiments [-quick] [-seed 1] [-days 3]
+//
+// -quick runs a scaled-down city and campaign (seconds instead of
+// minutes) with the same experiment structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"busprobe/internal/eval"
+	"busprobe/internal/sim"
+	"busprobe/internal/transit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("busprobe-experiments: ")
+
+	quick := flag.Bool("quick", false, "scaled-down fast run")
+	seed := flag.Uint64("seed", 1, "master seed")
+	days := flag.Int("days", 3, "campaign days for the traffic experiments")
+	flag.Parse()
+
+	if err := run(*quick, *seed, *days); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed uint64, days int) error {
+	// Static experiments first (no city needed).
+	rep, err := eval.Fig1GPSError(20000, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	fmt.Println(eval.TableIMatchingInstance())
+
+	// The deployment lab.
+	var lab *eval.Lab
+	if quick {
+		lab, err = eval.SmallLab()
+	} else {
+		cfg := sim.DefaultWorldConfig()
+		cfg.Seed = seed
+		lab, err = eval.NewLab(cfg, 4)
+	}
+	if err != nil {
+		return err
+	}
+	w := lab.World
+	fmt.Printf("=== Deployment (Fig. 2(a) analogue) ===\n"+
+		"region %.1f x %.1f km, %d road segments, %d stops (%d platforms), %d routes, %d towers\n"+
+		"road coverage by >=1 route: %.0f%%, by >=2 routes: %.0f%%\n\n",
+		w.Net.BBox().Width()/1000, w.Net.BBox().Height()/1000,
+		w.Net.NumSegments(), w.Transit.NumStops(), w.Transit.NumPlatforms(),
+		w.Transit.NumRoutes(), w.Cells.NumTowers(),
+		100*w.Transit.CoverageRatio(1), 100*w.Transit.CoverageRatio(2))
+
+	surveyRuns := 8
+	if quick {
+		surveyRuns = 5
+	}
+	if rep, err = eval.Fig2bSelfSimilarity(lab, nil, surveyRuns, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.Fig2cCrossSimilarity(lab, nil, 3, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.Fig3ExampleArea(lab, firstRoute(lab), 15, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	rides := 20
+	if quick {
+		rides = 8
+	}
+	if rep, err = eval.Fig5EpsilonSweep(lab, routeOrFirst(lab, "243"), rides, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	runs := 7
+	if rep, err = eval.TableIIStopIdentification(lab, runs, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	// Campaign-driven traffic experiments.
+	campCfg := sim.DefaultCampaignConfig()
+	campCfg.Days = days
+	campCfg.Participants = 22
+	campCfg.IntensiveFromDay = 0 // all intensive, like the paper's voucher days
+	campCfg.IntensiveTripsPerDay = 6
+	campCfg.Seed = seed ^ 0xca
+	if quick {
+		campCfg.Days = 1
+		campCfg.Participants = 14
+	}
+	fmt.Printf("(running %d-day campaign with %d participants...)\n\n", campCfg.Days, campCfg.Participants)
+	campaign, err := eval.RunCampaign(lab, campCfg, 300)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d bus runs, %d visits, %d beeps, %d rides\n\n",
+		campaign.Stats.BusRuns, campaign.Stats.Visits, campaign.Stats.Beeps,
+		campaign.Stats.ParticipantTrips)
+
+	lastDay := campCfg.Days - 1
+	if rep, err = eval.Fig9TrafficMap(lab, lastDay, campaign); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.Fig10SegmentSeries(lab, campaign, lastDay); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.Fig11SpeedDifference(lab, campaign); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	// System overhead.
+	if rep, err = eval.TableIIIPower(seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.GoertzelVsFFT(20000); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	// Ablations and baselines.
+	perStop := 6
+	if quick {
+		perStop = 3
+	}
+	if rep, err = eval.AblationMismatchPenalty(lab, perStop, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.AblationWeather(lab, perStop, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.AblationFusion(lab, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.AblationGPSBaseline(lab, perStop, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	// §VI future-work extensions.
+	if rep, err = eval.ExtRegionInference(lab, campaign, lastDay); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.ExtArrivalPrediction(lab, campaign, lastDay, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	// Sensitivity studies.
+	sweep := []int{5, 10, 22, 40}
+	if quick {
+		sweep = []int{5, 15}
+	}
+	if rep, err = eval.ExtParticipationSweep(lab, sweep, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep, err = eval.BeepDetectionSweep([]float64{0.05, 0.2, 0.5, 1.0, 1.5, 2.5}, seed); err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if !quick {
+		if rep, err = eval.ExtPortability(5, seed); err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	}
+	return nil
+}
+
+// firstRoute returns the lab's first planned route ID.
+func firstRoute(l *eval.Lab) transit.RouteID {
+	return l.World.Transit.Routes()[0].ID
+}
+
+// routeOrFirst prefers the named route, falling back to the first.
+func routeOrFirst(l *eval.Lab, id transit.RouteID) transit.RouteID {
+	if l.World.Transit.Route(id) != nil {
+		return id
+	}
+	return firstRoute(l)
+}

@@ -1,0 +1,125 @@
+// Command busprobe-mapgen generates the synthetic city and dumps it as
+// JSON for inspection or external tooling: road segments with geometry
+// and free speeds, bus stops and platforms, routes with their stop
+// sequences, and cell towers.
+//
+// Usage:
+//
+//	busprobe-mapgen [-seed 1] [-o city.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"busprobe/internal/geo"
+	"busprobe/internal/road"
+	"busprobe/internal/sim"
+)
+
+// cityJSON is the dump schema.
+type cityJSON struct {
+	RegionKm2 float64       `json:"regionKm2"`
+	Nodes     []nodeJSON    `json:"nodes"`
+	Segments  []segmentJSON `json:"segments"`
+	Stops     []stopJSON    `json:"stops"`
+	Routes    []routeJSON   `json:"routes"`
+	Towers    []towerJSON   `json:"towers"`
+}
+
+type nodeJSON struct {
+	ID int    `json:"id"`
+	P  geo.XY `json:"p"`
+}
+
+type segmentJSON struct {
+	ID      int     `json:"id"`
+	From    int     `json:"from"`
+	To      int     `json:"to"`
+	LengthM float64 `json:"lengthM"`
+	FreeKmh float64 `json:"freeKmh"`
+	Class   string  `json:"class"`
+}
+
+type stopJSON struct {
+	ID        int    `json:"id"`
+	Name      string `json:"name"`
+	P         geo.XY `json:"p"`
+	Platforms int    `json:"platforms"`
+}
+
+type routeJSON struct {
+	ID       string `json:"id"`
+	Stops    []int  `json:"stops"`
+	HeadwayS int    `json:"headwayS"`
+}
+
+type towerJSON struct {
+	Cell int    `json:"cell"`
+	P    geo.XY `json:"p"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("busprobe-mapgen: ")
+
+	seed := flag.Uint64("seed", 1, "master seed")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	cfg := sim.DefaultWorldConfig()
+	cfg.Seed = *seed
+	world, err := sim.BuildWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dump := buildDump(world)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildDump flattens a world into the dump schema.
+func buildDump(world *sim.World) cityJSON {
+	dump := cityJSON{RegionKm2: world.Net.BBox().AreaKm2()}
+	for i := 0; i < world.Net.NumNodes(); i++ {
+		n := world.Net.Node(road.NodeID(i))
+		dump.Nodes = append(dump.Nodes, nodeJSON{ID: int(n.ID), P: n.Pos})
+	}
+	for _, s := range world.Net.Segments() {
+		dump.Segments = append(dump.Segments, segmentJSON{
+			ID: int(s.ID), From: int(s.From), To: int(s.To),
+			LengthM: s.LengthM(), FreeKmh: s.FreeKmh, Class: s.Class.String(),
+		})
+	}
+	for _, st := range world.Transit.Stops() {
+		dump.Stops = append(dump.Stops, stopJSON{
+			ID: int(st.ID), Name: st.Name, P: st.Pos, Platforms: len(st.Platforms),
+		})
+	}
+	for _, rt := range world.Transit.Routes() {
+		r := routeJSON{ID: string(rt.ID), HeadwayS: int(rt.HeadwayS)}
+		for _, s := range rt.Stops {
+			r.Stops = append(r.Stops, int(s))
+		}
+		dump.Routes = append(dump.Routes, r)
+	}
+	for _, tw := range world.Cells.Towers() {
+		dump.Towers = append(dump.Towers, towerJSON{Cell: int(tw.ID), P: tw.Pos})
+	}
+	return dump
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"busprobe/internal/sim"
+	"busprobe/internal/transit"
+)
+
+func smallWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultWorldConfig()
+	cfg.Road.WidthM = 3000
+	cfg.Road.HeightM = 2000
+	cfg.Plan.RouteIDs = []transit.RouteID{"179", "243"}
+	cfg.Plan.MinStops = 6
+	cfg.Plan.MaxStops = 10
+	w, err := sim.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildDumpSchema(t *testing.T) {
+	w := smallWorld(t)
+	dump := buildDump(w)
+	if dump.RegionKm2 <= 0 {
+		t.Error("region area missing")
+	}
+	if len(dump.Nodes) != w.Net.NumNodes() {
+		t.Errorf("nodes = %d, want %d", len(dump.Nodes), w.Net.NumNodes())
+	}
+	if len(dump.Segments) != w.Net.NumSegments() {
+		t.Errorf("segments = %d", len(dump.Segments))
+	}
+	if len(dump.Stops) != w.Transit.NumStops() {
+		t.Errorf("stops = %d", len(dump.Stops))
+	}
+	if len(dump.Routes) != 2 {
+		t.Errorf("routes = %d", len(dump.Routes))
+	}
+	if len(dump.Towers) != w.Cells.NumTowers() {
+		t.Errorf("towers = %d", len(dump.Towers))
+	}
+	// Referential integrity: every segment endpoint and route stop
+	// exists.
+	for _, s := range dump.Segments {
+		if s.From < 0 || s.From >= len(dump.Nodes) || s.To < 0 || s.To >= len(dump.Nodes) {
+			t.Fatalf("segment %d references missing node", s.ID)
+		}
+		if s.LengthM <= 0 || s.FreeKmh <= 0 {
+			t.Fatalf("segment %d has degenerate attributes", s.ID)
+		}
+	}
+	stopIDs := make(map[int]bool, len(dump.Stops))
+	for _, st := range dump.Stops {
+		stopIDs[st.ID] = true
+	}
+	for _, rt := range dump.Routes {
+		for _, s := range rt.Stops {
+			if !stopIDs[s] {
+				t.Fatalf("route %s references missing stop %d", rt.ID, s)
+			}
+		}
+		if rt.HeadwayS <= 0 {
+			t.Fatalf("route %s has no headway", rt.ID)
+		}
+	}
+}
+
+func TestDumpMarshalsToJSON(t *testing.T) {
+	dump := buildDump(smallWorld(t))
+	data, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back cityJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Segments) != len(dump.Segments) {
+		t.Error("round trip lost segments")
+	}
+}

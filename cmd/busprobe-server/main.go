@@ -1,0 +1,108 @@
+// Command busprobe-server runs the traffic-monitoring backend as a
+// standalone HTTP service over a simulated city: it builds the world,
+// surveys the bus-stop fingerprint database, and serves the ingestion
+// and query API.
+//
+// Usage:
+//
+//	busprobe-server [-addr :8080] [-seed 1] [-survey-runs 4]
+//
+// Endpoints:
+//
+//	POST /v1/trips                 upload a rider trip (JSON)
+//	GET  /v1/traffic               current traffic map
+//	GET  /v1/traffic/segment?id=N  one segment
+//	GET  /v1/stats                 pipeline counters
+//	GET  /healthz                  liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/server"
+	"busprobe/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("busprobe-server: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 1, "master world seed")
+	surveyRuns := flag.Int("survey-runs", 4, "fingerprint survey passes per stop")
+	fpdbPath := flag.String("fpdb", "", "fingerprint DB file: loaded if present, written after a survey otherwise")
+	journalPath := flag.String("journal", "", "trip journal (JSONL): replayed at startup, appended on upload")
+	flag.Parse()
+
+	if err := run(*addr, *seed, *surveyRuns, *fpdbPath, *journalPath); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string) error {
+	worldCfg := sim.DefaultWorldConfig()
+	worldCfg.Seed = seed
+	world, err := sim.BuildWorld(worldCfg)
+	if err != nil {
+		return err
+	}
+	cfg := server.DefaultConfig()
+	fpdb, err := loadOrSurvey(world, cfg, surveyRuns, seed, fpdbPath)
+	if err != nil {
+		return err
+	}
+	backend, err := server.NewBackend(cfg, world.Transit, fpdb)
+	if err != nil {
+		return err
+	}
+	if journalPath != "" {
+		if _, statErr := os.Stat(journalPath); statErr == nil {
+			replayed, skipped, err := server.ReplayJournal(journalPath, backend)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("journal: replayed %d trips (%d skipped)\n", replayed, skipped)
+		}
+		j, err := server.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		backend.AttachJournal(j)
+	}
+	fmt.Printf("city: %d road segments, %d stops, %d routes, %d cell towers\n",
+		world.Net.NumSegments(), world.Transit.NumStops(),
+		world.Transit.NumRoutes(), world.Cells.NumTowers())
+	fmt.Printf("fingerprint DB: %d stops surveyed\n", fpdb.Len())
+	fmt.Printf("listening on %s\n", addr)
+	return http.ListenAndServe(addr, server.Handler(backend))
+}
+
+// loadOrSurvey restores a persisted fingerprint database, or surveys the
+// stops and persists the result when a path is given.
+func loadOrSurvey(world *sim.World, cfg server.Config, surveyRuns int, seed uint64, path string) (*fingerprint.DB, error) {
+	if path != "" {
+		if db, err := fingerprint.LoadFile(path); err == nil {
+			fmt.Printf("loaded fingerprint DB from %s (%d stops)\n", path, db.Len())
+			return db, nil
+		}
+		fmt.Printf("no usable DB at %s; surveying\n", path)
+	}
+	db, err := server.BuildFingerprintDB(world.Cells, world.Transit, surveyRuns, cfg, seed^0xf9)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := db.SaveFile(path); err != nil {
+			return nil, err
+		}
+		fmt.Printf("saved fingerprint DB to %s\n", path)
+	}
+	return db, nil
+}

@@ -1,0 +1,131 @@
+// Command busprobe-sim runs a rider data-collection campaign over the
+// simulated city. By default it feeds an in-process backend and prints
+// the resulting traffic map summary; with -server it uploads trips to a
+// running busprobe-server over HTTP instead (the server must have been
+// started with the same -seed so the fingerprint DB matches the city).
+//
+// Usage:
+//
+//	busprobe-sim [-days 2] [-participants 22] [-seed 1] [-server URL]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/phone"
+	"busprobe/internal/server"
+	"busprobe/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("busprobe-sim: ")
+
+	days := flag.Int("days", 2, "campaign length in days")
+	participants := flag.Int("participants", 22, "app-carrying riders")
+	tripsPerDay := flag.Float64("trips-per-day", 4, "mean rides per participant per day")
+	seed := flag.Uint64("seed", 1, "master seed (must match the server's)")
+	serverURL := flag.String("server", "", "backend URL; empty runs in-process")
+	flag.Parse()
+
+	if err := run(*days, *participants, *tripsPerDay, *seed, *serverURL); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(days, participants int, tripsPerDay float64, seed uint64, serverURL string) error {
+	worldCfg := sim.DefaultWorldConfig()
+	worldCfg.Seed = seed
+	world, err := sim.BuildWorld(worldCfg)
+	if err != nil {
+		return err
+	}
+
+	var uploader phone.Uploader
+	var backend *server.Backend
+	if serverURL == "" {
+		cfg := server.DefaultConfig()
+		fpdb, err := server.BuildFingerprintDB(world.Cells, world.Transit, 4, cfg, seed^0xf9)
+		if err != nil {
+			return err
+		}
+		backend, err = server.NewBackend(cfg, world.Transit, fpdb)
+		if err != nil {
+			return err
+		}
+		uploader = backend
+	} else {
+		client, err := server.NewClient(serverURL, &http.Client{Timeout: 10 * time.Second})
+		if err != nil {
+			return err
+		}
+		if !client.Healthy() {
+			return fmt.Errorf("backend at %s is not healthy", serverURL)
+		}
+		uploader = client
+	}
+
+	campCfg := sim.DefaultCampaignConfig()
+	campCfg.Days = days
+	campCfg.Participants = participants
+	campCfg.SparseTripsPerDay = tripsPerDay
+	campCfg.IntensiveTripsPerDay = tripsPerDay
+	campCfg.IntensiveFromDay = 0
+	campCfg.Seed = seed ^ 0xca
+
+	camp, err := sim.NewCampaign(world, campCfg, uploader, nil)
+	if err != nil {
+		return err
+	}
+	if backend != nil {
+		camp.MinuteHook = func(tS float64) { backend.Advance(tS) }
+	}
+
+	fmt.Printf("running %d-day campaign: %d participants, %.1f trips/day each...\n",
+		days, participants, tripsPerDay)
+	st, err := camp.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d bus runs, %d stop visits (%d skipped), %d card beeps,\n"+
+		"          %d participant rides, %d cellular scans\n",
+		st.BusRuns, st.Visits, st.SkippedVisits, st.Beeps, st.ParticipantTrips, st.ScansTaken)
+	if st.RidingSeconds > 0 {
+		fmt.Printf("app cost: %.1f rider-hours on buses, %.0f J total (~%.1f J per ride)\n",
+			st.RidingSeconds/3600, st.AppEnergyJ,
+			st.AppEnergyJ/float64(st.ParticipantTrips))
+	}
+
+	if backend == nil {
+		fmt.Println("trips uploaded to remote backend; query it for the traffic map")
+		return nil
+	}
+	bs := backend.Stats()
+	fmt.Printf("backend: %d trips, %d/%d samples matched, %d visits mapped, %d observations\n",
+		bs.TripsReceived, bs.SamplesMatched, bs.SamplesReceived, bs.VisitsMapped, bs.Observations)
+
+	snap := backend.Traffic()
+	counts := make(map[traffic.Level]int)
+	var speeds []float64
+	for _, est := range snap {
+		counts[traffic.LevelOf(est.SpeedKmh)]++
+		speeds = append(speeds, est.SpeedKmh)
+	}
+	sort.Float64s(speeds)
+	fmt.Printf("traffic map: %d segments estimated\n", len(snap))
+	for lv := traffic.LevelVerySlow; lv <= traffic.LevelVeryFast; lv++ {
+		fmt.Printf("  %-10s %d\n", lv, counts[lv])
+	}
+	if len(speeds) > 0 {
+		fmt.Printf("  median speed %.1f km/h\n", speeds[len(speeds)/2])
+	}
+	return nil
+}

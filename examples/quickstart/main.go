@@ -1,0 +1,66 @@
+// Quickstart: assemble the system, run one simulated day of rider
+// participation, and print the resulting traffic map summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"busprobe"
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A paper-scale city: 7 km x 4 km, 8 bus routes, ~100 stops.
+	opts := busprobe.DefaultOptions()
+	sys, err := busprobe.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := sys.World()
+	fmt.Printf("city: %d stops on %d routes, %d road segments, %d cell towers\n",
+		w.Transit.NumStops(), w.Transit.NumRoutes(),
+		w.Net.NumSegments(), w.Cells.NumTowers())
+
+	// One intensive day: 22 riders, ~6 bus trips each.
+	camp := sim.DefaultCampaignConfig()
+	camp.Days = 1
+	camp.IntensiveFromDay = 0
+	st, err := sys.RunCampaign(camp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d bus runs, %d card beeps heard, %d rides completed\n",
+		st.BusRuns, st.Beeps, st.ParticipantTrips)
+
+	back := sys.Backend().Stats()
+	fmt.Printf("backend: %d trips, %d stop visits mapped, %d travel-time observations\n",
+		back.TripsReceived, back.VisitsMapped, back.Observations)
+
+	// The traffic map: per-segment automobile speed estimates.
+	snap := sys.Traffic()
+	type row struct {
+		seg int
+		est traffic.Estimate
+	}
+	rows := make([]row, 0, len(snap))
+	for sid, est := range snap {
+		rows = append(rows, row{seg: int(sid), est: est})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seg < rows[j].seg })
+	fmt.Printf("\ntraffic map: %d segments estimated; first 10:\n", len(rows))
+	fmt.Printf("%8s  %10s  %8s  %s\n", "segment", "speed km/h", "reports", "level")
+	for i, r := range rows {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("%8d  %10.1f  %8d  %s\n",
+			r.seg, r.est.SpeedKmh, r.est.Reports, traffic.LevelOf(r.est.SpeedKmh))
+	}
+}

@@ -1,0 +1,94 @@
+// Trafficmap renders Fig. 9-style ASCII snapshots of the estimated
+// traffic map at 08:30 and 17:00 after one intensive participation day:
+// each covered road segment is drawn at its midpoint with a glyph for
+// its five-level speed class.
+//
+//	go run ./examples/trafficmap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/eval"
+	"busprobe/internal/geo"
+	"busprobe/internal/road"
+	"busprobe/internal/sim"
+)
+
+// glyphs maps traffic levels to map characters, most congested first.
+var glyphs = map[traffic.Level]byte{
+	traffic.LevelVerySlow: '#',
+	traffic.LevelSlow:     'x',
+	traffic.LevelNormal:   '+',
+	traffic.LevelFast:     '-',
+	traffic.LevelVeryFast: '.',
+}
+
+func main() {
+	log.SetFlags(0)
+
+	lab, err := eval.DefaultLab()
+	if err != nil {
+		log.Fatal(err)
+	}
+	camp := sim.DefaultCampaignConfig()
+	camp.Days = 1
+	camp.IntensiveFromDay = 0
+	fmt.Println("running one intensive participation day...")
+	run, err := eval.RunCampaign(lab, camp, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := eval.Fig9TrafficMap(lab, 0, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+
+	for _, at := range []float64{8.5 * 3600, 17 * 3600} {
+		snap, ok := run.SnapshotNear(at)
+		if !ok {
+			log.Fatal("no snapshots captured")
+		}
+		fmt.Printf("estimated traffic at %s  (# <20, x <30, + <40, - <50, . >=50 km/h)\n",
+			sim.ClockTime(snap.TimeS))
+		render(lab.World.Net, snap)
+	}
+}
+
+// render draws the city on a character grid, marking covered segment
+// midpoints with their level glyph.
+func render(net *road.Network, snap eval.TrafficSnapshot) {
+	const cols, rowsN = 100, 26
+	bbox := net.BBox()
+	grid := make([][]byte, rowsN)
+	for i := range grid {
+		grid[i] = make([]byte, cols)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	place := func(p geo.XY, ch byte) {
+		cx := int((p.X - bbox.MinX) / bbox.Width() * float64(cols-1))
+		cy := int((p.Y - bbox.MinY) / bbox.Height() * float64(rowsN-1))
+		if cx >= 0 && cx < cols && cy >= 0 && cy < rowsN {
+			grid[rowsN-1-cy][cx] = ch // north up
+		}
+	}
+	// Background: faint road grid at intersections.
+	for i := 0; i < net.NumNodes(); i++ {
+		place(net.Node(road.NodeID(i)).Pos, '\'')
+	}
+	for sid, est := range snap.Estimates {
+		seg := net.Segment(sid)
+		mid := seg.Shape.At(seg.LengthM() / 2)
+		place(mid, glyphs[traffic.LevelOf(est.SpeedKmh)])
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module busprobe
+
+go 1.22

@@ -1,0 +1,100 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	pcm, err := Synthesize(SingaporeBeep, []float64{0.5}, 2.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, pcm, cfg.SampleRate); err != nil {
+		t.Fatal(err)
+	}
+	back, sr, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr != cfg.SampleRate {
+		t.Errorf("sample rate = %d", sr)
+	}
+	if len(back) != len(pcm) {
+		t.Fatalf("samples = %d, want %d", len(back), len(pcm))
+	}
+	for i := range back {
+		want := math.Max(-1, math.Min(1, pcm[i]))
+		if math.Abs(back[i]-want) > 1.0/32000 {
+			t.Fatalf("sample %d: %v vs %v", i, back[i], want)
+		}
+	}
+}
+
+func TestWAVSurvivesDetection(t *testing.T) {
+	// The acoustic path through a WAV file must still detect beeps.
+	cfg := DefaultSynthConfig()
+	pcm, err := Synthesize(SingaporeBeep, []float64{2.0, 4.0}, 6.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, pcm, cfg.SampleRate); err != nil {
+		t.Fatal(err)
+	}
+	back, sr, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(SingaporeBeep, sr, DefaultDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := det.Process(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Errorf("detected %d beeps after WAV round trip", len(events))
+	}
+}
+
+func TestWAVClampsOverdrive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{2, -3, 0.5}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] < 0.99 || back[1] > -0.99 {
+		t.Errorf("overdrive not clamped: %v", back[:2])
+	}
+}
+
+func TestWAVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{0}, 0); err == nil {
+		t.Error("want error for zero sample rate")
+	}
+	if _, _, err := ReadWAV(strings.NewReader("short")); err == nil {
+		t.Error("want error for truncated stream")
+	}
+	if _, _, err := ReadWAV(strings.NewReader(strings.Repeat("x", 60))); err == nil {
+		t.Error("want error for non-WAV stream")
+	}
+	// Truncated data section.
+	var good bytes.Buffer
+	if err := WriteWAV(&good, make([]float64, 100), 8000); err != nil {
+		t.Fatal(err)
+	}
+	trunc := good.Bytes()[:80]
+	if _, _, err := ReadWAV(bytes.NewReader(trunc)); err == nil {
+		t.Error("want error for truncated data")
+	}
+}

@@ -1,0 +1,194 @@
+package arrival
+
+import (
+	"math"
+	"testing"
+
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/road"
+	"busprobe/internal/transit"
+)
+
+// fixedSource serves canned estimates.
+type fixedSource map[road.SegmentID]traffic.Estimate
+
+func (f fixedSource) Get(sid road.SegmentID) (traffic.Estimate, bool) {
+	e, ok := f[sid]
+	return e, ok
+}
+
+func testRoute(t *testing.T) (*road.Network, *transit.Route) {
+	t.Helper()
+	cfg := road.DefaultGridConfig()
+	cfg.WidthM = 3000
+	cfg.HeightM = 2000
+	cfg.JitterM = 0
+	net, err := road.GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := transit.NewBuilder(net)
+	nodes := []road.NodeID{0, 1, 2, 3, 4, 5}
+	if err := bl.AddRoute("A", "", nodes, 480); err != nil {
+		t.Fatal(err)
+	}
+	return net, bl.Build().Route("A")
+}
+
+func TestNewPredictorValidation(t *testing.T) {
+	net, _ := testRoute(t)
+	if _, err := NewPredictor(nil, DefaultConfig()); err == nil {
+		t.Error("want error for nil network")
+	}
+	bad := DefaultConfig()
+	bad.FallbackRatio = 0
+	if _, err := NewPredictor(net, bad); err == nil {
+		t.Error("want error for zero fallback")
+	}
+	bad = DefaultConfig()
+	bad.BusCapKmh = 1
+	if _, err := NewPredictor(net, bad); err == nil {
+		t.Error("want error for cap below floor")
+	}
+	bad = DefaultConfig()
+	bad.Model.B = 0
+	if _, err := NewPredictor(net, bad); err == nil {
+		t.Error("want error for bad model")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	net, rt := testRoute(t)
+	p, err := NewPredictor(net, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict(nil, 0, 0, fixedSource{}); err == nil {
+		t.Error("want error for nil route")
+	}
+	if _, err := p.Predict(rt, 0, 0, nil); err == nil {
+		t.Error("want error for nil source")
+	}
+	if _, err := p.Predict(rt, -1, 0, fixedSource{}); err == nil {
+		t.Error("want error for negative index")
+	}
+	if _, err := p.Predict(rt, rt.NumStops()-1, 0, fixedSource{}); err == nil {
+		t.Error("want error for terminal index")
+	}
+}
+
+func TestPredictShape(t *testing.T) {
+	net, rt := testRoute(t)
+	p, err := NewPredictor(net, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := p.Predict(rt, 1, 1000, fixedSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != rt.NumStops()-2 {
+		t.Fatalf("predictions = %d, want %d", len(preds), rt.NumStops()-2)
+	}
+	prev := 1000.0
+	for i, pr := range preds {
+		if pr.StopIdx != i+2 {
+			t.Errorf("prediction %d stop index %d", i, pr.StopIdx)
+		}
+		if pr.ArriveS <= prev {
+			t.Errorf("arrivals not increasing at %d", i)
+		}
+		prev = pr.ArriveS
+		if pr.Stop != rt.Stops[pr.StopIdx] {
+			t.Errorf("stop mismatch at %d", i)
+		}
+		if pr.CoveredFrac != 0 {
+			t.Errorf("no estimates given, but covered frac %v", pr.CoveredFrac)
+		}
+	}
+}
+
+func TestCongestionDelaysPrediction(t *testing.T) {
+	net, rt := testRoute(t)
+	p, err := NewPredictor(net, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free-ish traffic estimates vs congested ones on every segment.
+	free := fixedSource{}
+	congested := fixedSource{}
+	for i := 0; i < rt.NumLegs(); i++ {
+		for _, sid := range rt.Leg(net, i).Segments {
+			free[sid] = traffic.Estimate{SpeedKmh: net.Segment(sid).FreeKmh * 0.5, Reports: 2}
+			congested[sid] = traffic.Estimate{SpeedKmh: net.Segment(sid).FreeKmh * 0.18, Reports: 2}
+		}
+	}
+	pf, err := p.Predict(rt, 0, 0, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := p.Predict(rt, 0, 0, congested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(pf) - 1
+	if pc[last].ArriveS <= pf[last].ArriveS {
+		t.Errorf("congested ETA %v not later than free ETA %v",
+			pc[last].ArriveS, pf[last].ArriveS)
+	}
+	if pf[last].CoveredFrac != 1 {
+		t.Errorf("fully covered route reports frac %v", pf[last].CoveredFrac)
+	}
+}
+
+func TestInversionRoundTrip(t *testing.T) {
+	// If the estimate came from a bus at speed v via Eq. 3, the
+	// predictor's inversion should recover that bus speed.
+	net, rt := testRoute(t)
+	cfg := DefaultConfig()
+	p, err := NewPredictor(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := rt.Leg(net, 0).Segments[0]
+	seg := net.Segment(sid)
+	busKmh := 30.0
+	bttS := seg.LengthM() / (busKmh / 3.6)
+	attKmh, err := cfg.Model.SpeedKmh(seg.LengthM(), seg.FreeKmh, bttS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fixedSource{sid: traffic.Estimate{SpeedKmh: attKmh, Reports: 1}}
+	gotS, covered := p.segmentBusTime(sid, src)
+	if !covered {
+		t.Fatal("estimate not used")
+	}
+	if math.Abs(gotS-bttS) > 1e-6 {
+		t.Errorf("inverted bus time %v, want %v", gotS, bttS)
+	}
+}
+
+func TestCapAndFloorApplied(t *testing.T) {
+	net, rt := testRoute(t)
+	cfg := DefaultConfig()
+	p, err := NewPredictor(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := rt.Leg(net, 0).Segments[0]
+	seg := net.Segment(sid)
+	// Estimate at design speed implies non-positive BTT -> cap.
+	src := fixedSource{sid: traffic.Estimate{SpeedKmh: seg.FreeKmh * 1.2, Reports: 1}}
+	sCap, _ := p.segmentBusTime(sid, src)
+	wantCap := seg.LengthM() / (cfg.BusCapKmh / 3.6)
+	if math.Abs(sCap-wantCap) > 1e-9 {
+		t.Errorf("cap time %v, want %v", sCap, wantCap)
+	}
+	// Absurdly slow estimate floors at MinKmh.
+	src[sid] = traffic.Estimate{SpeedKmh: 0.5, Reports: 1}
+	sFloor, _ := p.segmentBusTime(sid, src)
+	wantFloor := seg.LengthM() / (cfg.MinKmh / 3.6)
+	if math.Abs(sFloor-wantFloor) > 1e-9 {
+		t.Errorf("floor time %v, want %v", sFloor, wantFloor)
+	}
+}

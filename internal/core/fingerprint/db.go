@@ -1,0 +1,208 @@
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/transit"
+)
+
+// DefaultGamma is the acceptance threshold γ for per-sample matching:
+// samples whose best similarity falls below it are discarded as noise.
+// The paper sets γ = 2 from the Fig. 2 measurement study.
+const DefaultGamma = 2.0
+
+// Match is one candidate result of matching an uploaded cellular sample
+// against the database.
+type Match struct {
+	Stop   transit.StopID
+	Score  float64
+	Common int // number of shared cell IDs (tie-breaker)
+}
+
+// DB is the bus-stop fingerprint database (§III-B "Bus stop database").
+// It stores one representative fingerprint per logical stop and serves
+// per-sample matching. It is safe for concurrent use: matching takes a
+// read lock, updates a write lock, supporting the paper's online/offline
+// database update model.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[transit.StopID]cellular.Fingerprint
+	// index maps cell ID -> stops whose fingerprint contains it; see
+	// index.go.
+	index   map[cellular.CellID][]transit.StopID
+	scoring Scoring
+	gamma   float64
+}
+
+// NewDB returns an empty database with the given scoring and γ
+// threshold.
+func NewDB(scoring Scoring, gamma float64) (*DB, error) {
+	if err := scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if gamma < 0 {
+		return nil, fmt.Errorf("fingerprint: negative gamma %v", gamma)
+	}
+	return &DB{
+		entries: make(map[transit.StopID]cellular.Fingerprint),
+		index:   make(map[cellular.CellID][]transit.StopID),
+		scoring: scoring,
+		gamma:   gamma,
+	}, nil
+}
+
+// Scoring returns the alignment weights in use.
+func (db *DB) Scoring() Scoring { return db.scoring }
+
+// Gamma returns the acceptance threshold.
+func (db *DB) Gamma() float64 { return db.gamma }
+
+// Len returns the number of fingerprinted stops.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Put stores (or replaces) the fingerprint of a stop. The fingerprint is
+// copied.
+func (db *DB) Put(stop transit.StopID, fp cellular.Fingerprint) error {
+	if len(fp) == 0 {
+		return fmt.Errorf("fingerprint: empty fingerprint for stop %d", stop)
+	}
+	cp := make(cellular.Fingerprint, len(fp))
+	copy(cp, fp)
+	db.mu.Lock()
+	if old, ok := db.entries[stop]; ok {
+		db.indexRemove(stop, old)
+	}
+	db.entries[stop] = cp
+	db.indexAdd(stop, cp)
+	db.mu.Unlock()
+	return nil
+}
+
+// Delete removes a stop's fingerprint (e.g. a decommissioned stop). It
+// reports whether an entry existed.
+func (db *DB) Delete(stop transit.StopID) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fp, ok := db.entries[stop]
+	if !ok {
+		return false
+	}
+	db.indexRemove(stop, fp)
+	delete(db.entries, stop)
+	return true
+}
+
+// Get returns the stored fingerprint for a stop, if any.
+func (db *DB) Get(stop transit.StopID) (cellular.Fingerprint, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fp, ok := db.entries[stop]
+	if !ok {
+		return nil, false
+	}
+	cp := make(cellular.Fingerprint, len(fp))
+	copy(cp, fp)
+	return cp, true
+}
+
+// Stops returns the fingerprinted stop IDs in ascending order.
+func (db *DB) Stops() []transit.StopID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]transit.StopID, 0, len(db.entries))
+	for id := range db.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PutFromSamples selects a representative fingerprint from several
+// collection runs and stores it: the sample with the highest total
+// similarity to the other samples wins (§IV-A: "the sample with the
+// highest similarity with the rest samples is chosen as the
+// fingerprint").
+func (db *DB) PutFromSamples(stop transit.StopID, samples []cellular.Fingerprint) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("fingerprint: no samples for stop %d", stop)
+	}
+	bestIdx, bestTotal := 0, -1.0
+	for i, s := range samples {
+		var total float64
+		for j, o := range samples {
+			if i == j {
+				continue
+			}
+			total += Similarity(s, o, db.scoring)
+		}
+		if total > bestTotal {
+			bestIdx, bestTotal = i, total
+		}
+	}
+	return db.Put(stop, samples[bestIdx])
+}
+
+// MatchAll scores a sample against the stored stops and returns the
+// candidates at or above γ, best first. Ordering is by score, then by
+// common-ID count, then ascending stop ID for determinism. With γ > 0
+// the inverted index restricts alignment to stops sharing a tower with
+// the sample (zero-overlap pairs score exactly 0 and cannot qualify);
+// γ = 0 falls back to the exhaustive scan so every stop can be returned.
+func (db *DB) MatchAll(sample cellular.Fingerprint) []Match {
+	if len(sample) == 0 {
+		return nil
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Match
+	if db.gamma > 0 {
+		for _, stop := range db.candidateStops(sample) {
+			fp := db.entries[stop]
+			score := Similarity(sample, fp, db.scoring)
+			if score >= db.gamma {
+				out = append(out, Match{Stop: stop, Score: score, Common: CommonIDs(sample, fp)})
+			}
+		}
+		sortMatches(out)
+		return out
+	}
+	for stop, fp := range db.entries {
+		score := Similarity(sample, fp, db.scoring)
+		if score >= db.gamma {
+			out = append(out, Match{Stop: stop, Score: score, Common: CommonIDs(sample, fp)})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// sortMatches orders candidates best-first with deterministic ties.
+func sortMatches(out []Match) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Common != out[j].Common {
+			return out[i].Common > out[j].Common
+		}
+		return out[i].Stop < out[j].Stop
+	})
+}
+
+// Match returns the best candidate for a sample, applying the γ filter
+// and the common-ID tie-break. ok is false when no stop clears γ — the
+// paper discards such samples "without further processing".
+func (db *DB) Match(sample cellular.Fingerprint) (Match, bool) {
+	all := db.MatchAll(sample)
+	if len(all) == 0 {
+		return Match{}, false
+	}
+	return all[0], true
+}

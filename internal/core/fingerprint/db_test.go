@@ -1,0 +1,325 @@
+package fingerprint
+
+import (
+	"sync"
+	"testing"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/stats"
+	"busprobe/internal/transit"
+)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := NewDB(DefaultScoring(), DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewDBValidation(t *testing.T) {
+	if _, err := NewDB(Scoring{Match: 0}, 2); err == nil {
+		t.Error("want error for bad scoring")
+	}
+	if _, err := NewDB(DefaultScoring(), -1); err == nil {
+		t.Error("want error for negative gamma")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.Put(1, fp(10, 20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.Get(1)
+	if !ok || !got.Equal(fp(10, 20, 30)) {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := db.Get(2); ok {
+		t.Error("unexpected entry for stop 2")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if err := db.Put(1, nil); err == nil {
+		t.Error("want error for empty fingerprint")
+	}
+}
+
+func TestPutCopiesAndGetCopies(t *testing.T) {
+	db := newTestDB(t)
+	src := fp(1, 2, 3)
+	if err := db.Put(5, src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	got, _ := db.Get(5)
+	if got[0] != 1 {
+		t.Error("Put aliased caller slice")
+	}
+	got[1] = 98
+	again, _ := db.Get(5)
+	if again[1] != 2 {
+		t.Error("Get returned aliased storage")
+	}
+}
+
+func TestStopsSorted(t *testing.T) {
+	db := newTestDB(t)
+	for _, id := range []transit.StopID{5, 1, 3} {
+		if err := db.Put(id, fp(int(id), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stops := db.Stops()
+	if len(stops) != 3 || stops[0] != 1 || stops[1] != 3 || stops[2] != 5 {
+		t.Errorf("Stops = %v", stops)
+	}
+}
+
+func TestMatchBestAndThreshold(t *testing.T) {
+	db := newTestDB(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.Put(1, fp(1, 2, 3, 4, 5)))
+	must(db.Put(2, fp(6, 7, 8, 9)))
+	must(db.Put(3, fp(1, 2, 10, 11)))
+
+	m, ok := db.Match(fp(1, 2, 3, 4))
+	if !ok || m.Stop != 1 {
+		t.Fatalf("Match = %+v, %v", m, ok)
+	}
+	if m.Score < 4-1e-9 {
+		t.Errorf("score = %v", m.Score)
+	}
+
+	// A sample sharing too little with anything is rejected by gamma.
+	if _, ok := db.Match(fp(100, 101, 1)); ok {
+		t.Error("noisy sample should be rejected")
+	}
+	if got := db.MatchAll(nil); got != nil {
+		t.Error("empty sample should give nil")
+	}
+}
+
+func TestMatchAllOrdering(t *testing.T) {
+	db := newTestDB(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.Put(1, fp(1, 2, 3, 4)))
+	must(db.Put(2, fp(1, 2, 3, 9)))
+	all := db.MatchAll(fp(1, 2, 3, 4))
+	if len(all) != 2 {
+		t.Fatalf("candidates = %d", len(all))
+	}
+	if all[0].Stop != 1 || all[0].Score < all[1].Score {
+		t.Errorf("ordering wrong: %+v", all)
+	}
+}
+
+func TestMatchTieBreakOnCommonIDs(t *testing.T) {
+	db := newTestDB(t)
+	// Both stops align the sample prefix {1,2,3} perfectly (score 3),
+	// but stop 2 shares an extra ID (4) outside the alignment.
+	if err := db.Put(1, fp(1, 2, 3, 7, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(2, fp(1, 2, 3, 9, 4)); err != nil {
+		t.Fatal(err)
+	}
+	sample := fp(1, 2, 3, 4)
+	all := db.MatchAll(sample)
+	if len(all) != 2 {
+		t.Fatalf("candidates = %d", len(all))
+	}
+	if all[0].Score != all[1].Score {
+		t.Skipf("scores unequal (%v vs %v); tie-break not exercised", all[0].Score, all[1].Score)
+	}
+	if all[0].Stop != 2 {
+		t.Errorf("tie broken to stop %d, want 2 (more common IDs)", all[0].Stop)
+	}
+}
+
+func TestPutFromSamplesPicksMedoid(t *testing.T) {
+	db := newTestDB(t)
+	samples := []cellular.Fingerprint{
+		fp(1, 2, 3, 4, 5),   // canonical
+		fp(1, 2, 3, 5, 4),   // minor swap
+		fp(1, 2, 3, 4, 6),   // one tower differs
+		fp(9, 8, 7, 60, 61), // outlier run
+	}
+	if err := db.PutFromSamples(7, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.Get(7)
+	if !ok {
+		t.Fatal("no entry stored")
+	}
+	if got.Equal(samples[3]) {
+		t.Error("outlier chosen as representative")
+	}
+	if err := db.PutFromSamples(8, nil); err == nil {
+		t.Error("want error for no samples")
+	}
+}
+
+func TestDBConcurrentAccess(t *testing.T) {
+	db := newTestDB(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				stop := transit.StopID((w*200 + i) % 50)
+				if err := db.Put(stop, fp(w, i%10, 3, 4)); err != nil {
+					t.Error(err)
+					return
+				}
+				db.Match(fp(w, i%10, 3, 4))
+				db.Stops()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestIndexedMatchEqualsFullScan(t *testing.T) {
+	// The inverted index must produce byte-identical results to the
+	// exhaustive scan across random databases and samples.
+	rngSeed := uint64(1234)
+	rng := statsNewRNG(rngSeed)
+	for trial := 0; trial < 50; trial++ {
+		indexed := newTestDB(t)                 // gamma = 2 -> indexed path
+		full, err := NewDB(DefaultScoring(), 0) // gamma = 0 -> full scan
+		if err != nil {
+			t.Fatal(err)
+		}
+		nStops := 5 + rng.Intn(30)
+		for s := 0; s < nStops; s++ {
+			n := 3 + rng.Intn(5)
+			entry := make(cellular.Fingerprint, n)
+			for i := range entry {
+				entry[i] = cellular.CellID(rng.Intn(60))
+			}
+			if err := indexed.Put(transit.StopID(s), entry); err != nil {
+				t.Fatal(err)
+			}
+			if err := full.Put(transit.StopID(s), entry); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for q := 0; q < 20; q++ {
+			sample := make(cellular.Fingerprint, 3+rng.Intn(5))
+			for i := range sample {
+				sample[i] = cellular.CellID(rng.Intn(60))
+			}
+			got := indexed.MatchAll(sample)
+			// Reference: full scan filtered at gamma 2.
+			var want []Match
+			for _, m := range full.MatchAll(sample) {
+				if m.Score >= 2 {
+					want = append(want, m)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: indexed %d matches, full %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: match %d differs: %+v vs %+v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestIndexMaintainedOnReplace(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.Put(1, fp(10, 20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace with a disjoint fingerprint: old cells must no longer
+	// find the stop.
+	if err := db.Put(1, fp(40, 50, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Match(fp(10, 20, 30)); ok {
+		t.Error("stale index entry matched old cells")
+	}
+	if m, ok := db.Match(fp(40, 50, 60)); !ok || m.Stop != 1 {
+		t.Error("replaced fingerprint not matchable")
+	}
+}
+
+// statsNewRNG avoids importing stats at top level twice.
+func statsNewRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }
+
+func BenchmarkMatchCityScaleIndexed(b *testing.B) {
+	db, sample := cityScaleDB(b, 2)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.MatchAll(sample)
+	}
+}
+
+func BenchmarkMatchCityScaleFullScan(b *testing.B) {
+	db, sample := cityScaleDB(b, 0) // gamma 0 disables the index
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.MatchAll(sample)
+	}
+}
+
+// cityScaleDB builds a 5000-stop database with localized tower reuse.
+func cityScaleDB(b *testing.B, gamma float64) (*DB, cellular.Fingerprint) {
+	b.Helper()
+	db, err := NewDB(DefaultScoring(), gamma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(9)
+	for s := 0; s < 5000; s++ {
+		base := (s / 4) * 3 // neighbouring stops share towers
+		entry := make(cellular.Fingerprint, 6)
+		for i := range entry {
+			entry[i] = cellular.CellID(base + rng.Intn(10))
+		}
+		if err := db.Put(transit.StopID(s), entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, fp(3000, 3001, 3004, 3007, 3009)
+}
+
+func TestDelete(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.Put(1, fp(10, 20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Delete(1) {
+		t.Fatal("existing entry not deleted")
+	}
+	if db.Delete(1) {
+		t.Fatal("double delete reported true")
+	}
+	if _, ok := db.Get(1); ok {
+		t.Error("entry still present")
+	}
+	// Index entries must be gone too.
+	if _, ok := db.Match(fp(10, 20, 30)); ok {
+		t.Error("deleted stop still matchable")
+	}
+	if db.Len() != 0 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}

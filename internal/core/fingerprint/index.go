@@ -1,0 +1,63 @@
+package fingerprint
+
+import (
+	"sort"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/transit"
+)
+
+// The inverted index accelerates per-sample matching: since the
+// Smith–Waterman score of two fingerprints with no shared cell ID is
+// exactly zero, only stops sharing at least one tower with the sample
+// can clear any positive γ. The index maps cell ID → stops whose stored
+// fingerprint contains it, so MatchAll aligns against the handful of
+// stops around the sample instead of the whole city (the paper's region
+// already has >100 stops; a city has thousands).
+//
+// The index is maintained incrementally by Put and used automatically
+// when γ > 0; results are identical to the full scan, which the tests
+// assert.
+
+// indexAdd registers a fingerprint's cells. Caller holds the write lock.
+func (db *DB) indexAdd(stop transit.StopID, fp cellular.Fingerprint) {
+	for _, c := range fp {
+		db.index[c] = append(db.index[c], stop)
+	}
+}
+
+// indexRemove unregisters a fingerprint's cells. Caller holds the write
+// lock.
+func (db *DB) indexRemove(stop transit.StopID, fp cellular.Fingerprint) {
+	for _, c := range fp {
+		list := db.index[c]
+		out := list[:0]
+		for _, s := range list {
+			if s != stop {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 {
+			delete(db.index, c)
+		} else {
+			db.index[c] = out
+		}
+	}
+}
+
+// candidateStops returns the stops sharing at least one cell ID with the
+// sample, deduplicated and sorted. Caller holds a read lock.
+func (db *DB) candidateStops(sample cellular.Fingerprint) []transit.StopID {
+	seen := make(map[transit.StopID]bool)
+	var out []transit.StopID
+	for _, c := range sample {
+		for _, s := range db.index[c] {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

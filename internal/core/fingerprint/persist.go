@@ -1,0 +1,132 @@
+package fingerprint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/transit"
+)
+
+// fileFormat is the on-disk schema version; bump on breaking changes.
+const fileFormat = 1
+
+// dbFile is the serialized database.
+type dbFile struct {
+	Format  int         `json:"format"`
+	Match   float64     `json:"match"`
+	Mis     float64     `json:"mismatch"`
+	Gap     float64     `json:"gap"`
+	Gamma   float64     `json:"gamma"`
+	Entries []dbFileRow `json:"entries"`
+}
+
+// dbFileRow is one stop's fingerprint.
+type dbFileRow struct {
+	Stop  int   `json:"stop"`
+	Cells []int `json:"cells"`
+}
+
+// WriteTo serializes the database (scoring, gamma, and all entries) as
+// JSON. The survey is the system's most expensive offline asset (§IV-A
+// collected it manually over 8 routes); persisting it lets deployments
+// restart without re-surveying.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	db.mu.RLock()
+	out := dbFile{
+		Format: fileFormat,
+		Match:  db.scoring.Match,
+		Mis:    db.scoring.Mismatch,
+		Gap:    db.scoring.Gap,
+		Gamma:  db.gamma,
+	}
+	for stop, fp := range db.entries {
+		row := dbFileRow{Stop: int(stop), Cells: make([]int, len(fp))}
+		for i, c := range fp {
+			row.Cells[i] = int(c)
+		}
+		out.Entries = append(out.Entries, row)
+	}
+	db.mu.RUnlock()
+	// Deterministic output: sort rows by stop.
+	for i := 1; i < len(out.Entries); i++ {
+		for j := i; j > 0 && out.Entries[j].Stop < out.Entries[j-1].Stop; j-- {
+			out.Entries[j], out.Entries[j-1] = out.Entries[j-1], out.Entries[j]
+		}
+	}
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	if err := enc.Encode(out); err != nil {
+		return cw.n, fmt.Errorf("fingerprint: encode: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a database previously written with WriteTo.
+func ReadFrom(r io.Reader) (*DB, error) {
+	var in dbFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("fingerprint: decode: %w", err)
+	}
+	if in.Format != fileFormat {
+		return nil, fmt.Errorf("fingerprint: unsupported format %d (want %d)", in.Format, fileFormat)
+	}
+	db, err := NewDB(Scoring{Match: in.Match, Mismatch: in.Mis, Gap: in.Gap}, in.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range in.Entries {
+		fp := make(cellular.Fingerprint, len(row.Cells))
+		for i, c := range row.Cells {
+			fp[i] = cellular.CellID(c)
+		}
+		if err := db.Put(transit.StopID(row.Stop), fp); err != nil {
+			return nil, fmt.Errorf("fingerprint: stop %d: %w", row.Stop, err)
+		}
+	}
+	return db, nil
+}
+
+// SaveFile writes the database to a file path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fingerprint: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := db.WriteTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("fingerprint: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a database from a file path.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(bufio.NewReader(f))
+}
+
+// countingWriter tracks bytes written for the io.WriterTo-style return.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,123 @@
+package fingerprint
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"busprobe/internal/transit"
+)
+
+func populatedDB(t *testing.T) *DB {
+	t.Helper()
+	db := newTestDB(t)
+	entries := map[transit.StopID][]int{
+		3: {10, 20, 30},
+		1: {40, 50},
+		7: {60, 70, 80, 90},
+	}
+	for stop, cells := range entries {
+		if err := db.Put(stop, fp(cells...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	db := populatedDB(t)
+	var buf bytes.Buffer
+	n, err := db.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("entries = %d, want %d", back.Len(), db.Len())
+	}
+	if back.Gamma() != db.Gamma() || back.Scoring() != db.Scoring() {
+		t.Error("parameters lost")
+	}
+	for _, stop := range db.Stops() {
+		want, _ := db.Get(stop)
+		got, ok := back.Get(stop)
+		if !ok || !got.Equal(want) {
+			t.Errorf("stop %d: %v vs %v", stop, got, want)
+		}
+	}
+}
+
+func TestPersistDeterministic(t *testing.T) {
+	db := populatedDB(t)
+	var a, b bytes.Buffer
+	if _, err := db.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization not deterministic")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("{nope")); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+	if _, err := ReadFrom(strings.NewReader(`{"format":99}`)); err == nil {
+		t.Error("want error for unknown format")
+	}
+	// Bad scoring inside the file.
+	if _, err := ReadFrom(strings.NewReader(`{"format":1,"match":0,"gamma":2}`)); err == nil {
+		t.Error("want error for invalid scoring")
+	}
+	// Empty fingerprint entry.
+	if _, err := ReadFrom(strings.NewReader(
+		`{"format":1,"match":1,"mismatch":0.3,"gap":0.3,"gamma":2,"entries":[{"stop":1,"cells":[]}]}`)); err == nil {
+		t.Error("want error for empty entry")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := populatedDB(t)
+	path := filepath.Join(t.TempDir(), "stops.fpdb")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Errorf("entries = %d", back.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.fpdb")); err == nil {
+		t.Error("want error for missing file")
+	}
+	if err := db.SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("want error for unwritable path")
+	}
+}
+
+func TestPersistEmptyDB(t *testing.T) {
+	db := newTestDB(t)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("entries = %d", back.Len())
+	}
+}

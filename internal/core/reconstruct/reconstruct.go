@@ -1,0 +1,162 @@
+// Package reconstruct rebuilds a bus's continuous trajectory from the
+// sparse output of trip mapping: the sequence of identified stop visits
+// with their arrival and departing times. Between consecutive stops the
+// bus is placed along the route's road geometry at the constant speed
+// implied by the measured leg travel time; during a visit it stands at
+// the stop.
+//
+// This is the system's answer to trajectory mapping without GPS (the
+// CTrack-style problem the paper cites): bus-stop anchors plus route
+// geometry suffice to localize the vehicle at every instant, which is
+// what lets the backend attribute travel time to road segments.
+package reconstruct
+
+import (
+	"fmt"
+	"sort"
+
+	"busprobe/internal/core/tripmap"
+	"busprobe/internal/geo"
+	"busprobe/internal/road"
+	"busprobe/internal/transit"
+)
+
+// Point is a reconstructed position sample.
+type Point struct {
+	TimeS float64
+	Pos   geo.XY
+	// Moving is false while the bus dwells at a stop.
+	Moving bool
+}
+
+// phase is one homogeneous piece of the trajectory.
+type phase struct {
+	startS, endS float64
+	// shape is nil for a dwell (fixed at pos); otherwise the bus moves
+	// along it at constant speed.
+	shape *geo.Polyline
+	pos   geo.XY
+}
+
+// Trajectory is a reconstructed, continuous bus track. Immutable; safe
+// for concurrent readers.
+type Trajectory struct {
+	phases []phase
+}
+
+// Build reconstructs a trajectory from a trip's mapped visits along a
+// route. Visits must be time-ordered and their stops must appear on the
+// route in travel order; pairs that do not (mapping noise) produce an
+// error, matching the backend's own discard policy.
+func Build(net *road.Network, rt *transit.Route, visits []tripmap.Visit) (*Trajectory, error) {
+	if net == nil || rt == nil {
+		return nil, fmt.Errorf("reconstruct: nil network or route")
+	}
+	if len(visits) == 0 {
+		return nil, fmt.Errorf("reconstruct: no visits")
+	}
+	var phases []phase
+	stopPos := func(s transit.StopID) (geo.XY, error) {
+		idx := rt.StopIndex(s)
+		if idx < 0 {
+			return geo.XY{}, fmt.Errorf("reconstruct: stop %d not on route %s", s, rt.ID)
+		}
+		// The stop sits at the From node of its leg (or the terminal To
+		// node); the leg shape starts there.
+		if idx < rt.NumLegs() {
+			leg := rt.Leg(net, idx)
+			return net.Segment(leg.Segments[0]).Shape.Start(), nil
+		}
+		last := rt.Leg(net, rt.NumLegs()-1)
+		return net.Segment(last.Segments[len(last.Segments)-1]).Shape.End(), nil
+	}
+
+	for i, v := range visits {
+		if v.DepartS < v.ArriveS {
+			return nil, fmt.Errorf("reconstruct: visit %d has inverted window", i)
+		}
+		pos, err := stopPos(v.Stop)
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, phase{startS: v.ArriveS, endS: v.DepartS, pos: pos})
+		if i+1 == len(visits) {
+			break
+		}
+		next := visits[i+1]
+		fi, ti := rt.StopIndex(v.Stop), rt.StopIndex(next.Stop)
+		if fi < 0 || ti <= fi {
+			return nil, fmt.Errorf("reconstruct: visits %d->%d not in route order", i, i+1)
+		}
+		if next.ArriveS < v.DepartS {
+			return nil, fmt.Errorf("reconstruct: visit %d arrives before %d departs", i+1, i)
+		}
+		leg := rt.LegBetween(net, fi, ti)
+		var pts []geo.XY
+		for si, sid := range leg.Segments {
+			shape := net.Segment(sid).Shape.Points()
+			if si > 0 {
+				shape = shape[1:] // drop the duplicated joint vertex
+			}
+			pts = append(pts, shape...)
+		}
+		if len(pts) >= 2 {
+			phases = append(phases, phase{
+				startS: v.DepartS,
+				endS:   next.ArriveS,
+				shape:  geo.NewPolyline(pts),
+			})
+		}
+	}
+	return &Trajectory{phases: phases}, nil
+}
+
+// StartS returns the trajectory's first covered instant.
+func (tr *Trajectory) StartS() float64 { return tr.phases[0].startS }
+
+// EndS returns the trajectory's last covered instant.
+func (tr *Trajectory) EndS() float64 { return tr.phases[len(tr.phases)-1].endS }
+
+// At returns the reconstructed position at time t, with ok=false outside
+// the covered span.
+func (tr *Trajectory) At(t float64) (geo.XY, bool) {
+	if t < tr.StartS() || t > tr.EndS() {
+		return geo.XY{}, false
+	}
+	// Binary search for the containing phase.
+	i := sort.Search(len(tr.phases), func(i int) bool { return tr.phases[i].endS >= t })
+	if i == len(tr.phases) {
+		i--
+	}
+	ph := tr.phases[i]
+	if ph.shape == nil {
+		return ph.pos, true
+	}
+	span := ph.endS - ph.startS
+	frac := 0.0
+	if span > 0 {
+		frac = (t - ph.startS) / span
+	}
+	return ph.shape.At(frac * ph.shape.Length()), true
+}
+
+// Sample returns points every stepS across the covered span.
+func (tr *Trajectory) Sample(stepS float64) []Point {
+	if stepS <= 0 {
+		return nil
+	}
+	var out []Point
+	for t := tr.StartS(); t <= tr.EndS(); t += stepS {
+		pos, ok := tr.At(t)
+		if !ok {
+			continue
+		}
+		moving := true
+		i := sort.Search(len(tr.phases), func(i int) bool { return tr.phases[i].endS >= t })
+		if i < len(tr.phases) && tr.phases[i].shape == nil {
+			moving = false
+		}
+		out = append(out, Point{TimeS: t, Pos: pos, Moving: moving})
+	}
+	return out
+}

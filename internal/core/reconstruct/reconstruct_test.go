@@ -1,0 +1,222 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+
+	"busprobe/internal/core/tripmap"
+	"busprobe/internal/geo"
+	"busprobe/internal/sim"
+	"busprobe/internal/transit"
+)
+
+func testWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultWorldConfig()
+	cfg.Road.WidthM = 3000
+	cfg.Road.HeightM = 2000
+	cfg.Plan.RouteIDs = []transit.RouteID{"179"}
+	cfg.Plan.MinStops = 8
+	cfg.Plan.MaxStops = 12
+	w, err := sim.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func visitsFor(rt *transit.Route, idxs []int, times [][2]float64) []tripmap.Visit {
+	out := make([]tripmap.Visit, len(idxs))
+	for i, idx := range idxs {
+		out[i] = tripmap.Visit{
+			Stop:    rt.Stops[idx],
+			ArriveS: times[i][0],
+			DepartS: times[i][1],
+		}
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	w := testWorld(t)
+	rt := w.Transit.Routes()[0]
+	if _, err := Build(nil, rt, nil); err == nil {
+		t.Error("want error for nil network")
+	}
+	if _, err := Build(w.Net, rt, nil); err == nil {
+		t.Error("want error for no visits")
+	}
+	// Inverted dwell window.
+	bad := visitsFor(rt, []int{0}, [][2]float64{{100, 50}})
+	if _, err := Build(w.Net, rt, bad); err == nil {
+		t.Error("want error for inverted window")
+	}
+	// Out-of-order stops.
+	bad = visitsFor(rt, []int{3, 1}, [][2]float64{{0, 10}, {100, 110}})
+	if _, err := Build(w.Net, rt, bad); err == nil {
+		t.Error("want error for out-of-order visits")
+	}
+	// Time travel between visits.
+	bad = visitsFor(rt, []int{0, 1}, [][2]float64{{0, 100}, {50, 120}})
+	if _, err := Build(w.Net, rt, bad); err == nil {
+		t.Error("want error for overlapping times")
+	}
+	// Stop not on route.
+	notOn := []tripmap.Visit{{Stop: transit.StopID(9999), ArriveS: 0, DepartS: 1}}
+	if _, err := Build(w.Net, rt, notOn); err == nil {
+		t.Error("want error for foreign stop")
+	}
+}
+
+func TestDwellAndMotionPhases(t *testing.T) {
+	w := testWorld(t)
+	rt := w.Transit.Routes()[0]
+	visits := visitsFor(rt, []int{0, 1}, [][2]float64{{100, 120}, {220, 240}})
+	tr, err := Build(w.Net, rt, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StartS() != 100 || tr.EndS() != 240 {
+		t.Errorf("span [%v, %v]", tr.StartS(), tr.EndS())
+	}
+	// During the first dwell, the bus stands at stop 0.
+	p0, ok := tr.At(110)
+	if !ok {
+		t.Fatal("no position during dwell")
+	}
+	stop0 := w.Net.Segment(rt.Leg(w.Net, 0).Segments[0]).Shape.Start()
+	if geo.DistM(p0, stop0) > 1e-6 {
+		t.Errorf("dwell position %v, want %v", p0, stop0)
+	}
+	// Mid-leg the bus is halfway along the geometry.
+	leg := rt.Leg(w.Net, 0)
+	mid, ok := tr.At(170)
+	if !ok {
+		t.Fatal("no position mid-leg")
+	}
+	wantDist := leg.LengthM / 2
+	start := w.Net.Segment(leg.Segments[0]).Shape.Start()
+	if math.Abs(geo.DistM(mid, start)-wantDist) > leg.LengthM*0.05 {
+		t.Errorf("mid-leg position %v m from start, want ~%v", geo.DistM(mid, start), wantDist)
+	}
+	// Outside the span.
+	if _, ok := tr.At(50); ok {
+		t.Error("position before start")
+	}
+	if _, ok := tr.At(500); ok {
+		t.Error("position after end")
+	}
+}
+
+func TestSkippedStopLegGeometry(t *testing.T) {
+	w := testWorld(t)
+	rt := w.Transit.Routes()[0]
+	// Visits at stops 0 and 3 (1, 2 skipped): the motion phase covers
+	// the merged geometry.
+	visits := visitsFor(rt, []int{0, 3}, [][2]float64{{0, 10}, {310, 320}})
+	tr, err := Build(w.Net, rt, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := rt.LegBetween(w.Net, 0, 3)
+	// The end of the motion phase lands at stop 3.
+	end, ok := tr.At(310)
+	if !ok {
+		t.Fatal("no position at arrival")
+	}
+	lastSeg := w.Net.Segment(merged.Segments[len(merged.Segments)-1])
+	if geo.DistM(end, lastSeg.Shape.End()) > 1 {
+		t.Errorf("arrival position %v, want %v", end, lastSeg.Shape.End())
+	}
+}
+
+func TestSample(t *testing.T) {
+	w := testWorld(t)
+	rt := w.Transit.Routes()[0]
+	visits := visitsFor(rt, []int{0, 1, 2}, [][2]float64{{0, 10}, {70, 85}, {150, 160}})
+	tr, err := Build(w.Net, rt, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := tr.Sample(5)
+	if len(pts) < 20 {
+		t.Fatalf("samples = %d", len(pts))
+	}
+	var moving, dwelling int
+	for i, p := range pts {
+		if i > 0 && p.TimeS <= pts[i-1].TimeS {
+			t.Fatal("samples not time-ordered")
+		}
+		if p.Moving {
+			moving++
+		} else {
+			dwelling++
+		}
+	}
+	if moving == 0 || dwelling == 0 {
+		t.Errorf("phases unrepresented: moving=%d dwelling=%d", moving, dwelling)
+	}
+	if tr.Sample(0) != nil {
+		t.Error("zero step should be nil")
+	}
+}
+
+// TestAgainstSimulatedBus drives a real simulated bus, logs its true
+// positions, reconstructs the trajectory from the visit record alone,
+// and checks the track error stays within a stop spacing.
+func TestAgainstSimulatedBus(t *testing.T) {
+	w := testWorld(t)
+	rt := w.Transit.Routes()[0]
+	bus, err := sim.NewBus(1, rt, w.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type truthPt struct {
+		t   float64
+		pos geo.XY
+	}
+	var truth []truthPt
+	var visits []tripmap.Visit
+	now := 9 * 3600.0
+	for !bus.Done() {
+		if bus.PendingArrival() {
+			idx := bus.StopIdx()
+			arrive := now
+			if err := bus.Dwell(now, 12); err != nil {
+				t.Fatal(err)
+			}
+			visits = append(visits, tripmap.Visit{
+				Stop:    rt.Stops[idx],
+				ArriveS: arrive,
+				DepartS: arrive + 12,
+			})
+		}
+		if _, err := bus.Advance(now, 1, w.Field); err != nil {
+			t.Fatal(err)
+		}
+		truth = append(truth, truthPt{t: now, pos: bus.Pos()})
+		now++
+	}
+	tr, err := Build(w.Net, rt, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	for _, tp := range truth {
+		pos, ok := tr.At(tp.t)
+		if !ok {
+			continue
+		}
+		sum += geo.DistM(pos, tp.pos)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no overlapping samples")
+	}
+	mean := sum / float64(n)
+	if mean > 120 {
+		t.Errorf("mean reconstruction error %v m", mean)
+	}
+	t.Logf("mean reconstruction error: %.1f m over %d samples", mean, n)
+}

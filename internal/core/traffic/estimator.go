@@ -1,0 +1,184 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"busprobe/internal/road"
+	"busprobe/internal/stats"
+)
+
+// DefaultPeriodS is the paper's traffic-map refresh period T = 5 min.
+const DefaultPeriodS = 300.0
+
+// DefaultSingleReportVar is the variance assigned to an update window
+// holding a single speed report, for which no sample variance exists.
+const DefaultSingleReportVar = 25.0 // (5 km/h)^2
+
+// DefaultDriftVarPerS is the process-noise rate: how fast the historic
+// estimate's variance inflates between updates. Eq. 4 alone contracts
+// variance monotonically, which would freeze the estimate at the all-day
+// mean; traffic drifts (rush hours build and dissolve), so the tracker
+// must forget. At 0.02 (km/h)^2/s a 30-minute-old belief has gained
+// (6 km/h)^2 of uncertainty — it still dominates a single fresh report
+// but yields to a consistent new window, which is what lets Fig. 10's
+// v_A follow v_T through the day.
+const DefaultDriftVarPerS = 0.02
+
+// Observation is one bus travel-time measurement over the road segments
+// between two (possibly non-adjacent, §III-D skipped-stop merging)
+// consecutive identified stops of a mapped trip.
+type Observation struct {
+	// Segments are the directed road segments covered.
+	Segments []road.SegmentID
+	// LengthM is the total covered length.
+	LengthM float64
+	// FreeKmh is the free-flow automobile speed over the stretch.
+	FreeKmh float64
+	// BTTSeconds is the measured bus travel time (departing previous
+	// stop to arriving at this one).
+	BTTSeconds float64
+	// TimeS is the observation timestamp.
+	TimeS float64
+}
+
+// segState is the per-segment estimator state: the fused historic belief
+// plus the accumulating current window.
+type segState struct {
+	hist   Estimate
+	window stats.Accumulator
+}
+
+// Estimator maintains the per-segment traffic estimates: observations
+// accumulate into a window, and every period the window is folded into
+// the Bayesian belief (Eq. 4). Safe for concurrent use.
+type Estimator struct {
+	mu        sync.Mutex
+	model     Model
+	periodS   float64
+	driftPerS float64
+	segs      map[road.SegmentID]*segState
+	nextS     float64 // next scheduled fold time
+}
+
+// NewEstimator returns an estimator with the given transit model, update
+// period, and process-noise rate (use DefaultDriftVarPerS; 0 disables
+// forgetting and reduces to pure Eq. 4).
+func NewEstimator(model Model, periodS, driftVarPerS float64) (*Estimator, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if periodS <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive period %v", periodS)
+	}
+	if driftVarPerS < 0 {
+		return nil, fmt.Errorf("traffic: negative drift rate %v", driftVarPerS)
+	}
+	return &Estimator{
+		model:     model,
+		periodS:   periodS,
+		driftPerS: driftVarPerS,
+		segs:      make(map[road.SegmentID]*segState),
+		nextS:     periodS,
+	}, nil
+}
+
+// Model returns the transit model in use.
+func (e *Estimator) Model() Model { return e.model }
+
+// AddObservation converts a bus observation to an automobile speed via
+// Eq. 3 and adds it to the current window of every covered segment (the
+// uniform-speed-along-leg assumption). It also advances the periodic
+// fold to the observation time.
+func (e *Estimator) AddObservation(obs Observation) error {
+	if len(obs.Segments) == 0 {
+		return fmt.Errorf("traffic: observation covers no segments")
+	}
+	speed, err := e.model.SpeedKmh(obs.LengthM, obs.FreeKmh, obs.BTTSeconds)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.advanceLocked(obs.TimeS)
+	for _, sid := range obs.Segments {
+		st := e.segs[sid]
+		if st == nil {
+			st = &segState{}
+			e.segs[sid] = st
+		}
+		st.window.Add(speed)
+	}
+	return nil
+}
+
+// Advance folds completed update windows up to the given time. Call it
+// from the clock driver; AddObservation also calls it implicitly.
+func (e *Estimator) Advance(nowS float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.advanceLocked(nowS)
+}
+
+func (e *Estimator) advanceLocked(nowS float64) {
+	for e.nextS <= nowS {
+		for _, st := range e.segs {
+			if st.window.N() == 0 {
+				continue
+			}
+			v := st.window.Mean()
+			varV := st.window.Var()
+			if st.window.N() < 2 || varV <= 0 {
+				varV = DefaultSingleReportVar
+			}
+			st.hist = fuseAt(Inflate(st.hist, e.nextS, e.driftPerS), v, varV, e.nextS)
+			st.window = stats.Accumulator{}
+		}
+		e.nextS += e.periodS
+	}
+}
+
+// fuseAt is Fuse plus the update timestamp.
+func fuseAt(hist Estimate, v, varV, atS float64) Estimate {
+	out := Fuse(hist, v, varV)
+	out.UpdatedS = atS
+	return out
+}
+
+// Get returns the fused estimate for a segment, if any window has been
+// folded for it yet.
+func (e *Estimator) Get(sid road.SegmentID) (Estimate, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.segs[sid]
+	if st == nil || st.hist.Reports == 0 {
+		return Estimate{}, false
+	}
+	return st.hist, true
+}
+
+// Snapshot returns the current fused estimate of every segment with at
+// least one folded report.
+func (e *Estimator) Snapshot() map[road.SegmentID]Estimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[road.SegmentID]Estimate, len(e.segs))
+	for sid, st := range e.segs {
+		if st.hist.Reports > 0 {
+			out[sid] = st.hist
+		}
+	}
+	return out
+}
+
+// CoveredSegments returns the IDs with folded estimates, ascending.
+func (e *Estimator) CoveredSegments() []road.SegmentID {
+	snap := e.Snapshot()
+	out := make([]road.SegmentID, 0, len(snap))
+	for sid := range snap {
+		out = append(out, sid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,189 @@
+// Package tripmap implements the paper's per-trip mapping stage
+// (§III-C(3)): given the time-ordered cluster sequence of a trip, each
+// with a pool of candidate bus stops, find the stop sequence S* that
+// maximizes the Eq. 2 likelihood
+//
+//	S* = argmax_S { p_1(S_1)·s̄_1(S_1) +
+//	                Σ_{i≥2} p_i(S_i)·s̄_i(S_i)·R(S_{i-1}, S_i) }
+//
+// where p and s̄ are the per-cluster candidate statistics and R is the
+// route-order relation (1 when a bus can reach S_i after S_{i-1} on some
+// route, or when the stops are equal; 0 otherwise).
+//
+// The paper describes the search over all N = Π B_k candidate sequences.
+// Because the objective is a sum of per-step terms whose coupling is only
+// between adjacent clusters, a Viterbi-style dynamic program finds the
+// identical argmax in O(n·B²); Resolve uses the DP and ResolveBrute keeps
+// the paper's literal enumeration for cross-checking.
+package tripmap
+
+import (
+	"fmt"
+	"math"
+
+	"busprobe/internal/core/cluster"
+	"busprobe/internal/transit"
+)
+
+// OrderRelation is the route-order oracle R(x, y). *transit.DB
+// implements it.
+type OrderRelation interface {
+	R(x, y transit.StopID) float64
+}
+
+var _ OrderRelation = (*transit.DB)(nil)
+
+// Visit is one resolved bus-stop visit of a mapped trip.
+type Visit struct {
+	Stop transit.StopID
+	// ArriveS and DepartS carry over the cluster's visit window.
+	ArriveS float64
+	DepartS float64
+	// Confidence is the winning candidate's within-cluster support p.
+	Confidence float64
+}
+
+// Result is a mapped trip trajectory.
+type Result struct {
+	Visits []Visit
+	// Score is the maximized Eq. 2 objective.
+	Score float64
+}
+
+// Resolve maps a trip's cluster sequence to its maximum-likelihood stop
+// sequence using the exact dynamic program.
+func Resolve(clusters []cluster.Cluster, order OrderRelation) (Result, error) {
+	if order == nil {
+		return Result{}, fmt.Errorf("tripmap: nil order relation")
+	}
+	n := len(clusters)
+	if n == 0 {
+		return Result{}, nil
+	}
+	for i, c := range clusters {
+		if len(c.Candidates) == 0 {
+			return Result{}, fmt.Errorf("tripmap: cluster %d has no candidates", i)
+		}
+	}
+
+	// dp[i][c]: best prefix objective ending with candidate c at cluster
+	// i; from[i][c]: argmax predecessor index.
+	dp := make([][]float64, n)
+	from := make([][]int, n)
+	for i := range dp {
+		dp[i] = make([]float64, len(clusters[i].Candidates))
+		from[i] = make([]int, len(clusters[i].Candidates))
+	}
+	for c, cand := range clusters[0].Candidates {
+		dp[0][c] = cand.P * cand.AvgScore
+		from[0][c] = -1
+	}
+	for i := 1; i < n; i++ {
+		for c, cand := range clusters[i].Candidates {
+			w := cand.P * cand.AvgScore
+			best, bestPrev := math.Inf(-1), 0
+			for pc, prevCand := range clusters[i-1].Candidates {
+				v := dp[i-1][pc] + w*order.R(prevCand.Stop, cand.Stop)
+				if v > best {
+					best, bestPrev = v, pc
+				}
+			}
+			dp[i][c] = best
+			from[i][c] = bestPrev
+		}
+	}
+
+	// Pick the best terminal candidate (ties broken by candidate order,
+	// which is deterministic: descending p, then score, then stop ID).
+	bestC, bestV := 0, math.Inf(-1)
+	for c, v := range dp[n-1] {
+		if v > bestV {
+			bestC, bestV = c, v
+		}
+	}
+
+	visits := make([]Visit, n)
+	for i, c := n-1, bestC; i >= 0; i-- {
+		cand := clusters[i].Candidates[c]
+		visits[i] = Visit{
+			Stop:       cand.Stop,
+			ArriveS:    clusters[i].ArriveS,
+			DepartS:    clusters[i].DepartS,
+			Confidence: cand.P,
+		}
+		c = from[i][c]
+	}
+	return Result{Visits: visits, Score: bestV}, nil
+}
+
+// MaxBruteSequences bounds ResolveBrute's enumeration; beyond it the
+// call refuses rather than exploding.
+const MaxBruteSequences = 1 << 22
+
+// ResolveBrute enumerates all N = Π B_k candidate sequences and scores
+// Eq. 2 directly — the paper's literal formulation. It exists to
+// cross-check Resolve and for didactic value; use Resolve in production.
+func ResolveBrute(clusters []cluster.Cluster, order OrderRelation) (Result, error) {
+	if order == nil {
+		return Result{}, fmt.Errorf("tripmap: nil order relation")
+	}
+	n := len(clusters)
+	if n == 0 {
+		return Result{}, nil
+	}
+	total := 1
+	for i, c := range clusters {
+		if len(c.Candidates) == 0 {
+			return Result{}, fmt.Errorf("tripmap: cluster %d has no candidates", i)
+		}
+		total *= len(c.Candidates)
+		if total > MaxBruteSequences {
+			return Result{}, fmt.Errorf("tripmap: %d sequences exceed brute-force cap", total)
+		}
+	}
+
+	idx := make([]int, n)
+	best := math.Inf(-1)
+	bestIdx := make([]int, n)
+	for {
+		var score float64
+		for i := 0; i < n; i++ {
+			cand := clusters[i].Candidates[idx[i]]
+			w := cand.P * cand.AvgScore
+			if i == 0 {
+				score += w
+			} else {
+				prev := clusters[i-1].Candidates[idx[i-1]]
+				score += w * order.R(prev.Stop, cand.Stop)
+			}
+		}
+		if score > best {
+			best = score
+			copy(bestIdx, idx)
+		}
+		// Advance the mixed-radix counter.
+		k := n - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < len(clusters[k].Candidates) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+
+	visits := make([]Visit, n)
+	for i := range visits {
+		cand := clusters[i].Candidates[bestIdx[i]]
+		visits[i] = Visit{
+			Stop:       cand.Stop,
+			ArriveS:    clusters[i].ArriveS,
+			DepartS:    clusters[i].DepartS,
+			Confidence: cand.P,
+		}
+	}
+	return Result{Visits: visits, Score: best}, nil
+}

@@ -1,0 +1,252 @@
+package tripmap
+
+import (
+	"math"
+	"testing"
+
+	"busprobe/internal/core/cluster"
+	"busprobe/internal/road"
+	"busprobe/internal/stats"
+	"busprobe/internal/transit"
+)
+
+// Aliases keeping the transit-DB integration test readable.
+type roadNodeID = road.NodeID
+
+func roadDefault() road.GridConfig {
+	cfg := road.DefaultGridConfig()
+	cfg.WidthM = 3000
+	cfg.HeightM = 2000
+	cfg.JitterM = 0
+	return cfg
+}
+
+func roadGrid(cfg road.GridConfig) (*road.Network, error) {
+	return road.GenerateGrid(cfg)
+}
+
+// orderFunc adapts a function to the OrderRelation interface.
+type orderFunc func(x, y transit.StopID) float64
+
+func (f orderFunc) R(x, y transit.StopID) float64 { return f(x, y) }
+
+// lineOrder returns R for a single linear route 0 -> 1 -> ... -> n-1.
+func lineOrder() orderFunc {
+	return func(x, y transit.StopID) float64 {
+		if x == y || y > x {
+			return 1
+		}
+		return 0
+	}
+}
+
+func cl(arrive, depart float64, cands ...cluster.Candidate) cluster.Cluster {
+	return cluster.Cluster{ArriveS: arrive, DepartS: depart, Candidates: cands}
+}
+
+func cand(stop int, p, avg float64) cluster.Candidate {
+	return cluster.Candidate{Stop: transit.StopID(stop), P: p, AvgScore: avg}
+}
+
+func TestResolveCleanTrip(t *testing.T) {
+	clusters := []cluster.Cluster{
+		cl(100, 110, cand(1, 1, 5)),
+		cl(200, 210, cand(2, 1, 5.5)),
+		cl(300, 310, cand(3, 1, 6)),
+	}
+	res, err := Resolve(clusters, lineOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Visits) != 3 {
+		t.Fatalf("visits = %d", len(res.Visits))
+	}
+	for i, v := range res.Visits {
+		if v.Stop != transit.StopID(i+1) {
+			t.Errorf("visit %d stop = %d", i, v.Stop)
+		}
+		if v.Confidence != 1 {
+			t.Errorf("visit %d confidence = %v", i, v.Confidence)
+		}
+	}
+	if res.Visits[0].ArriveS != 100 || res.Visits[0].DepartS != 110 {
+		t.Error("visit window not carried over")
+	}
+	want := 5 + 5.5 + 6.0
+	if math.Abs(res.Score-want) > 1e-9 {
+		t.Errorf("score = %v, want %v", res.Score, want)
+	}
+}
+
+func TestRouteConstraintOverridesPopularity(t *testing.T) {
+	// The middle cluster's most popular candidate (stop 9) is not
+	// reachable from stop 1 on any route; Eq. 2 zeroes its term, so the
+	// less popular but route-consistent stop 2 wins overall.
+	order := orderFunc(func(x, y transit.StopID) float64 {
+		if x == y {
+			return 1
+		}
+		ok := map[[2]transit.StopID]bool{
+			{1, 2}: true, {2, 3}: true, {1, 3}: true,
+		}
+		if ok[[2]transit.StopID{x, y}] {
+			return 1
+		}
+		return 0
+	})
+	clusters := []cluster.Cluster{
+		cl(0, 10, cand(1, 1, 6)),
+		cl(100, 110, cand(9, 0.6, 5), cand(2, 0.4, 5)),
+		cl(200, 210, cand(3, 1, 6)),
+	}
+	res, err := Resolve(clusters, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visits[1].Stop != 2 {
+		t.Errorf("middle visit = %d, want 2 (route-consistent)", res.Visits[1].Stop)
+	}
+	// Expected objective: 6 + 0.4*5 + 6.
+	if math.Abs(res.Score-14) > 1e-9 {
+		t.Errorf("score = %v, want 14", res.Score)
+	}
+}
+
+func TestResolveEmptyAndErrors(t *testing.T) {
+	res, err := Resolve(nil, lineOrder())
+	if err != nil || len(res.Visits) != 0 {
+		t.Errorf("empty input: %+v %v", res, err)
+	}
+	if _, err := Resolve([]cluster.Cluster{{}}, lineOrder()); err == nil {
+		t.Error("want error for empty candidate pool")
+	}
+	if _, err := Resolve([]cluster.Cluster{cl(0, 1, cand(1, 1, 5))}, nil); err == nil {
+		t.Error("want error for nil order")
+	}
+	if _, err := ResolveBrute([]cluster.Cluster{{}}, lineOrder()); err == nil {
+		t.Error("brute: want error for empty pool")
+	}
+	if _, err := ResolveBrute(nil, nil); err == nil {
+		t.Error("brute: want error for nil order")
+	}
+}
+
+func TestDPEqualsBruteForceProperty(t *testing.T) {
+	// On random instances the DP and the paper's literal enumeration
+	// must agree on the maximized objective (argmax sequences may
+	// differ under exact ties, the score may not).
+	rng := stats.NewRNG(77)
+	// Random sparse order relation over 8 stops, reflexive.
+	for trial := 0; trial < 300; trial++ {
+		allowed := make(map[[2]transit.StopID]bool)
+		for i := 0; i < 20; i++ {
+			x := transit.StopID(rng.Intn(8))
+			y := transit.StopID(rng.Intn(8))
+			allowed[[2]transit.StopID{x, y}] = true
+		}
+		order := orderFunc(func(x, y transit.StopID) float64 {
+			if x == y || allowed[[2]transit.StopID{x, y}] {
+				return 1
+			}
+			return 0
+		})
+		n := 1 + rng.Intn(5)
+		clusters := make([]cluster.Cluster, n)
+		tcur := 0.0
+		for i := range clusters {
+			k := 1 + rng.Intn(3)
+			cands := make([]cluster.Candidate, k)
+			for j := range cands {
+				cands[j] = cand(rng.Intn(8), rng.Range(0.1, 1), rng.Range(2, 7))
+			}
+			tcur += rng.Range(60, 300)
+			clusters[i] = cl(tcur, tcur+rng.Range(5, 30), cands...)
+		}
+		dp, err := Resolve(clusters, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := ResolveBrute(clusters, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dp.Score-bf.Score) > 1e-9 {
+			t.Fatalf("trial %d: DP score %v != brute %v", trial, dp.Score, bf.Score)
+		}
+		if len(dp.Visits) != len(bf.Visits) {
+			t.Fatalf("trial %d: visit counts differ", trial)
+		}
+	}
+}
+
+func TestBruteForceCap(t *testing.T) {
+	// 23 clusters of 2 candidates exceed 2^22.
+	clusters := make([]cluster.Cluster, 23)
+	for i := range clusters {
+		clusters[i] = cl(float64(i*100), float64(i*100+10),
+			cand(1, 0.5, 5), cand(2, 0.5, 5))
+	}
+	if _, err := ResolveBrute(clusters, lineOrder()); err == nil {
+		t.Error("want error beyond enumeration cap")
+	}
+	// The DP handles it fine.
+	if _, err := Resolve(clusters, lineOrder()); err != nil {
+		t.Errorf("DP failed: %v", err)
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	clusters := []cluster.Cluster{
+		cl(0, 10, cand(1, 0.5, 5), cand(2, 0.5, 5)),
+		cl(100, 110, cand(3, 0.5, 5), cand(4, 0.5, 5)),
+	}
+	a, err := Resolve(clusters, lineOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := Resolve(clusters, lineOrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a.Visits {
+			if a.Visits[j].Stop != b.Visits[j].Stop {
+				t.Fatal("resolution not deterministic")
+			}
+		}
+	}
+}
+
+func TestRealTransitDBOrder(t *testing.T) {
+	// Wire the real transit.DB in as the OrderRelation.
+	cfg := roadDefault()
+	net, err := roadGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := transit.NewBuilder(net)
+	nodes := []int{0, 1, 2, 3, 4}
+	ids := make([]roadNodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = roadNodeID(n)
+	}
+	if err := bl.AddRoute("T", "", ids, 480); err != nil {
+		t.Fatal(err)
+	}
+	db := bl.Build()
+	rt := db.Route("T")
+	clusters := []cluster.Cluster{
+		cl(0, 10, cand(int(rt.Stops[0]), 1, 6)),
+		cl(100, 110, cand(int(rt.Stops[4]), 0.5, 5), cand(int(rt.Stops[2]), 0.5, 5)),
+		cl(200, 210, cand(int(rt.Stops[3]), 1, 6)),
+	}
+	res, err := Resolve(clusters, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop[4] cannot be followed by Stop[3]; stop[2] keeps the chain
+	// alive (its successor term counts), so it must win.
+	if res.Visits[1].Stop != rt.Stops[2] {
+		t.Errorf("visit 1 = %d, want %d", res.Visits[1].Stop, rt.Stops[2])
+	}
+}

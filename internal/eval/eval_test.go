@@ -1,0 +1,472 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"busprobe/internal/sim"
+)
+
+// sharedLab caches the small lab across tests (building worlds and
+// fingerprint surveys repeatedly would dominate test time).
+var (
+	labOnce sync.Once
+	labVal  *Lab
+	labErr  error
+)
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() { labVal, labErr = SmallLab() })
+	if labErr != nil {
+		t.Fatal(labErr)
+	}
+	return labVal
+}
+
+// sharedRun caches a one-day intensive campaign run.
+var (
+	runOnce sync.Once
+	runVal  *CampaignRun
+	runErr  error
+)
+
+func campaignRun(t *testing.T) *CampaignRun {
+	t.Helper()
+	l := lab(t)
+	runOnce.Do(func() {
+		cfg := sim.DefaultCampaignConfig()
+		cfg.Days = 1
+		cfg.Participants = 14
+		cfg.SparseTripsPerDay = 6
+		cfg.IntensiveFromDay = 0
+		cfg.IntensiveTripsPerDay = 6
+		runVal, runErr = RunCampaign(l, cfg, 300)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return runVal
+}
+
+func TestFig1GPSError(t *testing.T) {
+	rep, err := Fig1GPSError(20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := rep.Metric("stationary_median"); m < 35 || m > 45 {
+		t.Errorf("stationary median = %v, want ~40", m)
+	}
+	if m := rep.Metric("onbus_median"); m < 60 || m > 76 {
+		t.Errorf("on-bus median = %v, want ~68", m)
+	}
+	if p := rep.Metric("onbus_p90"); p < 260 || p > 340 {
+		t.Errorf("on-bus p90 = %v, want ~300", p)
+	}
+	if rep.Metric("onbus_median") <= rep.Metric("stationary_median") {
+		t.Error("on-bus should be worse than stationary")
+	}
+	if _, err := Fig1GPSError(0, 1); err == nil {
+		t.Error("want error for zero samples")
+	}
+}
+
+func TestFig2bSelfSimilarityShape(t *testing.T) {
+	rep, err := Fig2bSelfSimilarity(lab(t), nil, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~90% >= 3, >50% >= 4. Our radio model lands close; assert
+	// the conservative shape.
+	if g3 := rep.Metric("ge3"); g3 < 0.6 {
+		t.Errorf("P(score>=3) = %v, want high", g3)
+	}
+	if g4 := rep.Metric("ge4"); g4 < 0.35 {
+		t.Errorf("P(score>=4) = %v, want > 0.35", g4)
+	}
+}
+
+func TestFig2cCrossSimilarityShape(t *testing.T) {
+	rep, err := Fig2cCrossSimilarity(lab(t), nil, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := rep.Metric("zero_eff"); z < 0.6 {
+		t.Errorf("P(score=0) effective = %v, want > 0.6 (paper 0.7)", z)
+	}
+	if lt2 := rep.Metric("lt2_eff"); lt2 < 0.9 {
+		t.Errorf("P(score<2) effective = %v, want > 0.9 (paper 0.94)", lt2)
+	}
+	// Effective treatment removes opposite-platform pairs, so it can
+	// only look cleaner than overall.
+	if rep.Metric("lt2_eff") < rep.Metric("lt2_overall")-1e-9 {
+		t.Error("effective distribution should dominate overall")
+	}
+}
+
+func TestSelfVsCrossSeparation(t *testing.T) {
+	// The core premise: same-stop similarity must exceed the gamma
+	// threshold far more often than cross-stop similarity.
+	self, err := Fig2bSelfSimilarity(lab(t), nil, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := Fig2cCrossSimilarity(lab(t), nil, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfAbove := self.Metric("ge3")
+	crossBelow := cross.Metric("lt2_eff")
+	if selfAbove < 0.5 || crossBelow < 0.9 {
+		t.Errorf("separation broken: self>=3 %v, cross<2 %v", selfAbove, crossBelow)
+	}
+}
+
+func TestFig3ExampleArea(t *testing.T) {
+	rep, err := Fig3ExampleArea(lab(t), "179", 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("stops") != 10 {
+		t.Errorf("stops = %v", rep.Metric("stops"))
+	}
+	// Adjacent stops should essentially always differ.
+	if d := rep.Metric("distinct"); d < 9 {
+		t.Errorf("distinct fingerprints = %v of 10", d)
+	}
+	if !strings.Contains(rep.Text, "S0") {
+		t.Error("report missing stop names")
+	}
+	if _, err := Fig3ExampleArea(lab(t), "nope", 5, 4); err == nil {
+		t.Error("want error for unknown route")
+	}
+}
+
+func TestTableIMatchingInstance(t *testing.T) {
+	rep := TableIMatchingInstance()
+	if s := rep.Metric("score"); s != 2.4 {
+		t.Errorf("score = %v, want 2.4", s)
+	}
+	if rep.Metric("matches") != 3 || rep.Metric("mismatches") != 1 || rep.Metric("gaps") != 1 {
+		t.Errorf("composition wrong: %+v", rep.Metrics)
+	}
+}
+
+func TestFig5EpsilonSweepShape(t *testing.T) {
+	rep, err := Fig5EpsilonSweep(lab(t), "243", 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc06 := rep.Metric("acc_0.6")
+	if acc06 < 0.85 {
+		t.Errorf("accuracy at eps=0.6 = %v", acc06)
+	}
+	// The deployed epsilon sits on the plateau: within 10% of the best,
+	// and clearly better than the extreme.
+	if best := rep.Metric("best_acc"); acc06 < best-0.1 {
+		t.Errorf("eps=0.6 accuracy %v far from best %v", acc06, best)
+	}
+	if acc20 := rep.Metric("acc_2.0"); acc20 >= acc06 {
+		t.Errorf("eps=2.0 accuracy %v should be below plateau %v", acc20, acc06)
+	}
+	if _, err := Fig5EpsilonSweep(lab(t), "243", 0, 7); err == nil {
+		t.Error("want error for zero rides")
+	}
+}
+
+func TestTableIIStopIdentificationShape(t *testing.T) {
+	rep, err := TableIIStopIdentification(lab(t), 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rep.Metric("worst_route_rate"); r > 0.08 {
+		t.Errorf("worst route error rate %v exceeds the paper's 8%%", r)
+	}
+	if n := rep.Metric("total_evaluated"); n < 100 {
+		t.Errorf("only %v visits evaluated", n)
+	}
+	// Errors overwhelmingly one stop away (paper: 16/17 on route 241).
+	if rep.Metric("overall_error_rate") > 0 && rep.Metric("one_stop_share") < 0.5 {
+		t.Errorf("one-stop share = %v", rep.Metric("one_stop_share"))
+	}
+}
+
+func TestFig9TrafficMapShape(t *testing.T) {
+	run := campaignRun(t)
+	rep, err := Fig9TrafficMap(lab(t), 0, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("evening_segments") == 0 {
+		t.Fatal("no evening estimates")
+	}
+	// Morning rush must read slower than 17:00 (pre-evening-peak), as
+	// in the paper's region — on the paired, freshness-filtered,
+	// free-flow-normalized comparison.
+	if rep.Metric("paired_n") < 3 {
+		t.Fatalf("too few paired segments: %v", rep.Metric("paired_n"))
+	}
+	if rep.Metric("paired_morning") >= rep.Metric("paired_evening") {
+		t.Errorf("morning ratio %v not below evening %v",
+			rep.Metric("paired_morning"), rep.Metric("paired_evening"))
+	}
+	if cov := rep.Metric("coverage"); cov < 0.15 {
+		t.Errorf("coverage = %v", cov)
+	}
+}
+
+func TestFig10SegmentSeriesShape(t *testing.T) {
+	run := campaignRun(t)
+	rep, err := Fig10SegmentSeries(lab(t), run, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("points_A") < 10 {
+		t.Fatalf("segment A has only %v windows", rep.Metric("points_A"))
+	}
+	// v_A tracks v_T's variation.
+	if c := rep.Metric("corr_A"); c < 0.3 {
+		t.Errorf("correlation A = %v", c)
+	}
+	// Light traffic shows the positive taxi gap; congestion does not.
+	if rep.Metric("high_speed_gap") <= rep.Metric("low_speed_gap") {
+		t.Errorf("gap shape wrong: high %v <= low %v",
+			rep.Metric("high_speed_gap"), rep.Metric("low_speed_gap"))
+	}
+}
+
+func TestFig11SpeedDifferenceShape(t *testing.T) {
+	run := campaignRun(t)
+	rep, err := Fig11SpeedDifference(lab(t), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowN, highN := rep.Metric("low_n"), rep.Metric("high_n")
+	if lowN == 0 {
+		t.Fatal("no low-speed windows")
+	}
+	if highN > 0 && rep.Metric("high_median") <= rep.Metric("low_median") {
+		t.Errorf("dv shape wrong: high %v <= low %v",
+			rep.Metric("high_median"), rep.Metric("low_median"))
+	}
+}
+
+func TestTableIIIPower(t *testing.T) {
+	rep, err := TableIIIPower(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rep.Metric("gps_app_ratio"); r < 4 {
+		t.Errorf("GPS/app power ratio = %v, want > 4", r)
+	}
+	if !strings.Contains(rep.Text, "GPS+Mic(Goertzel)") {
+		t.Error("table missing rows")
+	}
+	htcGPS := rep.Metric("HTC Sensation/GPS")
+	if htcGPS < 300 || htcGPS > 380 {
+		t.Errorf("HTC GPS power = %v, want ~340", htcGPS)
+	}
+}
+
+func TestGoertzelVsFFT(t *testing.T) {
+	rep, err := GoertzelVsFFT(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Metric("speedup"); s < 1.5 {
+		t.Errorf("Goertzel speedup = %v, want > 1.5x", s)
+	}
+	if _, err := GoertzelVsFFT(0); err == nil {
+		t.Error("want error for zero iterations")
+	}
+}
+
+func TestAblationMismatchPenalty(t *testing.T) {
+	rep, err := AblationMismatchPenalty(lab(t), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc03 := rep.Metric("acc_0.3")
+	if acc03 < 0.8 {
+		t.Errorf("accuracy at penalty 0.3 = %v", acc03)
+	}
+	// The paper's 0.3 should be at or near the sweep's best.
+	if best := rep.Metric("best_acc"); acc03 < best-0.05 {
+		t.Errorf("penalty 0.3 accuracy %v far from best %v", acc03, best)
+	}
+}
+
+func TestAblationFusion(t *testing.T) {
+	rep, err := AblationFusion(lab(t), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("bayes_err") >= rep.Metric("naive_err") {
+		t.Errorf("fusion did not improve: %v vs %v",
+			rep.Metric("bayes_err"), rep.Metric("naive_err"))
+	}
+}
+
+func TestAblationGPSBaseline(t *testing.T) {
+	rep, err := AblationGPSBaseline(lab(t), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("cell_acc") <= rep.Metric("gps_acc") {
+		t.Errorf("cellular %v not above GPS %v",
+			rep.Metric("cell_acc"), rep.Metric("gps_acc"))
+	}
+	if rep.Metric("cell_acc") < 0.85 {
+		t.Errorf("cellular accuracy = %v", rep.Metric("cell_acc"))
+	}
+}
+
+func TestGoogleIndicatorLevels(t *testing.T) {
+	l := lab(t)
+	g := NewGoogleIndicator(l.World.Field)
+	seg := pickBusySegments(l, 1)[0]
+	rush := g.LevelAt(seg, 8.5*3600)
+	off := g.LevelAt(seg, 13*3600)
+	if rush > off {
+		t.Errorf("rush level %v should not be freer than off-peak %v", rush, off)
+	}
+	if IndicatorVerySlow.String() != "very slow" || IndicatorLevel(99).String() != "unknown" {
+		t.Error("indicator strings wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Name: "X", Text: "body", Metrics: map[string]float64{"a": 1}}
+	s := rep.String()
+	if !strings.Contains(s, "=== X ===") || !strings.Contains(s, "body") {
+		t.Errorf("report string = %q", s)
+	}
+	if rep.Metric("missing") != 0 {
+		t.Error("missing metric should be 0")
+	}
+}
+
+func TestExtRegionInference(t *testing.T) {
+	run := campaignRun(t)
+	rep, err := ExtRegionInference(lab(t), run, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("evaluated") == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	// The zone model must beat (or at least match) the global-mean
+	// baseline, and both must be sane.
+	if rep.Metric("zone_rel_err") > rep.Metric("base_rel_err")+0.02 {
+		t.Errorf("zone model %v worse than baseline %v",
+			rep.Metric("zone_rel_err"), rep.Metric("base_rel_err"))
+	}
+	if rep.Metric("zone_rel_err") > 0.5 {
+		t.Errorf("zone relative error %v too high", rep.Metric("zone_rel_err"))
+	}
+	idx := rep.Metric("overall_index")
+	if idx <= 0.1 || idx >= 1.0 {
+		t.Errorf("overall index %v implausible", idx)
+	}
+}
+
+func TestExtArrivalPrediction(t *testing.T) {
+	run := campaignRun(t)
+	rep, err := ExtArrivalPrediction(lab(t), run, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("runs") == 0 {
+		t.Fatal("no runs evaluated")
+	}
+	// At rush the live traffic map must improve terminal ETA over the
+	// schedule-only fallback.
+	if rep.Metric("rush_live_mae_s") >= rep.Metric("rush_sched_mae_s") {
+		t.Errorf("rush live MAE %v not below schedule-only %v",
+			rep.Metric("rush_live_mae_s"), rep.Metric("rush_sched_mae_s"))
+	}
+	// And be useful in absolute terms (minutes, not tens of minutes).
+	if rep.Metric("rush_live_mae_s") > 600 {
+		t.Errorf("rush live MAE %v s too large", rep.Metric("rush_live_mae_s"))
+	}
+}
+
+func TestExtParticipationSweep(t *testing.T) {
+	rep, err := ExtParticipationSweep(lab(t), []int{4, 16}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More participants -> at least as much coverage and more trips.
+	if rep.Metric("n16_covered") < rep.Metric("n4_covered") {
+		t.Errorf("coverage did not grow: %v -> %v",
+			rep.Metric("n4_covered"), rep.Metric("n16_covered"))
+	}
+	if rep.Metric("n16_trips") <= rep.Metric("n4_trips") {
+		t.Errorf("trips did not grow: %v -> %v",
+			rep.Metric("n4_trips"), rep.Metric("n16_trips"))
+	}
+	if _, err := ExtParticipationSweep(lab(t), nil, 9); err == nil {
+		t.Error("want error for empty sweep")
+	}
+}
+
+func TestBeepDetectionSweep(t *testing.T) {
+	rep, err := BeepDetectionSweep([]float64{0.05, 2.0}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean audio: full recall, no false alarms.
+	if rep.Metric("noise0.05_recall") < 0.99 {
+		t.Errorf("clean recall = %v", rep.Metric("noise0.05_recall"))
+	}
+	if rep.Metric("noise0.05_false_per_min") > 0.5 {
+		t.Errorf("clean false rate = %v", rep.Metric("noise0.05_false_per_min"))
+	}
+	// Overwhelming noise (tone buried 8x under the noise floor)
+	// degrades recall.
+	if rep.Metric("noise2.00_recall") >= rep.Metric("noise0.05_recall")-1e-9 {
+		t.Errorf("recall did not degrade with noise: %v vs %v",
+			rep.Metric("noise2.00_recall"), rep.Metric("noise0.05_recall"))
+	}
+	if _, err := BeepDetectionSweep(nil, 9); err == nil {
+		t.Error("want error for empty sweep")
+	}
+}
+
+func TestAblationWeather(t *testing.T) {
+	rep, err := AblationWeather(lab(t), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy holds across the weather range (rank matching absorbs
+	// the global shift).
+	for _, key := range []string{"acc_-1.0", "acc_+0.0", "acc_+1.0"} {
+		if rep.Metric(key) < 0.8 {
+			t.Errorf("%s = %v", key, rep.Metric(key))
+		}
+	}
+	if _, err := AblationWeather(lab(t), 0, 6); err == nil {
+		t.Error("want error for zero trials")
+	}
+}
+
+func TestExtPortability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full cities")
+	}
+	rep, err := ExtPortability(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both cities must clear the paper's 8% bar with the same constants.
+	if rep.Metric("sg_worst") > 0.08 {
+		t.Errorf("Singapore worst-route rate %v", rep.Metric("sg_worst"))
+	}
+	if rep.Metric("ldn_worst") > 0.08 {
+		t.Errorf("London worst-route rate %v", rep.Metric("ldn_worst"))
+	}
+	if _, err := ExtPortability(0, 4); err == nil {
+		t.Error("want error for zero runs")
+	}
+}

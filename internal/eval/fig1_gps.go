@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"fmt"
+
+	"busprobe/internal/gps"
+	"busprobe/internal/stats"
+)
+
+// Fig1GPSError regenerates Fig. 1: the CDF of GPS localization errors in
+// the downtown canyon, stationary vs mobile on buses. The paper measured
+// medians of 40 m / 68 m and 90th percentiles of 175 m / 300 m.
+func Fig1GPSError(samples int, seed uint64) (Report, error) {
+	if samples <= 0 {
+		return Report{}, fmt.Errorf("eval: non-positive sample count")
+	}
+	rng := stats.NewRNG(seed).Fork("fig1")
+	draw := func(m gps.ErrorModel) (*stats.ECDF, error) {
+		e := &stats.ECDF{}
+		for i := 0; i < samples; i++ {
+			v, err := m.SampleError(rng)
+			if err != nil {
+				return nil, err
+			}
+			e.Add(v)
+		}
+		return e, nil
+	}
+	st, err := draw(gps.StationaryDowntown)
+	if err != nil {
+		return Report{}, err
+	}
+	ob, err := draw(gps.OnBusDowntown)
+	if err != nil {
+		return Report{}, err
+	}
+
+	tbl := newTable("GPS error (m)", "CDF stationary", "CDF on-bus")
+	for _, x := range []float64{10, 25, 40, 68, 100, 150, 175, 200, 300, 400} {
+		tbl.addRowf("%v|%.3f|%.3f", x, st.At(x), ob.At(x))
+	}
+	text := tbl.String() +
+		fmt.Sprintf("\nstationary: median %.0f m, p90 %.0f m (paper: 40, 175)\n",
+			st.Median(), st.Percentile(90)) +
+		fmt.Sprintf("on-bus:     median %.0f m, p90 %.0f m (paper: 68, 300)\n",
+			ob.Median(), ob.Percentile(90))
+
+	return Report{
+		Name: "Fig. 1 — GPS localization error CDF (downtown)",
+		Text: text,
+		Metrics: map[string]float64{
+			"stationary_median": st.Median(),
+			"stationary_p90":    st.Percentile(90),
+			"onbus_median":      ob.Median(),
+			"onbus_p90":         ob.Percentile(90),
+		},
+	}, nil
+}

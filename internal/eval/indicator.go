@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"busprobe/internal/road"
+	"busprobe/internal/sim"
+)
+
+// IndicatorLevel is the coarse 4-level traffic indication the paper
+// compares against (Fig. 10's "Google Maps indicator": very slow, slow,
+// normal, fast — coarse in both value and time).
+type IndicatorLevel int
+
+// Indicator levels, most congested first.
+const (
+	IndicatorVerySlow IndicatorLevel = iota + 1
+	IndicatorSlow
+	IndicatorNormal
+	IndicatorFast
+)
+
+// String implements fmt.Stringer.
+func (l IndicatorLevel) String() string {
+	switch l {
+	case IndicatorVerySlow:
+		return "very slow"
+	case IndicatorSlow:
+		return "slow"
+	case IndicatorNormal:
+		return "normal"
+	case IndicatorFast:
+		return "fast"
+	default:
+		return "unknown"
+	}
+}
+
+// GoogleIndicator mimics a consumer map product's traffic layer: it
+// observes the true speed field but quantizes it to four levels and a
+// coarse 30-minute time granularity — rough and laggy compared to the
+// paper's estimates, exactly the contrast Fig. 10 draws.
+type GoogleIndicator struct {
+	field *sim.Field
+	// WindowS is the time quantization (30 min).
+	WindowS float64
+}
+
+// NewGoogleIndicator returns the comparator over the ground-truth field.
+func NewGoogleIndicator(field *sim.Field) *GoogleIndicator {
+	return &GoogleIndicator{field: field, WindowS: 1800}
+}
+
+// LevelAt returns the indicated level for a segment at time t.
+func (g *GoogleIndicator) LevelAt(sid road.SegmentID, t float64) IndicatorLevel {
+	mid := (float64(int(t/g.WindowS)) + 0.5) * g.WindowS
+	v := g.field.CarKmh(sid, mid)
+	switch {
+	case v < 20:
+		return IndicatorVerySlow
+	case v < 35:
+		return IndicatorSlow
+	case v < 50:
+		return IndicatorNormal
+	default:
+		return IndicatorFast
+	}
+}

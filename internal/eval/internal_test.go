@@ -1,0 +1,214 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"busprobe/internal/core/cluster"
+	"busprobe/internal/stats"
+	"busprobe/internal/transit"
+)
+
+func elemAt(t float64, stop int, score float64) cluster.Element {
+	return cluster.Element{TimeS: t, Stop: transit.StopID(stop), Score: score}
+}
+
+func TestPartitionAccuracyPerfect(t *testing.T) {
+	elems := []cluster.Element{
+		elemAt(10, 1, 5), elemAt(12, 1, 5),
+		elemAt(100, 2, 5),
+	}
+	elemTruth := []int{0, 0, 1}
+	truth := []visitTruth{
+		{Stop: 1, ElemIdx: []int{0, 1}},
+		{Stop: 2, ElemIdx: []int{2}},
+	}
+	clusters := []cluster.Cluster{
+		{Elements: elems[:2]},
+		{Elements: elems[2:]},
+	}
+	if acc := partitionAccuracy(clusters, elems, elemTruth, truth); acc != 1 {
+		t.Errorf("accuracy = %v, want 1", acc)
+	}
+}
+
+func TestPartitionAccuracySplitCluster(t *testing.T) {
+	elems := []cluster.Element{
+		elemAt(10, 1, 5), elemAt(12, 1, 5),
+	}
+	elemTruth := []int{0, 0}
+	truth := []visitTruth{{Stop: 1, ElemIdx: []int{0, 1}}}
+	// The visit's samples were split into two clusters: not recovered.
+	clusters := []cluster.Cluster{
+		{Elements: elems[:1]},
+		{Elements: elems[1:]},
+	}
+	if acc := partitionAccuracy(clusters, elems, elemTruth, truth); acc != 0 {
+		t.Errorf("accuracy = %v, want 0", acc)
+	}
+}
+
+func TestPartitionAccuracySkipsEmptyVisits(t *testing.T) {
+	elems := []cluster.Element{elemAt(10, 1, 5)}
+	elemTruth := []int{1}
+	truth := []visitTruth{
+		{Stop: 5, ElemIdx: nil}, // all samples dropped by gamma
+		{Stop: 1, ElemIdx: []int{0}},
+	}
+	clusters := []cluster.Cluster{{Elements: elems}}
+	if acc := partitionAccuracy(clusters, elems, elemTruth, truth); acc != 1 {
+		t.Errorf("accuracy = %v, want 1 (empty visit excluded)", acc)
+	}
+	if acc := partitionAccuracy(nil, nil, nil, nil); acc != 0 {
+		t.Error("empty truth should be 0")
+	}
+}
+
+func TestClusterTruthIndexMajority(t *testing.T) {
+	elems := []cluster.Element{
+		elemAt(10, 1, 5), elemAt(12, 9, 3), elemAt(14, 1, 5),
+	}
+	elemTruth := []int{0, 0, 0}
+	clusters := []cluster.Cluster{{Elements: elems}}
+	owner := clusterTruthIndex(clusters, elems, elemTruth)
+	if len(owner) != 1 || owner[0] != 0 {
+		t.Errorf("owner = %v", owner)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	up := []float64{2, 4, 6, 8}
+	down := []float64{8, 6, 4, 2}
+	if r := pearson(x, up); math.Abs(r-1) > 1e-9 {
+		t.Errorf("positive corr = %v", r)
+	}
+	if r := pearson(x, down); math.Abs(r+1) > 1e-9 {
+		t.Errorf("negative corr = %v", r)
+	}
+	if r := pearson(x, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("flat corr = %v", r)
+	}
+	if r := pearson([]float64{1}, []float64{1}); r != 0 {
+		t.Errorf("short corr = %v", r)
+	}
+	if r := pearson(x, x[:2]); r != 0 {
+		t.Errorf("mismatched corr = %v", r)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := newTable("a", "bb")
+	tbl.addRowf("%d|%s", 1, "x")
+	tbl.addRow("123", "y")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	// Columns align: "123" widens column a to 3.
+	if !strings.Contains(lines[3], "123  y") {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := sortedKeys(map[string]float64{"b": 1, "a": 2, "c": 3})
+	if strings.Join(keys, "") != "abc" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestPickBusySegments(t *testing.T) {
+	l := lab(t)
+	segs := pickBusySegments(l, 3)
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	counts := l.World.Transit.CoverageByRouteCount()
+	if counts[segs[0]] < counts[segs[1]] {
+		t.Error("not sorted by route count")
+	}
+}
+
+func TestSimulateMatchedRideInvariants(t *testing.T) {
+	l := lab(t)
+	rt := l.World.Transit.Routes()[0]
+	rng := stats.NewRNG(3)
+	elems, elemTruth, truth, err := simulateMatchedRide(l, rt, 9*3600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != len(elemTruth) {
+		t.Fatal("elem/truth length mismatch")
+	}
+	if len(truth) != rt.NumStops() {
+		t.Fatalf("truth visits = %d, want %d", len(truth), rt.NumStops())
+	}
+	// Timestamps strictly increase and truth indices are ordered.
+	for i := 1; i < len(elems); i++ {
+		if elems[i].TimeS <= elems[i-1].TimeS {
+			t.Fatal("element times not strictly increasing")
+		}
+		if elemTruth[i] < elemTruth[i-1] {
+			t.Fatal("truth indices not monotone")
+		}
+	}
+	// Every referenced element index is consistent.
+	for vi, vt := range truth {
+		for _, idx := range vt.ElemIdx {
+			if elemTruth[idx] != vi {
+				t.Fatalf("visit %d references element of visit %d", vi, elemTruth[idx])
+			}
+		}
+	}
+	if _, _, _, err := simulateMatchedRide(l, nil, 0, rng); err == nil {
+		t.Error("want error for nil route")
+	}
+}
+
+func TestSimulateActualRunMonotone(t *testing.T) {
+	l := lab(t)
+	rt := l.World.Transit.Routes()[0]
+	rng := stats.NewRNG(4)
+	arr, err := simulateActualRun(l, rt, 8*3600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != rt.NumLegs() {
+		t.Fatalf("arrivals = %d, want %d", len(arr), rt.NumLegs())
+	}
+	prev := 8 * 3600.0
+	for i, a := range arr {
+		if a <= prev {
+			t.Fatalf("arrival %d not after previous", i)
+		}
+		prev = a
+	}
+	if _, err := simulateActualRun(l, nil, 0, rng); err == nil {
+		t.Error("want error for nil route")
+	}
+}
+
+func TestRushRunSlowerThanMidday(t *testing.T) {
+	l := lab(t)
+	rt := l.World.Transit.Routes()[0]
+	rng := stats.NewRNG(5)
+	rush, err := simulateActualRun(l, rt, 8.2*3600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := simulateActualRun(l, rt, 13*3600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rushDur := rush[len(rush)-1] - 8.2*3600
+	midDur := mid[len(mid)-1] - 13*3600
+	if rushDur <= midDur {
+		t.Errorf("rush run %v s not slower than midday %v s", rushDur, midDur)
+	}
+}

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"fmt"
+
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/server"
+	"busprobe/internal/sim"
+	"busprobe/internal/transit"
+)
+
+// Lab bundles the simulated deployment every experiment runs against:
+// the world, the backend configuration, and a surveyed fingerprint
+// database.
+type Lab struct {
+	World *sim.World
+	Cfg   server.Config
+	FPDB  *fingerprint.DB
+}
+
+// NewLab assembles a lab over a world configuration.
+func NewLab(worldCfg sim.WorldConfig, surveyRuns int) (*Lab, error) {
+	w, err := sim.BuildWorld(worldCfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := server.DefaultConfig()
+	fpdb, err := server.BuildFingerprintDB(w.Cells, w.Transit, surveyRuns, cfg, worldCfg.Seed^0xf9)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{World: w, Cfg: cfg, FPDB: fpdb}, nil
+}
+
+// DefaultLab builds the paper-scale deployment (7 km x 4 km, 8 routes).
+func DefaultLab() (*Lab, error) {
+	return NewLab(sim.DefaultWorldConfig(), 4)
+}
+
+// SmallLab builds a compact deployment for fast test runs.
+func SmallLab() (*Lab, error) {
+	cfg := sim.DefaultWorldConfig()
+	cfg.Road.WidthM = 4000
+	cfg.Road.HeightM = 2500
+	cfg.Plan.RouteIDs = []transit.RouteID{"179", "199", "243", "252"}
+	cfg.Plan.MinStops = 8
+	cfg.Plan.MaxStops = 14
+	return NewLab(cfg, 4)
+}
+
+// NewBackend creates a fresh backend over the lab's databases.
+func (l *Lab) NewBackend() (*server.Backend, error) {
+	return server.NewBackend(l.Cfg, l.World.Transit, l.FPDB)
+}
+
+// routeOrDie fetches a route that must exist in the lab's plan.
+func (l *Lab) route(id transit.RouteID) (*transit.Route, error) {
+	rt := l.World.Transit.Route(id)
+	if rt == nil {
+		return nil, fmt.Errorf("eval: route %s not in plan", id)
+	}
+	return rt, nil
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"fmt"
+
+	"busprobe/internal/sim"
+)
+
+// ExtPortability reproduces the paper's §VI portability claim: the
+// identical pipeline — only configuration swapped — deployed on a
+// London-style city (Oyster-era route names, denser grid, slower buses,
+// different radio plan) must deliver the same identification quality as
+// the Singapore deployment. Runs the Table II protocol on both cities
+// and compares.
+func ExtPortability(runs int, seed uint64) (Report, error) {
+	if runs <= 0 {
+		return Report{}, fmt.Errorf("eval: non-positive run count")
+	}
+	type cityResult struct {
+		name string
+		rep  Report
+	}
+	var results []cityResult
+
+	cities := []struct {
+		name string
+		cfg  sim.WorldConfig
+	}{
+		{"Singapore (Jurong West)", sim.DefaultWorldConfig()},
+		{"London (inner)", sim.LondonWorldConfig()},
+	}
+	for _, city := range cities {
+		lab, err := NewLab(city.cfg, 4)
+		if err != nil {
+			return Report{}, fmt.Errorf("eval: %s: %w", city.name, err)
+		}
+		rep, err := TableIIStopIdentification(lab, runs, seed)
+		if err != nil {
+			return Report{}, fmt.Errorf("eval: %s: %w", city.name, err)
+		}
+		results = append(results, cityResult{name: city.name, rep: rep})
+	}
+
+	tbl := newTable("city", "visits evaluated", "error rate", "worst route")
+	metrics := make(map[string]float64)
+	for i, r := range results {
+		tbl.addRowf("%s|%.0f|%.1f%%|%.1f%%",
+			r.name,
+			r.rep.Metric("total_evaluated"),
+			100*r.rep.Metric("overall_error_rate"),
+			100*r.rep.Metric("worst_route_rate"))
+		prefix := []string{"sg", "ldn"}[i]
+		metrics[prefix+"_error_rate"] = r.rep.Metric("overall_error_rate")
+		metrics[prefix+"_worst"] = r.rep.Metric("worst_route_rate")
+	}
+	text := tbl.String() +
+		"\nthe same binaries and constants (gamma=2, eps=0.6, penalty=0.3) hold on both cities;\n" +
+		"only the city configuration (routes, radio plan, beep profile) changes\n"
+	return Report{
+		Name:    "§VI — portability: identical pipeline on a second city",
+		Text:    text,
+		Metrics: metrics,
+	}, nil
+}

@@ -1,0 +1,109 @@
+// Package eval is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§III-A measurement study and §IV)
+// against the simulated substrates, producing human-readable reports plus
+// structured metrics that the benchmark suite asserts shape properties
+// on. It also hosts the evaluation-only comparators (the coarse
+// Google-Maps-style indicator).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// Name identifies the experiment ("Fig. 2(b)", "Table III", ...).
+	Name string
+	// Text is the rendered rows/series, printable as-is.
+	Text string
+	// Metrics carries the headline numbers for programmatic shape
+	// checks (benchmarks assert on these).
+	Metrics map[string]float64
+}
+
+// Metric fetches a metric, with a zero default.
+func (r Report) Metric(key string) float64 { return r.Metrics[key] }
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n%s", r.Name, r.Text)
+	if !strings.HasSuffix(r.Text, "\n") {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// table renders aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table {
+	return &table{header: header}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) addRowf(format string, args ...any) {
+	t.addRow(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sortedKeys returns a map's keys in sorted order for deterministic
+// report output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

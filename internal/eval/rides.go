@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"fmt"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/core/cluster"
+	"busprobe/internal/stats"
+	"busprobe/internal/transit"
+)
+
+// visitTruth is the ground truth for one stop visit of a controlled
+// ride: the true stop and the indices (into the element slice) of the
+// samples recorded there.
+type visitTruth struct {
+	Stop      transit.StopID
+	ElemIdx   []int
+	RouteIdx  int
+	ArriveS   float64
+	SamplesIn int // samples recorded (some may have been dropped by gamma)
+}
+
+// simulateMatchedRide rides a route end to end at startS, recording
+// beep-triggered cellular samples at every stop and matching them
+// against the lab's fingerprint DB — the controlled data-collection runs
+// behind Fig. 5 and Table II. It returns the matched elements (gamma
+// survivors), per-element truth indices, and the visit ground truth.
+func simulateMatchedRide(l *Lab, rt *transit.Route, startS float64, rng *stats.RNG) ([]cluster.Element, []int, []visitTruth, error) {
+	if rt == nil {
+		return nil, nil, nil, fmt.Errorf("eval: nil route")
+	}
+	net := l.World.Net
+	cond := cellular.Condition{OnBus: true, Weather: rng.Range(-1, 1)}
+	var elems []cluster.Element
+	var elemTruth []int
+	var truth []visitTruth
+
+	now := startS
+	for i := 0; i < rt.NumStops(); i++ {
+		stop := l.World.Transit.Stop(rt.Stops[i])
+		platform := l.World.Transit.Platform(rt.Platforms[i])
+		beeps := 1 + rng.Poisson(1.2)
+		vt := visitTruth{Stop: stop.ID, RouteIdx: i, ArriveS: now, SamplesIn: beeps}
+		for k := 0; k < beeps; k++ {
+			tSample := now + float64(k)*2.5 + rng.Range(0, 1.5)
+			fp := l.World.Cells.ScanFingerprint(platform.Pos, cond, rng)
+			m, ok := l.FPDB.Match(fp)
+			if !ok {
+				continue // gamma filter discarded the sample
+			}
+			vt.ElemIdx = append(vt.ElemIdx, len(elems))
+			elemTruth = append(elemTruth, len(truth))
+			elems = append(elems, cluster.Element{TimeS: tSample, Stop: m.Stop, Score: m.Score})
+		}
+		dwell := 6 + 2.2*float64(beeps)
+		now += dwell
+		truth = append(truth, vt)
+		// Drive the next leg against the ground-truth field.
+		if i < rt.NumLegs() {
+			leg := rt.Leg(net, i)
+			for _, sid := range leg.Segments {
+				v := l.World.Field.BusKmh(sid, now) / 3.6
+				now += net.Segment(sid).LengthM() / v
+			}
+		}
+	}
+	return elems, elemTruth, truth, nil
+}
+
+// partitionAccuracy scores a clustering against the truth: the fraction
+// of ground-truth visits (with surviving samples) recovered as exactly
+// one cluster containing exactly that visit's samples.
+func partitionAccuracy(clusters []cluster.Cluster, elems []cluster.Element, elemTruth []int, truth []visitTruth) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	// Index elements by timestamp (strictly increasing within a ride).
+	timeToIdx := make(map[float64]int, len(elems))
+	for i, e := range elems {
+		timeToIdx[e.TimeS] = i
+	}
+	correct, evaluated := 0, 0
+	for _, vt := range truth {
+		if len(vt.ElemIdx) == 0 {
+			continue // every sample dropped; clustering cannot recover it
+		}
+		evaluated++
+		want := make(map[int]bool, len(vt.ElemIdx))
+		for _, idx := range vt.ElemIdx {
+			want[idx] = true
+		}
+		for _, c := range clusters {
+			if len(c.Elements) != len(want) {
+				continue
+			}
+			all := true
+			for _, e := range c.Elements {
+				if !want[timeToIdx[e.TimeS]] {
+					all = false
+					break
+				}
+			}
+			if all {
+				correct++
+				break
+			}
+		}
+	}
+	if evaluated == 0 {
+		return 0
+	}
+	return float64(correct) / float64(evaluated)
+}
+
+// clusterTruthIndex maps each cluster to the ground-truth visit owning
+// the majority of its elements.
+func clusterTruthIndex(clusters []cluster.Cluster, elems []cluster.Element, elemTruth []int) []int {
+	timeToIdx := make(map[float64]int, len(elems))
+	for i, e := range elems {
+		timeToIdx[e.TimeS] = i
+	}
+	out := make([]int, len(clusters))
+	for ci, c := range clusters {
+		votes := make(map[int]int)
+		for _, e := range c.Elements {
+			votes[elemTruth[timeToIdx[e.TimeS]]]++
+		}
+		best, bestN := -1, -1
+		for t, n := range votes {
+			if n > bestN || (n == bestN && t < best) {
+				best, bestN = t, n
+			}
+		}
+		out[ci] = best
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package geo provides the geographic primitives used across busprobe:
+// WGS-84 points, a local equirectangular meter projection anchored at the
+// study region, haversine distances, polylines with arc-length
+// interpolation, and bounding boxes.
+//
+// The study region in the paper is a 7 km x 4 km (25 km^2 after clipping)
+// area of Jurong West, Singapore; Anchor defaults to a point in that
+// neighbourhood so synthetic cities land at plausible coordinates.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusM is the mean Earth radius in meters.
+const EarthRadiusM = 6371000.0
+
+// Point is a WGS-84 coordinate in degrees.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// XY is a position in a local tangent-plane frame, in meters east (X) and
+// north (Y) of the projection anchor.
+type XY struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// String renders the point with ~1 m precision.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.5f, %.5f)", p.Lat, p.Lon)
+}
+
+// HaversineM returns the great-circle distance between two points in
+// meters.
+func HaversineM(a, b Point) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dla := (b.Lat - a.Lat) * math.Pi / 180
+	dlo := (b.Lon - a.Lon) * math.Pi / 180
+	s := math.Sin(dla/2)*math.Sin(dla/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * EarthRadiusM * math.Asin(math.Sqrt(s))
+}
+
+// Projection is an equirectangular projection anchored at a reference
+// point. It is accurate to well under a meter over the tens of kilometers
+// the system operates on, and is invertible.
+type Projection struct {
+	anchor Point
+	cosLat float64
+}
+
+// NewProjection returns a projection anchored at the given point.
+func NewProjection(anchor Point) *Projection {
+	return &Projection{
+		anchor: anchor,
+		cosLat: math.Cos(anchor.Lat * math.Pi / 180),
+	}
+}
+
+// JurongWestAnchor is the default projection anchor: the south-west corner
+// of the paper's 7 km x 4 km study region in Singapore.
+var JurongWestAnchor = Point{Lat: 1.3330, Lon: 103.6900}
+
+// Anchor returns the projection's reference point.
+func (p *Projection) Anchor() Point { return p.anchor }
+
+// ToXY projects a geographic point into local meters.
+func (p *Projection) ToXY(pt Point) XY {
+	return XY{
+		X: (pt.Lon - p.anchor.Lon) * math.Pi / 180 * EarthRadiusM * p.cosLat,
+		Y: (pt.Lat - p.anchor.Lat) * math.Pi / 180 * EarthRadiusM,
+	}
+}
+
+// ToPoint inverts the projection.
+func (p *Projection) ToPoint(xy XY) Point {
+	return Point{
+		Lat: p.anchor.Lat + xy.Y/EarthRadiusM*180/math.Pi,
+		Lon: p.anchor.Lon + xy.X/(EarthRadiusM*p.cosLat)*180/math.Pi,
+	}
+}
+
+// DistM returns the Euclidean distance between two local positions.
+func DistM(a, b XY) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// Lerp linearly interpolates between two local positions; t in [0,1].
+func Lerp(a, b XY, t float64) XY {
+	return XY{X: a.X + (b.X-a.X)*t, Y: a.Y + (b.Y-a.Y)*t}
+}
+
+// BBox is an axis-aligned bounding box in local meters.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether the box contains the position (inclusive).
+func (b BBox) Contains(p XY) bool {
+	return p.X >= b.MinX && p.X <= b.MaxX && p.Y >= b.MinY && p.Y <= b.MaxY
+}
+
+// Expand grows the box by m meters on every side.
+func (b BBox) Expand(m float64) BBox {
+	return BBox{MinX: b.MinX - m, MinY: b.MinY - m, MaxX: b.MaxX + m, MaxY: b.MaxY + m}
+}
+
+// Width returns the box width in meters.
+func (b BBox) Width() float64 { return b.MaxX - b.MinX }
+
+// Height returns the box height in meters.
+func (b BBox) Height() float64 { return b.MaxY - b.MinY }
+
+// AreaKm2 returns the box area in square kilometers.
+func (b BBox) AreaKm2() float64 { return b.Width() * b.Height() / 1e6 }
+
+// BBoxOf computes the bounding box of a non-empty set of positions.
+func BBoxOf(pts []XY) BBox {
+	if len(pts) == 0 {
+		return BBox{}
+	}
+	b := BBox{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		b.MinX = math.Min(b.MinX, p.X)
+		b.MinY = math.Min(b.MinY, p.Y)
+		b.MaxX = math.Max(b.MaxX, p.X)
+		b.MaxY = math.Max(b.MaxY, p.Y)
+	}
+	return b
+}
+
+// Polyline is an ordered sequence of local positions with cached
+// cumulative arc lengths, supporting O(log n) interpolation along its
+// length. It is the shape primitive for road segments and bus routes.
+type Polyline struct {
+	pts []XY
+	cum []float64 // cum[i] = arc length from pts[0] to pts[i]
+}
+
+// NewPolyline builds a polyline over a copy of pts. It panics if fewer
+// than two points are supplied.
+func NewPolyline(pts []XY) *Polyline {
+	if len(pts) < 2 {
+		panic("geo: polyline needs at least two points")
+	}
+	cp := make([]XY, len(pts))
+	copy(cp, pts)
+	cum := make([]float64, len(cp))
+	for i := 1; i < len(cp); i++ {
+		cum[i] = cum[i-1] + DistM(cp[i-1], cp[i])
+	}
+	return &Polyline{pts: cp, cum: cum}
+}
+
+// Length returns the total arc length in meters.
+func (pl *Polyline) Length() float64 { return pl.cum[len(pl.cum)-1] }
+
+// Points returns a copy of the vertex list.
+func (pl *Polyline) Points() []XY {
+	cp := make([]XY, len(pl.pts))
+	copy(cp, pl.pts)
+	return cp
+}
+
+// At returns the position at arc length s from the start, clamping s to
+// [0, Length].
+func (pl *Polyline) At(s float64) XY {
+	if s <= 0 {
+		return pl.pts[0]
+	}
+	if s >= pl.Length() {
+		return pl.pts[len(pl.pts)-1]
+	}
+	// Binary search for the containing segment.
+	lo, hi := 0, len(pl.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if pl.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	seg := pl.cum[hi] - pl.cum[lo]
+	t := 0.0
+	if seg > 0 {
+		t = (s - pl.cum[lo]) / seg
+	}
+	return Lerp(pl.pts[lo], pl.pts[hi], t)
+}
+
+// Start returns the first vertex.
+func (pl *Polyline) Start() XY { return pl.pts[0] }
+
+// End returns the last vertex.
+func (pl *Polyline) End() XY { return pl.pts[len(pl.pts)-1] }

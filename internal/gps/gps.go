@@ -1,0 +1,119 @@
+// Package gps models GPS positioning in the urban canyon, calibrated to
+// the paper's Fig. 1 measurement study in downtown Singapore: stationary
+// phones see a 40 m median / 175 m 90th-percentile error, and phones on
+// buses (attenuated through the vehicle body) see 68 m / 300 m. The
+// package exists for the baseline comparison — the system itself avoids
+// GPS for exactly these errors and its ~340 mW draw (Table III).
+package gps
+
+import (
+	"fmt"
+	"math"
+
+	"busprobe/internal/geo"
+	"busprobe/internal/stats"
+)
+
+// ErrorModel is a log-normal radial error distribution specified by its
+// median and 90th percentile, the two statistics Fig. 1 reports.
+type ErrorModel struct {
+	MedianM float64
+	P90M    float64
+}
+
+// StationaryDowntown is Fig. 1's stationary-phone error distribution.
+var StationaryDowntown = ErrorModel{MedianM: 40, P90M: 175}
+
+// OnBusDowntown is Fig. 1's on-bus error distribution (GPS further
+// attenuated inside the vehicle).
+var OnBusDowntown = ErrorModel{MedianM: 68, P90M: 300}
+
+// z90 is the standard normal 90th-percentile quantile.
+const z90 = 1.2815515655446004
+
+// params derives the log-normal (mu, sigma) from the two quantiles.
+func (m ErrorModel) params() (mu, sigma float64, err error) {
+	if m.MedianM <= 0 || m.P90M <= m.MedianM {
+		return 0, 0, fmt.Errorf("gps: invalid error model %+v", m)
+	}
+	mu = math.Log(m.MedianM)
+	sigma = math.Log(m.P90M/m.MedianM) / z90
+	return mu, sigma, nil
+}
+
+// SampleError draws one radial error magnitude in meters.
+func (m ErrorModel) SampleError(rng *stats.RNG) (float64, error) {
+	mu, sigma, err := m.params()
+	if err != nil {
+		return 0, err
+	}
+	return rng.LogNormal(mu, sigma), nil
+}
+
+// Fix is one GPS position report.
+type Fix struct {
+	// Pos is the reported position (truth plus error).
+	Pos geo.XY
+	// TimeS is the fix timestamp in simulation seconds.
+	TimeS float64
+	// ErrM is the true radial error (available in simulation for
+	// evaluation; a real receiver does not know it).
+	ErrM float64
+}
+
+// Receiver simulates a phone GPS receiver at a configured sampling rate.
+type Receiver struct {
+	model ErrorModel
+	// IntervalS is the sampling interval; the paper evaluates 0.5 Hz
+	// (2 s) tracking as "already considered very low for vehicle
+	// tracking".
+	IntervalS float64
+	rng       *stats.RNG
+}
+
+// NewReceiver returns a receiver with the given error model and sampling
+// interval, drawing randomness from rng.
+func NewReceiver(model ErrorModel, intervalS float64, rng *stats.RNG) (*Receiver, error) {
+	if intervalS <= 0 {
+		return nil, fmt.Errorf("gps: non-positive interval %v", intervalS)
+	}
+	if _, _, err := model.params(); err != nil {
+		return nil, err
+	}
+	return &Receiver{model: model, IntervalS: intervalS, rng: rng}, nil
+}
+
+// Sample produces a fix for the true position at the given time.
+func (r *Receiver) Sample(truth geo.XY, timeS float64) Fix {
+	errM, err := r.model.SampleError(r.rng)
+	if err != nil {
+		// Model was validated at construction; this cannot happen.
+		panic(err)
+	}
+	theta := r.rng.Range(0, 2*math.Pi)
+	return Fix{
+		Pos: geo.XY{
+			X: truth.X + errM*math.Cos(theta),
+			Y: truth.Y + errM*math.Sin(theta),
+		},
+		TimeS: timeS,
+		ErrM:  errM,
+	}
+}
+
+// PowerMW is the measured continuous-tracking GPS power draw from Table
+// III (HTC Sensation: 340 mW; Nexus One: 333 mW).
+const PowerMW = 340.0
+
+// NearestStop matches a fix to the closest of the candidate positions,
+// the naive map-matching step of a GPS probe baseline. It returns the
+// index of the winner and its distance, or (-1, +Inf) for no candidates.
+func NearestStop(fix Fix, stops []geo.XY) (int, float64) {
+	best, bd := -1, math.Inf(1)
+	for i, s := range stops {
+		if d := geo.DistM(fix.Pos, s); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best, bd
+}

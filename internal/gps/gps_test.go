@@ -1,0 +1,141 @@
+package gps
+
+import (
+	"math"
+	"testing"
+
+	"busprobe/internal/geo"
+	"busprobe/internal/stats"
+)
+
+func TestErrorModelQuantiles(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, m := range []ErrorModel{StationaryDowntown, OnBusDowntown} {
+		e := &stats.ECDF{}
+		for i := 0; i < 50000; i++ {
+			v, err := m.SampleError(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Add(v)
+		}
+		if med := e.Median(); math.Abs(med-m.MedianM)/m.MedianM > 0.05 {
+			t.Errorf("%+v: median = %v", m, med)
+		}
+		if p90 := e.Percentile(90); math.Abs(p90-m.P90M)/m.P90M > 0.05 {
+			t.Errorf("%+v: p90 = %v", m, p90)
+		}
+	}
+}
+
+func TestOnBusWorseThanStationary(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var st, ob stats.Accumulator
+	for i := 0; i < 20000; i++ {
+		v1, err := StationaryDowntown.SampleError(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := OnBusDowntown.SampleError(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Add(v1)
+		ob.Add(v2)
+	}
+	if ob.Mean() <= st.Mean() {
+		t.Errorf("on-bus error %v not worse than stationary %v", ob.Mean(), st.Mean())
+	}
+}
+
+func TestInvalidModels(t *testing.T) {
+	bad := []ErrorModel{
+		{MedianM: 0, P90M: 100},
+		{MedianM: -5, P90M: 100},
+		{MedianM: 50, P90M: 40},
+		{MedianM: 50, P90M: 50},
+	}
+	rng := stats.NewRNG(3)
+	for _, m := range bad {
+		if _, err := m.SampleError(rng); err == nil {
+			t.Errorf("model %+v should be rejected", m)
+		}
+		if _, err := NewReceiver(m, 2, rng); err == nil {
+			t.Errorf("receiver with model %+v should be rejected", m)
+		}
+	}
+}
+
+func TestNewReceiverValidation(t *testing.T) {
+	rng := stats.NewRNG(4)
+	if _, err := NewReceiver(StationaryDowntown, 0, rng); err == nil {
+		t.Error("want error for zero interval")
+	}
+	if _, err := NewReceiver(StationaryDowntown, 2, rng); err != nil {
+		t.Errorf("valid receiver rejected: %v", err)
+	}
+}
+
+func TestSampleCentersOnTruth(t *testing.T) {
+	rng := stats.NewRNG(5)
+	rec, err := NewReceiver(StationaryDowntown, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := geo.XY{X: 1000, Y: 2000}
+	var dx, dy stats.Accumulator
+	for i := 0; i < 20000; i++ {
+		f := rec.Sample(truth, float64(i)*2)
+		dx.Add(f.Pos.X - truth.X)
+		dy.Add(f.Pos.Y - truth.Y)
+		if got := geo.DistM(f.Pos, truth); math.Abs(got-f.ErrM) > 1e-9 {
+			t.Fatalf("reported ErrM %v != actual %v", f.ErrM, got)
+		}
+	}
+	// Errors are isotropic, so offsets average out.
+	if math.Abs(dx.Mean()) > 3 || math.Abs(dy.Mean()) > 3 {
+		t.Errorf("biased fixes: mean offset (%v, %v)", dx.Mean(), dy.Mean())
+	}
+}
+
+func TestNearestStop(t *testing.T) {
+	stops := []geo.XY{{X: 0, Y: 0}, {X: 500, Y: 0}, {X: 1000, Y: 0}}
+	fix := Fix{Pos: geo.XY{X: 480, Y: 30}}
+	idx, d := NearestStop(fix, stops)
+	if idx != 1 {
+		t.Errorf("matched stop %d, want 1", idx)
+	}
+	if math.Abs(d-math.Hypot(20, 30)) > 1e-9 {
+		t.Errorf("distance = %v", d)
+	}
+	if idx, d := NearestStop(fix, nil); idx != -1 || !math.IsInf(d, 1) {
+		t.Error("empty candidates should give (-1, +Inf)")
+	}
+}
+
+func TestGPSConfusesAdjacentStops(t *testing.T) {
+	// With 500 m stop spacing and on-bus GPS error, a nontrivial share
+	// of fixes taken exactly at a stop match the wrong stop — the
+	// paper's motivation for not using GPS.
+	rng := stats.NewRNG(6)
+	rec, err := NewReceiver(OnBusDowntown, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops := make([]geo.XY, 10)
+	for i := range stops {
+		stops[i] = geo.XY{X: float64(i) * 500, Y: 0}
+	}
+	wrong := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		f := rec.Sample(stops[5], 0)
+		if idx, _ := NearestStop(f, stops); idx != 5 {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / trials
+	if rate < 0.02 || rate > 0.5 {
+		t.Errorf("wrong-stop rate = %v, expected meaningful but not dominant", rate)
+	}
+}

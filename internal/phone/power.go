@@ -1,0 +1,152 @@
+package phone
+
+import (
+	"fmt"
+
+	"busprobe/internal/stats"
+)
+
+// SensorSetting is one row of Table III: which sensors the app keeps
+// active.
+type SensorSetting int
+
+// Sensor settings measured by the paper with a Monsoon power monitor
+// over 10-minute windows, screen off.
+const (
+	// SettingIdle is the no-sensor baseline.
+	SettingIdle SensorSetting = iota
+	// SettingCellular samples cell towers at 1 Hz.
+	SettingCellular
+	// SettingGPS tracks GPS at 0.5 Hz.
+	SettingGPS
+	// SettingCellularMicGoertzel is the deployed app: cellular sampling
+	// plus microphone beep detection via the Goertzel filter.
+	SettingCellularMicGoertzel
+	// SettingGPSMicGoertzel is the GPS-based alternative the paper
+	// rejects.
+	SettingGPSMicGoertzel
+	// SettingCellularMicFFT replaces Goertzel with FFT detection,
+	// costing the extra ~6 mW the paper reports saving.
+	SettingCellularMicFFT
+)
+
+// String implements fmt.Stringer with the paper's row labels.
+func (s SensorSetting) String() string {
+	switch s {
+	case SettingIdle:
+		return "No sensors"
+	case SettingCellular:
+		return "Cellular 1Hz"
+	case SettingGPS:
+		return "GPS"
+	case SettingCellularMicGoertzel:
+		return "Cellular+Mic(Goertzel)"
+	case SettingGPSMicGoertzel:
+		return "GPS+Mic(Goertzel)"
+	case SettingCellularMicFFT:
+		return "Cellular+Mic(FFT)"
+	default:
+		return fmt.Sprintf("setting(%d)", int(s))
+	}
+}
+
+// TableIIISettings lists the five measured rows of Table III in order.
+var TableIIISettings = []SensorSetting{
+	SettingIdle,
+	SettingCellular,
+	SettingGPS,
+	SettingCellularMicGoertzel,
+	SettingGPSMicGoertzel,
+}
+
+// GoertzelSavingMW is the app power reduction from using the Goertzel
+// algorithm instead of FFT for beep detection (§IV-D).
+const GoertzelSavingMW = 6.0
+
+// DeviceProfile holds a phone model's measured mean power draw (mW) per
+// sensor setting, plus the relative standard deviation of the
+// measurement (Table III's parenthesized values, as fractions of the
+// mean).
+type DeviceProfile struct {
+	Name   string
+	MeanMW map[SensorSetting]float64
+	RelSD  map[SensorSetting]float64
+}
+
+// HTCSensation is Table III's first column.
+var HTCSensation = DeviceProfile{
+	Name: "HTC Sensation",
+	MeanMW: map[SensorSetting]float64{
+		SettingIdle:                70,
+		SettingCellular:            72,
+		SettingGPS:                 340,
+		SettingCellularMicGoertzel: 82,
+		SettingGPSMicGoertzel:      447,
+		SettingCellularMicFFT:      82 + GoertzelSavingMW,
+	},
+	RelSD: map[SensorSetting]float64{
+		SettingIdle:                6.0 / 70,
+		SettingCellular:            6.0 / 72,
+		SettingGPS:                 32.0 / 340,
+		SettingCellularMicGoertzel: 12.0 / 82,
+		SettingGPSMicGoertzel:      45.0 / 447,
+		SettingCellularMicFFT:      12.0 / 88,
+	},
+}
+
+// NexusOne is Table III's second column.
+var NexusOne = DeviceProfile{
+	Name: "Nexus One",
+	MeanMW: map[SensorSetting]float64{
+		SettingIdle:                84,
+		SettingCellular:            85,
+		SettingGPS:                 333,
+		SettingCellularMicGoertzel: 96,
+		SettingGPSMicGoertzel:      443,
+		SettingCellularMicFFT:      96 + GoertzelSavingMW,
+	},
+	RelSD: map[SensorSetting]float64{
+		SettingIdle:                5.0 / 84,
+		SettingCellular:            8.0 / 85,
+		SettingGPS:                 40.0 / 333,
+		SettingCellularMicGoertzel: 22.0 / 96,
+		SettingGPSMicGoertzel:      57.0 / 443,
+		SettingCellularMicFFT:      22.0 / 102,
+	},
+}
+
+// Measurement is one simulated Monsoon power-monitor run.
+type Measurement struct {
+	MeanMW float64
+	// SDMW is the standard deviation across the run's samples.
+	SDMW float64
+}
+
+// Measure simulates a power-monitor run of the given duration: per-second
+// power samples around the profile mean with the profile's dispersion.
+// It returns an error for settings the profile does not cover.
+func (d DeviceProfile) Measure(s SensorSetting, durationS float64, rng *stats.RNG) (Measurement, error) {
+	mean, ok := d.MeanMW[s]
+	if !ok {
+		return Measurement{}, fmt.Errorf("phone: %s has no measurement for %v", d.Name, s)
+	}
+	if durationS <= 0 {
+		return Measurement{}, fmt.Errorf("phone: non-positive duration %v", durationS)
+	}
+	sd := mean * d.RelSD[s]
+	var acc stats.Accumulator
+	for t := 0.0; t < durationS; t++ {
+		acc.Add(rng.Norm(mean, sd))
+	}
+	return Measurement{MeanMW: acc.Mean(), SDMW: acc.StdDev()}, nil
+}
+
+// EnergyJ returns the energy in joules a setting consumes over the
+// duration, from the profile means.
+func (d DeviceProfile) EnergyJ(s SensorSetting, durationS float64) (float64, error) {
+	mean, ok := d.MeanMW[s]
+	if !ok {
+		return 0, fmt.Errorf("phone: %s has no measurement for %v", d.Name, s)
+	}
+	return mean / 1000 * durationS, nil
+}

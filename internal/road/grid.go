@@ -1,0 +1,140 @@
+package road
+
+import (
+	"fmt"
+
+	"busprobe/internal/geo"
+	"busprobe/internal/stats"
+)
+
+// GridConfig parameterizes the synthetic city generator. The defaults
+// (see DefaultGridConfig) approximate the paper's study region: a
+// 7 km x 4 km area with an arterial grid, minor streets in between, and
+// realistic free-flow speeds.
+type GridConfig struct {
+	// WidthM and HeightM are the city extent in meters.
+	WidthM, HeightM float64
+	// SpacingM is the distance between adjacent grid streets.
+	SpacingM float64
+	// ArterialEvery promotes every k-th grid line to an arterial.
+	ArterialEvery int
+	// LocalKmh and ArterialKmh are free-flow design speeds: what an
+	// automobile does on an empty road at 3am. Observed traffic runs
+	// well below them (see sim.FieldConfig.FreeFlowRatio); the Eq. 3
+	// "a" term divides by these.
+	LocalKmh, ArterialKmh float64
+	// JitterM randomly perturbs intersection positions to break the
+	// perfect grid (0 disables).
+	JitterM float64
+	// Seed drives all randomness in generation.
+	Seed uint64
+}
+
+// DefaultGridConfig returns the Jurong-West-like configuration used by
+// the experiments: 7 km x 4 km, 500 m blocks, arterials every third line.
+func DefaultGridConfig() GridConfig {
+	return GridConfig{
+		WidthM:        7000,
+		HeightM:       4000,
+		SpacingM:      500,
+		ArterialEvery: 3,
+		LocalKmh:      70,
+		ArterialKmh:   100,
+		JitterM:       40,
+		Seed:          1,
+	}
+}
+
+// Validate checks the configuration for obviously broken values.
+func (c GridConfig) Validate() error {
+	if c.WidthM <= 0 || c.HeightM <= 0 {
+		return fmt.Errorf("road: non-positive extent %vx%v", c.WidthM, c.HeightM)
+	}
+	if c.SpacingM <= 0 {
+		return fmt.Errorf("road: non-positive spacing %v", c.SpacingM)
+	}
+	if c.WidthM/c.SpacingM < 1 || c.HeightM/c.SpacingM < 1 {
+		return fmt.Errorf("road: spacing %v too large for extent", c.SpacingM)
+	}
+	if c.LocalKmh <= 0 || c.ArterialKmh <= 0 {
+		return fmt.Errorf("road: non-positive speeds")
+	}
+	return nil
+}
+
+// GenerateGrid builds a two-way grid city from the configuration. Every
+// street is represented by a pair of opposite directed segments whose
+// Reverse fields reference each other.
+func GenerateGrid(cfg GridConfig) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed).Fork("road-grid")
+
+	cols := int(cfg.WidthM/cfg.SpacingM) + 1
+	rows := int(cfg.HeightM/cfg.SpacingM) + 1
+
+	nodes := make([]Node, 0, cols*rows)
+	idAt := func(cx, cy int) NodeID { return NodeID(cy*cols + cx) }
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			pos := geo.XY{X: float64(cx) * cfg.SpacingM, Y: float64(cy) * cfg.SpacingM}
+			if cfg.JitterM > 0 {
+				pos.X += rng.Range(-cfg.JitterM, cfg.JitterM)
+				pos.Y += rng.Range(-cfg.JitterM, cfg.JitterM)
+			}
+			nodes = append(nodes, Node{ID: idAt(cx, cy), Pos: pos})
+		}
+	}
+
+	var segments []*Segment
+	addPair := func(a, b NodeID, class Class, name string) {
+		speed := cfg.LocalKmh
+		if class == ClassArterial {
+			speed = cfg.ArterialKmh
+		}
+		fwd := &Segment{
+			ID:      SegmentID(len(segments)),
+			From:    a,
+			To:      b,
+			Shape:   geo.NewPolyline([]geo.XY{nodes[a].Pos, nodes[b].Pos}),
+			Class:   class,
+			FreeKmh: speed,
+			Name:    name,
+		}
+		rev := &Segment{
+			ID:      SegmentID(len(segments) + 1),
+			From:    b,
+			To:      a,
+			Shape:   geo.NewPolyline([]geo.XY{nodes[b].Pos, nodes[a].Pos}),
+			Class:   class,
+			FreeKmh: speed,
+			Name:    name,
+		}
+		fwd.Reverse = rev.ID
+		rev.Reverse = fwd.ID
+		segments = append(segments, fwd, rev)
+	}
+
+	classOf := func(line int) Class {
+		if cfg.ArterialEvery > 0 && line%cfg.ArterialEvery == 0 {
+			return ClassArterial
+		}
+		return ClassLocal
+	}
+
+	// Horizontal streets (west-east) along each row.
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx+1 < cols; cx++ {
+			addPair(idAt(cx, cy), idAt(cx+1, cy), classOf(cy), fmt.Sprintf("H%d", cy))
+		}
+	}
+	// Vertical streets (south-north) along each column.
+	for cx := 0; cx < cols; cx++ {
+		for cy := 0; cy+1 < rows; cy++ {
+			addPair(idAt(cx, cy), idAt(cx, cy+1), classOf(cx), fmt.Sprintf("V%d", cx))
+		}
+	}
+
+	return NewNetwork(nodes, segments), nil
+}

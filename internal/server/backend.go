@@ -1,0 +1,319 @@
+// Package server implements the backend of the system (Fig. 4): trip
+// ingestion (in-process and HTTP), the three-stage trajectory-mapping
+// pipeline (per-sample matching → per-bus-stop clustering → per-trip
+// mapping), traffic estimation over the mapped legs, and the query API
+// serving the resulting traffic map.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"busprobe/internal/core/cluster"
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/probe"
+	"busprobe/internal/road"
+	"busprobe/internal/transit"
+)
+
+// Config bundles the backend's tunables, defaulting to the paper's
+// deployed values.
+type Config struct {
+	// Scoring are the Smith–Waterman weights.
+	Scoring fingerprint.Scoring
+	// Gamma is the per-sample acceptance threshold.
+	Gamma float64
+	// Cluster are the Eq. 1 co-clustering constants.
+	Cluster cluster.Params
+	// Model is the Eq. 3 transit traffic model.
+	Model traffic.Model
+	// PeriodS is the traffic-map refresh period (T = 5 min).
+	PeriodS float64
+	// DriftVarPerS is the estimator's process-noise rate.
+	DriftVarPerS float64
+	// MinSpeedKmh / MaxSpeedKmh bound plausible leg observations;
+	// out-of-range travel times are discarded as noise.
+	MinSpeedKmh, MaxSpeedKmh float64
+	// OnlineUpdate enables Fig. 4's online database path: confidently
+	// mapped stop visits refresh that stop's fingerprint, letting the
+	// database track radio-environment drift without re-surveying.
+	OnlineUpdate bool
+	// OnlineUpdateMinConf is the visit confidence required before its
+	// samples may touch the database.
+	OnlineUpdateMinConf float64
+	// OnlineUpdateMinSamples is the minimum sample count of the visit's
+	// cluster before an update is considered.
+	OnlineUpdateMinSamples int
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		Scoring:      fingerprint.DefaultScoring(),
+		Gamma:        fingerprint.DefaultGamma,
+		Cluster:      cluster.DefaultParams(),
+		Model:        traffic.DefaultModel(),
+		PeriodS:      traffic.DefaultPeriodS,
+		DriftVarPerS: traffic.DefaultDriftVarPerS,
+		MinSpeedKmh:  2,
+		MaxSpeedKmh:  90,
+
+		OnlineUpdate:           false, // opt in; offline survey is authoritative by default
+		OnlineUpdateMinConf:    0.9,
+		OnlineUpdateMinSamples: 3,
+	}
+}
+
+// Stats counts the backend's work.
+type Stats struct {
+	TripsReceived    int
+	TripsRejected    int
+	DuplicateTrips   int
+	SamplesReceived  int
+	SamplesMatched   int
+	SamplesDiscarded int
+	Clusters         int
+	VisitsMapped     int
+	Observations     int
+	ObsDiscarded     int
+}
+
+// ProcessedTrip reports how one trip moved through the pipeline.
+type ProcessedTrip struct {
+	TripID       string
+	Samples      int
+	Matched      int
+	Clusters     int
+	Visits       []VisitRecord
+	Observations int
+}
+
+// VisitRecord is one resolved stop visit of a processed trip.
+type VisitRecord struct {
+	Stop       transit.StopID
+	ArriveS    float64
+	DepartS    float64
+	Confidence float64
+}
+
+// Backend is the traffic-monitoring server core. It implements
+// phone.Uploader for in-process deployments; the HTTP layer wraps it for
+// networked ones. Safe for concurrent use.
+type Backend struct {
+	cfg     Config
+	transit *transit.DB
+	fpdb    *fingerprint.DB
+	est     *traffic.Estimator
+
+	mu      sync.Mutex
+	seen    map[string]bool
+	stats   Stats
+	journal *Journal
+}
+
+// NewBackend assembles a backend over the transit database and the
+// pre-built stop fingerprint database.
+func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, error) {
+	if tdb == nil || fpdb == nil {
+		return nil, fmt.Errorf("server: nil transit or fingerprint DB")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinSpeedKmh <= 0 || cfg.MaxSpeedKmh <= cfg.MinSpeedKmh {
+		return nil, fmt.Errorf("server: bad speed bounds [%v, %v]", cfg.MinSpeedKmh, cfg.MaxSpeedKmh)
+	}
+	est, err := traffic.NewEstimator(cfg.Model, cfg.PeriodS, cfg.DriftVarPerS)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{
+		cfg:     cfg,
+		transit: tdb,
+		fpdb:    fpdb,
+		est:     est,
+		seen:    make(map[string]bool),
+	}, nil
+}
+
+// Config returns the backend configuration.
+func (b *Backend) Config() Config { return b.cfg }
+
+// Transit returns the transit database.
+func (b *Backend) Transit() *transit.DB { return b.transit }
+
+// FingerprintDB returns the stop fingerprint database.
+func (b *Backend) FingerprintDB() *fingerprint.DB { return b.fpdb }
+
+// Stats returns a snapshot of the work counters.
+func (b *Backend) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Upload implements phone.Uploader: validate, deduplicate, process.
+func (b *Backend) Upload(trip probe.Trip) error {
+	_, err := b.ProcessTrip(trip)
+	return err
+}
+
+// ProcessTrip runs one trip through the full pipeline and folds its
+// observations into the traffic estimator.
+func (b *Backend) ProcessTrip(trip probe.Trip) (ProcessedTrip, error) {
+	b.mu.Lock()
+	b.stats.TripsReceived++
+	if err := trip.Validate(); err != nil {
+		b.stats.TripsRejected++
+		b.mu.Unlock()
+		return ProcessedTrip{}, fmt.Errorf("server: rejecting upload: %w", err)
+	}
+	if b.seen[trip.ID] {
+		b.stats.DuplicateTrips++
+		b.mu.Unlock()
+		return ProcessedTrip{}, fmt.Errorf("server: duplicate trip %s", trip.ID)
+	}
+	b.seen[trip.ID] = true
+	b.stats.SamplesReceived += len(trip.Samples)
+	journal := b.journal
+	b.mu.Unlock()
+
+	// Persist accepted uploads before processing; a journaling failure
+	// fails the upload so the client retries rather than silently
+	// losing durability.
+	if journal != nil {
+		if err := journal.Append(trip); err != nil {
+			return ProcessedTrip{}, err
+		}
+	}
+
+	out := ProcessedTrip{TripID: trip.ID, Samples: len(trip.Samples)}
+
+	// Stage 1: per-sample matching with the γ filter.
+	var elems []cluster.Element
+	for _, s := range trip.Samples {
+		m, ok := b.fpdb.Match(s.Fingerprint())
+		if !ok {
+			continue
+		}
+		elems = append(elems, cluster.Element{TimeS: s.TimeS, Stop: m.Stop, Score: m.Score})
+	}
+	out.Matched = len(elems)
+
+	b.mu.Lock()
+	b.stats.SamplesMatched += len(elems)
+	b.stats.SamplesDiscarded += len(trip.Samples) - len(elems)
+	b.mu.Unlock()
+
+	if len(elems) == 0 {
+		return out, nil
+	}
+
+	// Stage 2: per-bus-stop clustering.
+	clusters, err := cluster.Sequence(elems, b.cfg.Cluster)
+	if err != nil {
+		return out, err
+	}
+	out.Clusters = len(clusters)
+
+	// Stage 3: per-trip ML mapping under route constraints.
+	mapped, err := tripResolve(clusters, b.transit)
+	if err != nil {
+		return out, err
+	}
+	for _, v := range mapped {
+		out.Visits = append(out.Visits, VisitRecord(v))
+	}
+
+	// Fig. 4's online database path: high-confidence visits refresh
+	// their stop's fingerprint.
+	if b.cfg.OnlineUpdate {
+		b.onlineUpdate(trip, clusters, mapped)
+	}
+
+	// Stage 4: leg travel times → traffic observations.
+	obs, discarded := b.observations(mapped)
+	for _, o := range obs {
+		if err := b.est.AddObservation(o); err != nil {
+			discarded++
+			continue
+		}
+		out.Observations++
+	}
+
+	b.mu.Lock()
+	b.stats.Clusters += len(clusters)
+	b.stats.VisitsMapped += len(mapped)
+	b.stats.Observations += out.Observations
+	b.stats.ObsDiscarded += discarded
+	b.mu.Unlock()
+	return out, nil
+}
+
+// onlineUpdate refreshes stop fingerprints from confidently mapped
+// visits: the visit's raw samples plus the stored fingerprint form a
+// pool and the medoid wins, so a drifting radio environment (tower swap,
+// re-planned cells) gradually replaces the survey without losing it to
+// one noisy trip.
+func (b *Backend) onlineUpdate(trip probe.Trip, clusters []cluster.Cluster, mapped []visit) {
+	// Fingerprints by sample timestamp (duplicate timestamps queue).
+	byTime := make(map[float64][]cellularFP, len(trip.Samples))
+	for _, s := range trip.Samples {
+		byTime[s.TimeS] = append(byTime[s.TimeS], s.Fingerprint())
+	}
+	take := func(t float64) (cellularFP, bool) {
+		q := byTime[t]
+		if len(q) == 0 {
+			return nil, false
+		}
+		fp := q[0]
+		byTime[t] = q[1:]
+		return fp, true
+	}
+	for i, v := range mapped {
+		if i >= len(clusters) {
+			break
+		}
+		c := clusters[i]
+		if v.Confidence < b.cfg.OnlineUpdateMinConf || len(c.Elements) < b.cfg.OnlineUpdateMinSamples {
+			continue
+		}
+		var pool []cellularFP
+		for _, e := range c.Elements {
+			if fp, ok := take(e.TimeS); ok {
+				pool = append(pool, fp)
+			}
+		}
+		if len(pool) < b.cfg.OnlineUpdateMinSamples {
+			continue
+		}
+		if cur, ok := b.fpdb.Get(v.Stop); ok {
+			pool = append(pool, cur)
+		}
+		// Best-effort: a failed update never fails the trip.
+		_ = b.fpdb.PutFromSamples(v.Stop, pool)
+	}
+}
+
+// AttachJournal makes the backend append every accepted trip to the
+// journal. Attach AFTER ReplayJournal, or replayed trips would be
+// re-journaled.
+func (b *Backend) AttachJournal(j *Journal) {
+	b.mu.Lock()
+	b.journal = j
+	b.mu.Unlock()
+}
+
+// Advance drives the estimator's periodic refresh from the caller's
+// clock.
+func (b *Backend) Advance(nowS float64) { b.est.Advance(nowS) }
+
+// Traffic returns the current fused estimate per covered road segment.
+func (b *Backend) Traffic() map[road.SegmentID]traffic.Estimate {
+	return b.est.Snapshot()
+}
+
+// Estimator exposes the underlying traffic estimator (read-mostly; used
+// by evaluations).
+func (b *Backend) Estimator() *traffic.Estimator { return b.est }

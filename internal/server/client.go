@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"busprobe/internal/phone"
+	"busprobe/internal/probe"
+)
+
+// Client talks to a backend over its HTTP API. It implements
+// phone.Uploader, so simulated phones can upload over a real network
+// path.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+var _ phone.Uploader = (*Client)(nil)
+
+// NewClient returns a client for the backend at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("server: empty base URL")
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+}
+
+// Upload posts one trip.
+func (c *Client) Upload(trip probe.Trip) error {
+	body, err := json.Marshal(&trip)
+	if err != nil {
+		return fmt.Errorf("server: encode trip: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/v1/trips", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server: upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("server: upload rejected (%d): %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Traffic fetches the full traffic-map snapshot.
+func (c *Client) Traffic() ([]SegmentEstimateJSON, error) {
+	var out []SegmentEstimateJSON
+	if err := c.getJSON("/v1/traffic", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the backend counters.
+func (c *Client) Stats() (Stats, error) {
+	var out Stats
+	err := c.getJSON("/v1/stats", &out)
+	return out, err
+}
+
+// Region fetches the inferred regional congestion summary.
+func (c *Client) Region() (RegionJSON, error) {
+	var out RegionJSON
+	err := c.getJSON("/v1/region", &out)
+	return out, err
+}
+
+// Arrivals fetches downstream ETAs for a bus departing stop index
+// fromIdx of a route at departS.
+func (c *Client) Arrivals(route string, fromIdx int, departS float64) ([]ArrivalJSON, error) {
+	var out []ArrivalJSON
+	path := fmt.Sprintf("/v1/arrivals?route=%s&stop=%d&depart=%g", route, fromIdx, departS)
+	if err := c.getJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthy reports whether the backend answers its liveness probe.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.baseURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.baseURL + path)
+	if err != nil {
+		return fmt.Errorf("server: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("server: GET %s: decode: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+
+	"busprobe/internal/core/arrival"
+	"busprobe/internal/core/reconstruct"
+	"busprobe/internal/core/region"
+	"busprobe/internal/core/tripmap"
+	"busprobe/internal/transit"
+)
+
+// RegionModel infers the §VI regional traffic model from the backend's
+// current per-segment estimates.
+func (b *Backend) RegionModel() (*region.Model, error) {
+	return region.Infer(b.transit.Network(), b.est.Snapshot(), region.DefaultConfig())
+}
+
+// ReconstructTrip rebuilds the continuous bus trajectory of a processed
+// trip from its mapped visits: the route best supporting the visit
+// sequence provides the geometry, and visits that break that route's
+// order (mapping noise) are dropped, mirroring the observation stage's
+// discard policy. At least two ordered visits must survive.
+func (b *Backend) ReconstructTrip(visits []VisitRecord) (*reconstruct.Trajectory, error) {
+	if len(visits) < 2 {
+		return nil, fmt.Errorf("server: need at least two visits")
+	}
+	mapped := make([]visit, len(visits))
+	for i, v := range visits {
+		mapped[i] = tripmap.Visit(v)
+	}
+	routes := b.rankRoutesByVisitSupport(mapped)
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("server: no routes in transit DB")
+	}
+	rt := routes[0]
+	// Keep the longest order-consistent subsequence on the chosen route
+	// (greedy: visits must strictly advance along it).
+	var kept []tripmap.Visit
+	prevIdx := -1
+	for _, v := range mapped {
+		idx := rt.StopIndex(v.Stop)
+		if idx <= prevIdx {
+			continue
+		}
+		kept = append(kept, v)
+		prevIdx = idx
+	}
+	if len(kept) < 2 {
+		return nil, fmt.Errorf("server: fewer than two visits fit route %s", rt.ID)
+	}
+	return reconstruct.Build(b.transit.Network(), rt, kept)
+}
+
+// PredictArrivals forecasts arrival times at the stops after fromIdx of
+// a route, for a bus departing that stop at departS, using the live
+// traffic map.
+func (b *Backend) PredictArrivals(routeID transit.RouteID, fromIdx int, departS float64) ([]arrival.Prediction, error) {
+	rt := b.transit.Route(routeID)
+	if rt == nil {
+		return nil, fmt.Errorf("server: unknown route %q", routeID)
+	}
+	pred, err := arrival.NewPredictor(b.transit.Network(), arrival.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return pred.Predict(rt, fromIdx, departS, b.est)
+}
+
+// RouteStatus summarizes one route's current conditions.
+type RouteStatus struct {
+	Route       transit.RouteID
+	Stops       int
+	LengthM     float64
+	EndToEndS   float64 // predicted full-route travel time right now
+	CoveredFrac float64 // share of the drive time backed by live data
+}
+
+// RouteStatuses returns every route's live end-to-end travel time at the
+// given departure time, the rider-facing digest of the traffic map.
+func (b *Backend) RouteStatuses(departS float64) ([]RouteStatus, error) {
+	pred, err := arrival.NewPredictor(b.transit.Network(), arrival.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	net := b.transit.Network()
+	var out []RouteStatus
+	for _, rt := range b.transit.Routes() {
+		preds, err := pred.Predict(rt, 0, departS, b.est)
+		if err != nil {
+			return nil, err
+		}
+		last := preds[len(preds)-1]
+		var lengthM, covered float64
+		for i := 0; i < rt.NumLegs(); i++ {
+			lengthM += rt.Leg(net, i).LengthM
+		}
+		for _, p := range preds {
+			covered += p.CoveredFrac
+		}
+		out = append(out, RouteStatus{
+			Route:       rt.ID,
+			Stops:       rt.NumStops(),
+			LengthM:     lengthM,
+			EndToEndS:   last.ArriveS - departS,
+			CoveredFrac: covered / float64(len(preds)),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/probe"
+	"busprobe/internal/road"
+	"busprobe/internal/transit"
+)
+
+// SegmentEstimateJSON is one row of the traffic-map API response.
+type SegmentEstimateJSON struct {
+	Segment  int     `json:"segment"`
+	SpeedKmh float64 `json:"speedKmh"`
+	Var      float64 `json:"var"`
+	Reports  int     `json:"reports"`
+	UpdatedS float64 `json:"updatedS"`
+	Level    string  `json:"level"`
+}
+
+// UploadResponseJSON acknowledges a trip upload.
+type UploadResponseJSON struct {
+	Accepted     bool   `json:"accepted"`
+	TripID       string `json:"tripId"`
+	Visits       int    `json:"visits"`
+	Observations int    `json:"observations"`
+	Error        string `json:"error,omitempty"`
+}
+
+// maxUploadBytes bounds one trip upload (a day-long trip is ~100 KiB).
+const maxUploadBytes = 4 << 20
+
+// Handler returns the backend's HTTP API:
+//
+//	POST /v1/trips            upload one probe.Trip (JSON)
+//	GET  /v1/traffic          full traffic-map snapshot
+//	GET  /v1/traffic/segment?id=N   one segment's estimate
+//	GET  /v1/region           inferred regional congestion index
+//	GET  /v1/routes?depart=T  per-route live end-to-end travel times
+//	GET  /v1/arrivals?route=R&stop=I&depart=T   downstream ETAs
+//	GET  /v1/stats            pipeline counters
+//	GET  /healthz             liveness
+func Handler(b *Backend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/trips", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var trip probe.Trip
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err := dec.Decode(&trip); err != nil {
+			writeJSON(w, http.StatusBadRequest, UploadResponseJSON{Error: "malformed JSON: " + err.Error()})
+			return
+		}
+		res, err := b.ProcessTrip(trip)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, UploadResponseJSON{
+				TripID: trip.ID, Error: err.Error(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, UploadResponseJSON{
+			Accepted:     true,
+			TripID:       res.TripID,
+			Visits:       len(res.Visits),
+			Observations: res.Observations,
+		})
+	})
+	mux.HandleFunc("/v1/traffic", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := b.Traffic()
+		rows := make([]SegmentEstimateJSON, 0, len(snap))
+		for sid, est := range snap {
+			rows = append(rows, estimateJSON(sid, est))
+		}
+		sortRows(rows)
+		writeJSON(w, http.StatusOK, rows)
+	})
+	mux.HandleFunc("/v1/traffic/segment", func(w http.ResponseWriter, r *http.Request) {
+		idStr := r.URL.Query().Get("id")
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil {
+			http.Error(w, "bad segment id", http.StatusBadRequest)
+			return
+		}
+		est, ok := b.Estimator().Get(road.SegmentID(id))
+		if !ok {
+			http.Error(w, "no estimate for segment", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, estimateJSON(road.SegmentID(id), est))
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.Stats())
+	})
+	mux.HandleFunc("/v1/region", func(w http.ResponseWriter, r *http.Request) {
+		model, err := b.RegionModel()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, RegionJSON{
+			OverallIndex: model.OverallIndex(),
+			CoveredZones: model.CoveredZones(),
+		})
+	})
+	mux.HandleFunc("/v1/routes", func(w http.ResponseWriter, r *http.Request) {
+		departS, err := strconv.ParseFloat(r.URL.Query().Get("depart"), 64)
+		if err != nil {
+			http.Error(w, "need depart parameter", http.StatusBadRequest)
+			return
+		}
+		statuses, err := b.RouteStatuses(departS)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rows := make([]RouteStatusJSON, len(statuses))
+		for i, s := range statuses {
+			rows[i] = RouteStatusJSON{
+				Route:       string(s.Route),
+				Stops:       s.Stops,
+				LengthM:     s.LengthM,
+				EndToEndS:   s.EndToEndS,
+				CoveredFrac: s.CoveredFrac,
+			}
+		}
+		writeJSON(w, http.StatusOK, rows)
+	})
+	mux.HandleFunc("/v1/arrivals", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		routeID := transit.RouteID(q.Get("route"))
+		fromIdx, err1 := strconv.Atoi(q.Get("stop"))
+		departS, err2 := strconv.ParseFloat(q.Get("depart"), 64)
+		if routeID == "" || err1 != nil || err2 != nil {
+			http.Error(w, "need route, stop and depart parameters", http.StatusBadRequest)
+			return
+		}
+		preds, err := b.PredictArrivals(routeID, fromIdx, departS)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		rows := make([]ArrivalJSON, len(preds))
+		for i, p := range preds {
+			rows[i] = ArrivalJSON{
+				StopIdx:     p.StopIdx,
+				Stop:        int(p.Stop),
+				ArriveS:     p.ArriveS,
+				CoveredFrac: p.CoveredFrac,
+			}
+		}
+		writeJSON(w, http.StatusOK, rows)
+	})
+	return mux
+}
+
+// RegionJSON is the /v1/region response.
+type RegionJSON struct {
+	OverallIndex float64 `json:"overallIndex"`
+	CoveredZones int     `json:"coveredZones"`
+}
+
+// RouteStatusJSON is one /v1/routes row.
+type RouteStatusJSON struct {
+	Route       string  `json:"route"`
+	Stops       int     `json:"stops"`
+	LengthM     float64 `json:"lengthM"`
+	EndToEndS   float64 `json:"endToEndS"`
+	CoveredFrac float64 `json:"coveredFrac"`
+}
+
+// ArrivalJSON is one /v1/arrivals row.
+type ArrivalJSON struct {
+	StopIdx     int     `json:"stopIdx"`
+	Stop        int     `json:"stop"`
+	ArriveS     float64 `json:"arriveS"`
+	CoveredFrac float64 `json:"coveredFrac"`
+}
+
+func estimateJSON(sid road.SegmentID, est traffic.Estimate) SegmentEstimateJSON {
+	return SegmentEstimateJSON{
+		Segment:  int(sid),
+		SpeedKmh: est.SpeedKmh,
+		Var:      est.Var,
+		Reports:  est.Reports,
+		UpdatedS: est.UpdatedS,
+		Level:    traffic.LevelOf(est.SpeedKmh).String(),
+	}
+}
+
+func sortRows(rows []SegmentEstimateJSON) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Segment < rows[j].Segment })
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

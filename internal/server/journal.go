@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"busprobe/internal/phone"
+	"busprobe/internal/probe"
+)
+
+// Journal is an append-only JSON-lines log of uploaded trips. The
+// backend's pipeline state (estimates, dedup set) lives in memory; on
+// restart the journal replays every stored trip through the pipeline,
+// rebuilding the traffic map from the raw crowd data — the cheapest
+// durable representation, since trips are small and processing is fast.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// OpenJournal opens (creating if needed) a journal for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one trip record. Safe for concurrent use.
+func (j *Journal) Append(trip probe.Trip) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	enc := json.NewEncoder(j.w)
+	if err := enc.Encode(&trip); err != nil {
+		return fmt.Errorf("server: journal append: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("server: journal flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReplayJournal feeds every journaled trip through the backend pipeline.
+// Malformed lines and pipeline rejections (duplicates, invalid trips)
+// are counted, not fatal — a torn final line from a crash must not brick
+// the restart.
+func ReplayJournal(path string, b *Backend) (replayed, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: open journal: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var trip probe.Trip
+		if err := dec.Decode(&trip); err != nil {
+			if err == io.EOF {
+				break
+			}
+			// Torn or corrupt tail: stop replaying, keep what we have.
+			skipped++
+			break
+		}
+		if _, err := b.ProcessTrip(trip); err != nil {
+			skipped++
+			continue
+		}
+		replayed++
+	}
+	return replayed, skipped, nil
+}
+
+// JournaledUploader persists each trip before processing it, giving
+// at-most-once durability for the upload path: a trip is either in the
+// journal (and will replay) or was never acknowledged.
+type JournaledUploader struct {
+	Journal *Journal
+	Backend *Backend
+}
+
+var _ phone.Uploader = (*JournaledUploader)(nil)
+
+// Upload implements phone.Uploader.
+func (u *JournaledUploader) Upload(trip probe.Trip) error {
+	if err := u.Journal.Append(trip); err != nil {
+		return err
+	}
+	return u.Backend.Upload(trip)
+}

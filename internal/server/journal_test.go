@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalAppendAndReplay(t *testing.T) {
+	w := testWorld(t)
+	b1 := testBackend(t, w)
+	path := filepath.Join(t.TempDir(), "trips.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := &JournaledUploader{Journal: j, Backend: b1}
+	for k := 0; k < 4; k++ {
+		trip, _ := rideTrip(t, w, 0, 0, 6, fmt.Sprintf("journal-%d", k))
+		if err := up.Upload(trip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b1.Advance(12 * 3600)
+	want := b1.Traffic()
+	if len(want) == 0 {
+		t.Fatal("no estimates before restart")
+	}
+
+	// "Restart": a fresh backend rebuilt purely from the journal.
+	b2 := testBackend(t, w)
+	replayed, skipped, err := ReplayJournal(path, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 4 || skipped != 0 {
+		t.Fatalf("replayed=%d skipped=%d", replayed, skipped)
+	}
+	b2.Advance(12 * 3600)
+	got := b2.Traffic()
+	if len(got) != len(want) {
+		t.Fatalf("rebuilt map has %d segments, want %d", len(got), len(want))
+	}
+	for sid, w1 := range want {
+		w2, ok := got[sid]
+		if !ok || w1.SpeedKmh != w2.SpeedKmh || w1.Reports != w2.Reports {
+			t.Fatalf("segment %d differs after replay: %+v vs %+v", sid, w1, w2)
+		}
+	}
+}
+
+func TestReplaySkipsDuplicatesAndGarbage(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	path := filepath.Join(t.TempDir(), "trips.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, _ := rideTrip(t, w, 0, 0, 4, "dup-journal")
+	if err := j.Append(trip); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(trip); err != nil { // duplicate record
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail: simulate a crash mid-write.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"torn","samples":[{`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	replayed, skipped, err := ReplayJournal(path, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 {
+		t.Errorf("replayed = %d, want 1", replayed)
+	}
+	if skipped != 2 { // duplicate + torn tail
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	if _, _, err := ReplayJournal(filepath.Join(t.TempDir(), "nope.jsonl"), b); err == nil {
+		t.Error("want error for missing journal")
+	}
+}
+
+func TestOpenJournalBadPath(t *testing.T) {
+	if _, err := OpenJournal(filepath.Join(t.TempDir(), "no", "dir", "j.jsonl")); err == nil {
+		t.Error("want error for unwritable path")
+	}
+}
+
+func TestAttachedJournalCapturesUploads(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	path := filepath.Join(t.TempDir(), "attached.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AttachJournal(j)
+	trip, _ := rideTrip(t, w, 0, 0, 4, "attached-1")
+	if _, err := b.ProcessTrip(trip); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates are rejected before journaling.
+	if _, err := b.ProcessTrip(trip); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := testBackend(t, w)
+	replayed, skipped, err := ReplayJournal(path, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 || skipped != 0 {
+		t.Errorf("replayed=%d skipped=%d, want 1/0 (dup not journaled)", replayed, skipped)
+	}
+}

@@ -1,0 +1,516 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/probe"
+	"busprobe/internal/sim"
+	"busprobe/internal/stats"
+	"busprobe/internal/transit"
+)
+
+// testWorld builds a compact world shared by the server tests.
+func testWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultWorldConfig()
+	cfg.Road.WidthM = 3000
+	cfg.Road.HeightM = 2000
+	cfg.Plan.RouteIDs = []transit.RouteID{"179", "243"}
+	cfg.Plan.MinStops = 6
+	cfg.Plan.MaxStops = 10
+	w, err := sim.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func testBackend(t *testing.T, w *sim.World) *Backend {
+	t.Helper()
+	fpdb, err := BuildFingerprintDB(w.Cells, w.Transit, 4, DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackend(DefaultConfig(), w.Transit, fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// rideTrip fabricates a realistic trip along a route: samples at each
+// visited stop with scans taken at the platform, 2 beeps per stop.
+func rideTrip(t *testing.T, w *sim.World, routeIdx, from, to int, id string) (probe.Trip, []transit.StopID) {
+	t.Helper()
+	rt := w.Transit.Routes()[routeIdx]
+	if to > rt.NumStops()-1 {
+		to = rt.NumStops() - 1
+	}
+	rng := stats.NewRNG(99).Fork(id)
+	trip := probe.Trip{ID: id, DeviceID: "dev-test"}
+	var truth []transit.StopID
+	timeS := 8 * 3600.0
+	for i := from; i <= to; i++ {
+		stop := w.Transit.Stop(rt.Stops[i])
+		truth = append(truth, stop.ID)
+		for k := 0; k < 2; k++ {
+			readings := w.Cells.Scan(stop.Pos, cellular.Condition{OnBus: true}, rng)
+			trip.Samples = append(trip.Samples, probe.Sample{
+				TimeS:    timeS + float64(k)*3,
+				Readings: readings,
+			})
+		}
+		timeS += 70 + rng.Range(0, 20) // drive to next stop
+	}
+	return trip, truth
+}
+
+func TestBuildFingerprintDBCoversAllStops(t *testing.T) {
+	w := testWorld(t)
+	fpdb, err := BuildFingerprintDB(w.Cells, w.Transit, 4, DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpdb.Len() != w.Transit.NumStops() {
+		t.Errorf("fingerprinted %d of %d stops", fpdb.Len(), w.Transit.NumStops())
+	}
+	if _, err := BuildFingerprintDB(w.Cells, w.Transit, 0, DefaultConfig(), 7); err == nil {
+		t.Error("want error for zero runs")
+	}
+	if _, err := BuildFingerprintDB(nil, w.Transit, 2, DefaultConfig(), 7); err == nil {
+		t.Error("want error for nil deployment")
+	}
+}
+
+func TestBackendValidation(t *testing.T) {
+	w := testWorld(t)
+	fpdb, err := fingerprint.NewDB(fingerprint.DefaultScoring(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackend(DefaultConfig(), nil, fpdb); err == nil {
+		t.Error("want error for nil transit DB")
+	}
+	bad := DefaultConfig()
+	bad.MinSpeedKmh = 0
+	if _, err := NewBackend(bad, w.Transit, fpdb); err == nil {
+		t.Error("want error for bad speed bounds")
+	}
+}
+
+func TestPipelineMapsCleanTrip(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	trip, truth := rideTrip(t, w, 0, 1, 6, "trip-clean")
+	res, err := b.ProcessTrip(trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != len(trip.Samples) {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	if len(res.Visits) < len(truth)-1 {
+		t.Fatalf("mapped %d visits, truth has %d stops", len(res.Visits), len(truth))
+	}
+	// Count correctly identified stops (order-aligned tolerant check:
+	// each mapped visit should be in the truth sequence).
+	correct := 0
+	for i, v := range res.Visits {
+		if i < len(truth) && v.Stop == truth[i] {
+			correct++
+		}
+	}
+	if correct < len(res.Visits)*7/10 {
+		t.Errorf("only %d/%d visits correct (truth %v, got %+v)",
+			correct, len(res.Visits), truth, res.Visits)
+	}
+	if res.Observations == 0 {
+		t.Error("no traffic observations extracted")
+	}
+	b.Advance(9 * 3600)
+	if len(b.Traffic()) == 0 {
+		t.Error("no traffic estimates after advance")
+	}
+}
+
+func TestTrafficSpeedPlausible(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	trip, _ := ridLongTrip(t, w)
+	if _, err := b.ProcessTrip(trip); err != nil {
+		t.Fatal(err)
+	}
+	b.Advance(10 * 3600)
+	for sid, est := range b.Traffic() {
+		if est.SpeedKmh < 2 || est.SpeedKmh > 90 {
+			t.Errorf("segment %d speed %v implausible", sid, est.SpeedKmh)
+		}
+	}
+}
+
+// ridLongTrip is rideTrip over most of route 0.
+func ridLongTrip(t *testing.T, w *sim.World) (probe.Trip, []transit.StopID) {
+	rt := w.Transit.Routes()[0]
+	return rideTrip(t, w, 0, 0, rt.NumStops()-1, "trip-long")
+}
+
+func TestDuplicateTripRejected(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	trip, _ := rideTrip(t, w, 0, 1, 4, "trip-dup")
+	if _, err := b.ProcessTrip(trip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ProcessTrip(trip); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if b.Stats().DuplicateTrips != 1 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestInvalidTripRejected(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	bad := probe.Trip{ID: "", Samples: nil}
+	if _, err := b.ProcessTrip(bad); err == nil {
+		t.Error("invalid trip accepted")
+	}
+	if b.Stats().TripsRejected != 1 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestNoiseSamplesDiscarded(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	// Fabricate a trip whose samples carry junk cell IDs unseen in the
+	// database: all samples fall below gamma and are dropped.
+	trip := probe.Trip{ID: "junk", DeviceID: "d"}
+	for i := 0; i < 5; i++ {
+		trip.Samples = append(trip.Samples, probe.Sample{
+			TimeS: float64(100 + i*40),
+			Readings: []cellular.Reading{
+				{Cell: cellular.CellID(900001 + i), RSS: -60},
+				{Cell: cellular.CellID(900100 + i), RSS: -70},
+			},
+		})
+	}
+	res, err := b.ProcessTrip(trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 0 || len(res.Visits) != 0 {
+		t.Errorf("junk trip produced matches: %+v", res)
+	}
+	if b.Stats().SamplesDiscarded != 5 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestCampaignIntoBackend(t *testing.T) {
+	// Full integration: simulated campaign uploads into the backend
+	// in-process; the backend produces a traffic map.
+	w := testWorld(t)
+	b := testBackend(t, w)
+	cfg := sim.DefaultCampaignConfig()
+	cfg.Days = 1
+	cfg.Participants = 8
+	cfg.SparseTripsPerDay = 4
+	cfg.IntensiveFromDay = 99
+	camp, err := sim.NewCampaign(w, cfg, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := camp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	b.Advance(sim.DayS)
+	st := b.Stats()
+	if st.TripsReceived == 0 || st.VisitsMapped == 0 {
+		t.Fatalf("backend saw nothing: %+v", st)
+	}
+	if st.Observations == 0 {
+		t.Fatalf("no observations: %+v", st)
+	}
+	snap := b.Traffic()
+	if len(snap) == 0 {
+		t.Fatal("empty traffic map")
+	}
+	// Matched share should be high: the radio model and matcher are
+	// tuned so most samples clear gamma.
+	matchRate := float64(st.SamplesMatched) / float64(st.SamplesReceived)
+	if matchRate < 0.7 {
+		t.Errorf("match rate = %v", matchRate)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	srv := httptest.NewServer(Handler(b))
+	defer srv.Close()
+
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !client.Healthy() {
+		t.Fatal("backend not healthy")
+	}
+	trip, _ := rideTrip(t, w, 0, 0, 5, "http-trip")
+	if err := client.Upload(trip); err != nil {
+		t.Fatal(err)
+	}
+	b.Advance(10 * 3600)
+	rows, err := client.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no traffic rows over HTTP")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Segment < rows[i-1].Segment {
+			t.Fatal("rows not sorted")
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TripsReceived != 1 {
+		t.Errorf("stats over HTTP = %+v", st)
+	}
+	// Duplicate via HTTP is a 422.
+	if err := client.Upload(trip); err == nil {
+		t.Error("duplicate accepted over HTTP")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	srv := httptest.NewServer(Handler(b))
+	defer srv.Close()
+
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL+"/v1/trips", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON gave %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(srv.URL + "/v1/trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/trips gave %d", resp.StatusCode)
+	}
+	// Unknown segment.
+	resp, err = http.Get(srv.URL + "/v1/traffic/segment?id=99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown segment gave %d", resp.StatusCode)
+	}
+	// Bad segment id.
+	resp, err = http.Get(srv.URL + "/v1/traffic/segment?id=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad segment id gave %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPSegmentEndpoint(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	srv := httptest.NewServer(Handler(b))
+	defer srv.Close()
+	trip, _ := ridLongTrip(t, w)
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Upload(trip); err != nil {
+		t.Fatal(err)
+	}
+	b.Advance(12 * 3600)
+	rows, err := client.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var got SegmentEstimateJSON
+	resp, err := http.Get(srv.URL + "/v1/traffic/segment?id=" + strconv.Itoa(rows[0].Segment))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.SpeedKmh-rows[0].SpeedKmh) > 1e-9 {
+		t.Errorf("segment endpoint mismatch: %v vs %v", got.SpeedKmh, rows[0].SpeedKmh)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient("", nil); err == nil {
+		t.Error("want error for empty URL")
+	}
+	c, err := NewClient("http://127.0.0.1:1", nil) // nothing listening
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Healthy() {
+		t.Error("dead endpoint reported healthy")
+	}
+	if err := c.Upload(probe.Trip{ID: "x", Samples: []probe.Sample{{TimeS: 1, Readings: []cellular.Reading{{Cell: 1, RSS: -60}}}}}); err == nil {
+		t.Error("upload to dead endpoint succeeded")
+	}
+}
+
+func TestHTTPRegionAndArrivals(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	srv := httptest.NewServer(Handler(b))
+	defer srv.Close()
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any estimates: region inference is unavailable (503).
+	if _, err := client.Region(); err == nil {
+		t.Error("region should fail with no estimates")
+	}
+	trip, _ := ridLongTrip(t, w)
+	if err := client.Upload(trip); err != nil {
+		t.Fatal(err)
+	}
+	b.Advance(12 * 3600)
+	region, err := client.Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.OverallIndex <= 0 || region.OverallIndex >= 1.2 {
+		t.Errorf("overall index = %v", region.OverallIndex)
+	}
+	if region.CoveredZones == 0 {
+		t.Error("no covered zones")
+	}
+
+	rt := w.Transit.Routes()[0]
+	preds, err := client.Arrivals(string(rt.ID), 0, 13*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != rt.NumStops()-1 {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	prev := 13 * 3600.0
+	for _, p := range preds {
+		if p.ArriveS <= prev {
+			t.Fatal("ETAs not increasing")
+		}
+		prev = p.ArriveS
+	}
+	// Bad requests.
+	for _, path := range []string{
+		"/v1/arrivals",
+		"/v1/arrivals?route=&stop=0&depart=1",
+		"/v1/arrivals?route=" + string(rt.ID) + "&stop=abc&depart=1",
+		"/v1/arrivals?route=" + string(rt.ID) + "&stop=0&depart=xyz",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s gave %d", path, resp.StatusCode)
+		}
+	}
+	// Unknown route is a 422.
+	resp, err := http.Get(srv.URL + "/v1/arrivals?route=nope&stop=0&depart=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown route gave %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRouteStatuses(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	srv := httptest.NewServer(Handler(b))
+	defer srv.Close()
+	trip, _ := ridLongTrip(t, w)
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Upload(trip); err != nil {
+		t.Fatal(err)
+	}
+	b.Advance(12 * 3600)
+
+	var rows []RouteStatusJSON
+	resp, err := http.Get(srv.URL + "/v1/routes?depart=46800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != w.Transit.NumRoutes() {
+		t.Fatalf("routes = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EndToEndS <= 0 || r.LengthM <= 0 || r.Stops < 2 {
+			t.Errorf("degenerate route status %+v", r)
+		}
+		if r.CoveredFrac < 0 || r.CoveredFrac > 1 {
+			t.Errorf("covered frac %v", r.CoveredFrac)
+		}
+	}
+	// Route 0 carried the trip, so it should have live coverage.
+	if rows[0].CoveredFrac == 0 {
+		t.Error("probed route has no live coverage")
+	}
+	// Missing depart is a 400.
+	resp2, err := http.Get(srv.URL + "/v1/routes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing depart gave %d", resp2.StatusCode)
+	}
+}

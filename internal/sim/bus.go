@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+
+	"busprobe/internal/geo"
+	"busprobe/internal/road"
+	"busprobe/internal/transit"
+)
+
+// busState is the bus's lifecycle phase.
+type busState int
+
+const (
+	stateAtStop busState = iota // arrival pending a visit decision
+	stateDwelling
+	stateDriving
+	stateDone
+)
+
+// Bus is one vehicle driving a route. It advances with fixed time steps
+// against the traffic field and emits arrival events the fleet's handler
+// resolves into dwells (someone taps) or skips (nobody to serve).
+type Bus struct {
+	// ID is unique per spawned bus.
+	ID int
+	// Route is the service being driven.
+	Route *transit.Route
+
+	net  *road.Network
+	legs []transit.Leg
+
+	state      busState
+	stopIdx    int     // stop just reached or dwelled at
+	legIdx     int     // leg currently driven (stopIdx -> stopIdx+1)
+	segPos     int     // index into legs[legIdx].Segments
+	segDistM   float64 // meters into the current segment
+	dwellUntil float64
+}
+
+// NewBus spawns a bus at the route's first stop; the first arrival event
+// (stop index 0) is immediately pending.
+func NewBus(id int, route *transit.Route, net *road.Network) (*Bus, error) {
+	if route == nil || net == nil {
+		return nil, fmt.Errorf("sim: nil route or network")
+	}
+	if route.NumLegs() < 1 {
+		return nil, fmt.Errorf("sim: route %s has no legs", route.ID)
+	}
+	legs := make([]transit.Leg, route.NumLegs())
+	for i := range legs {
+		legs[i] = route.Leg(net, i)
+	}
+	return &Bus{ID: id, Route: route, net: net, legs: legs, state: stateAtStop}, nil
+}
+
+// Done reports whether the bus finished its run.
+func (b *Bus) Done() bool { return b.state == stateDone }
+
+// StopIdx returns the index of the stop just reached (valid when an
+// arrival is pending or during a dwell).
+func (b *Bus) StopIdx() int { return b.stopIdx }
+
+// CurrentStop returns the logical stop just reached.
+func (b *Bus) CurrentStop() transit.StopID { return b.Route.Stops[b.stopIdx] }
+
+// Pos returns the bus position: the stop location while at a stop, or
+// the point along the current segment while driving.
+func (b *Bus) Pos() geo.XY {
+	switch b.state {
+	case stateDriving:
+		leg := b.legs[b.legIdx]
+		seg := b.net.Segment(leg.Segments[b.segPos])
+		return seg.Shape.At(b.segDistM)
+	default:
+		return b.net.Node(b.stopNode(b.stopIdx)).Pos
+	}
+}
+
+func (b *Bus) stopNode(i int) road.NodeID {
+	if i < len(b.legs) {
+		return b.net.Segment(b.legs[i].Segments[0]).From
+	}
+	last := b.legs[len(b.legs)-1]
+	return b.net.Segment(last.Segments[len(last.Segments)-1]).To
+}
+
+// PendingArrival reports whether the bus is waiting for a visit
+// decision.
+func (b *Bus) PendingArrival() bool { return b.state == stateAtStop }
+
+// Dwell resolves a pending arrival into a stop visit lasting dwellS
+// seconds from now.
+func (b *Bus) Dwell(now, dwellS float64) error {
+	if b.state != stateAtStop {
+		return fmt.Errorf("sim: bus %d has no pending arrival", b.ID)
+	}
+	b.state = stateDwelling
+	b.dwellUntil = now + dwellS
+	return nil
+}
+
+// Skip resolves a pending arrival by passing the stop without stopping.
+func (b *Bus) Skip() error {
+	if b.state != stateAtStop {
+		return fmt.Errorf("sim: bus %d has no pending arrival", b.ID)
+	}
+	b.depart()
+	return nil
+}
+
+// depart transitions from the current stop onto the next leg, or ends
+// the run at the terminal.
+func (b *Bus) depart() {
+	if b.stopIdx >= len(b.legs) {
+		b.state = stateDone
+		return
+	}
+	b.legIdx = b.stopIdx
+	b.segPos = 0
+	b.segDistM = 0
+	b.state = stateDriving
+}
+
+// Advance moves the bus dt seconds forward at time now. It returns true
+// when the bus has just arrived at its next stop (an arrival event the
+// caller must resolve with Dwell or Skip before the next Advance).
+func (b *Bus) Advance(now, dt float64, field *Field) (arrived bool, err error) {
+	switch b.state {
+	case stateDone:
+		return false, nil
+	case stateAtStop:
+		return false, fmt.Errorf("sim: bus %d advanced with unresolved arrival", b.ID)
+	case stateDwelling:
+		if now+dt >= b.dwellUntil {
+			b.depart()
+		}
+		return false, nil
+	}
+	// Driving.
+	remaining := dt
+	leg := b.legs[b.legIdx]
+	for remaining > 0 {
+		sid := leg.Segments[b.segPos]
+		v := field.BusKmh(sid, now) / 3.6 // m/s
+		if v <= 0 {
+			return false, nil
+		}
+		segLen := b.net.Segment(sid).LengthM()
+		distLeft := segLen - b.segDistM
+		tNeed := distLeft / v
+		if tNeed > remaining {
+			b.segDistM += v * remaining
+			return false, nil
+		}
+		remaining -= tNeed
+		b.segPos++
+		b.segDistM = 0
+		if b.segPos == len(leg.Segments) {
+			// Arrived at the next stop.
+			b.stopIdx = b.legIdx + 1
+			b.state = stateAtStop
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,53 @@
+// Package sim is the city simulator substituting for the paper's
+// physical deployment: a time-varying ground-truth traffic field over the
+// road network, buses driving their routes and dwelling at stops, a rider
+// demand model producing IC-card beeps, participant phones riding along,
+// and the taxi-AVL "official traffic" feed used as the evaluation
+// comparator (the paper's LTA data from >1,000 taxis).
+//
+// Everything runs on a virtual clock (seconds since campaign start) and
+// is deterministic given the configuration seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time constants of the virtual clock.
+const (
+	// DayS is one simulated day in seconds.
+	DayS = 86400.0
+	// ServiceStartS is when buses start running (06:00).
+	ServiceStartS = 6 * 3600.0
+	// ServiceEndS is when bus service ends (23:00).
+	ServiceEndS = 23 * 3600.0
+)
+
+// TimeOfDayS maps an absolute simulation time to seconds since midnight.
+func TimeOfDayS(t float64) float64 {
+	tod := math.Mod(t, DayS)
+	if tod < 0 {
+		tod += DayS
+	}
+	return tod
+}
+
+// HourOfDay maps an absolute simulation time to fractional hours since
+// midnight.
+func HourOfDay(t float64) float64 { return TimeOfDayS(t) / 3600 }
+
+// DayIndex returns the zero-based simulated day of an absolute time.
+func DayIndex(t float64) int { return int(math.Floor(t / DayS)) }
+
+// InServiceHours reports whether buses run at the given time.
+func InServiceHours(t float64) bool {
+	tod := TimeOfDayS(t)
+	return tod >= ServiceStartS && tod < ServiceEndS
+}
+
+// ClockTime renders an absolute time as "d2 08:30" for reports.
+func ClockTime(t float64) string {
+	tod := TimeOfDayS(t)
+	return fmt.Sprintf("d%d %02d:%02d", DayIndex(t), int(tod/3600), int(tod/60)%60)
+}

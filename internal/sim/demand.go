@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"busprobe/internal/stats"
+	"busprobe/internal/transit"
+)
+
+// DemandConfig parameterizes the background rider demand: the ordinary
+// (non-participant) passengers whose IC-card taps produce the beeps that
+// participant phones overhear.
+type DemandConfig struct {
+	// BaseBeepsPerVisit is the off-peak mean number of card taps
+	// (boardings + alightings) when a bus serves a stop.
+	BaseBeepsPerVisit float64
+	// RushMultiplier scales demand at the rush peaks.
+	RushMultiplier float64
+	// Seed drives per-stop popularity.
+	Seed uint64
+}
+
+// DefaultDemandConfig returns the campaign's demand model.
+func DefaultDemandConfig() DemandConfig {
+	return DemandConfig{BaseBeepsPerVisit: 1.3, RushMultiplier: 2.2, Seed: 1}
+}
+
+// Validate rejects broken configurations.
+func (c DemandConfig) Validate() error {
+	if c.BaseBeepsPerVisit < 0 || c.RushMultiplier < 1 {
+		return fmt.Errorf("sim: bad demand config %+v", c)
+	}
+	return nil
+}
+
+// Demand produces beep counts for bus stop visits. Immutable after
+// construction; callers supply their own RNG per draw site.
+type Demand struct {
+	cfg  DemandConfig
+	bias map[transit.StopID]float64 // frozen per-stop popularity
+}
+
+// NewDemand builds the demand model over the transit DB's stops.
+func NewDemand(db *transit.DB, cfg DemandConfig) (*Demand, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed).Fork("demand")
+	bias := make(map[transit.StopID]float64, db.NumStops())
+	for _, st := range db.Stops() {
+		// Stops served by more routes are busier interchange points.
+		routes := float64(len(db.RoutesOf(st.ID)))
+		bias[st.ID] = stats.Clamp(rng.LogNormal(0, 0.45)*(0.8+0.2*routes), 0.2, 4)
+	}
+	return &Demand{cfg: cfg, bias: bias}, nil
+}
+
+// MeanBeeps returns the expected tap count for a visit to the stop at
+// the given time.
+func (d *Demand) MeanBeeps(stop transit.StopID, t float64) float64 {
+	h := HourOfDay(t)
+	rush := math.Exp(-(h-8.5)*(h-8.5)/(2*0.8*0.8)) + math.Exp(-(h-18.0)*(h-18.0)/(2*0.9*0.9))
+	diurnal := 1 + (d.cfg.RushMultiplier-1)*rush
+	return d.cfg.BaseBeepsPerVisit * diurnal * d.bias[stop]
+}
+
+// BeepsAtVisit draws the number of background card taps for one stop
+// visit. Zero means nobody boards or alights: the bus skips the stop and
+// the trip record merges the adjacent road segments (§III-D).
+func (d *Demand) BeepsAtVisit(stop transit.StopID, t float64, rng *stats.RNG) int {
+	return rng.Poisson(d.MeanBeeps(stop, t))
+}

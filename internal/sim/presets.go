@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"busprobe/internal/transit"
+)
+
+// LondonWorldConfig is a second city preset backing the paper's §VI
+// portability claim ("our system can be easily adopted to other urban
+// areas with slight modifications"): a denser, larger inner-London-like
+// grid, Oyster-style route names, tighter headways, and a different
+// radio plan. Only configuration changes — no code paths differ — which
+// is exactly the claim.
+func LondonWorldConfig() WorldConfig {
+	cfg := DefaultWorldConfig()
+	cfg.Seed = 0x10d05
+
+	// Inner-London scale: larger extent, tighter blocks, slower design
+	// speeds (dense signals, narrow streets).
+	cfg.Road.WidthM = 8000
+	cfg.Road.HeightM = 5000
+	cfg.Road.SpacingM = 400
+	cfg.Road.ArterialEvery = 4
+	cfg.Road.LocalKmh = 50
+	cfg.Road.ArterialKmh = 80
+	cfg.Road.JitterM = 60
+
+	// TfL-style route identifiers, higher frequency (London's 75%+
+	// route coverage comes from a denser network).
+	cfg.Plan.RouteIDs = []transit.RouteID{
+		"25", "38", "73", "149", "243", "N25", "W7", "254", "476", "141",
+	}
+	cfg.Plan.MinStops = 18
+	cfg.Plan.MaxStops = 30
+	cfg.Plan.HeadwayS = 360
+
+	// Denser urban macro layer.
+	cfg.Cells.SpacingM = 500
+	cfg.Cells.JitterM = 120
+
+	// Heavier, longer rush (the morning peak spreads).
+	cfg.Field.MorningDepth = 0.5
+	cfg.Field.EveningDepth = 0.42
+	cfg.Field.PeakWidthH = 1.1
+	cfg.Field.BusCapKmh = 50 // London buses are slower
+	cfg.Field.FreeFlowRatio = 0.6
+
+	// Busier stops.
+	cfg.Demand.BaseBeepsPerVisit = 1.8
+	return cfg
+}

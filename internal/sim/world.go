@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/road"
+	"busprobe/internal/transit"
+)
+
+// WorldConfig bundles the configuration of every substrate making up the
+// simulated city.
+type WorldConfig struct {
+	Road   road.GridConfig
+	Plan   transit.PlanConfig
+	Cells  cellular.DeployConfig
+	Field  FieldConfig
+	Demand DemandConfig
+	// Seed, when non-zero, re-derives every substrate seed from one
+	// master value so whole worlds are reproducible from a single
+	// number.
+	Seed uint64
+}
+
+// DefaultWorldConfig returns the paper-scale city: 7 km x 4 km grid,
+// 8 routes, ~600 m cell spacing.
+func DefaultWorldConfig() WorldConfig {
+	return WorldConfig{
+		Road:   road.DefaultGridConfig(),
+		Plan:   transit.DefaultPlanConfig(),
+		Cells:  cellular.DefaultDeployConfig(),
+		Field:  DefaultFieldConfig(),
+		Demand: DefaultDemandConfig(),
+		Seed:   1,
+	}
+}
+
+// World is the assembled city: road network, transit system, radio
+// deployment, ground-truth traffic field and rider demand. Immutable
+// after construction.
+type World struct {
+	Cfg     WorldConfig
+	Net     *road.Network
+	Transit *transit.DB
+	Cells   *cellular.Deployment
+	Field   *Field
+	Demand  *Demand
+}
+
+// BuildWorld assembles a world from the configuration.
+func BuildWorld(cfg WorldConfig) (*World, error) {
+	if cfg.Seed != 0 {
+		cfg.Road.Seed = cfg.Seed ^ 0xa11ce
+		cfg.Plan.Seed = cfg.Seed ^ 0xb0b
+		cfg.Cells.Seed = cfg.Seed ^ 0xce11
+		cfg.Field.Seed = cfg.Seed ^ 0xf1e1d
+		cfg.Demand.Seed = cfg.Seed ^ 0xdea4d
+	}
+	net, err := road.GenerateGrid(cfg.Road)
+	if err != nil {
+		return nil, fmt.Errorf("sim: road network: %w", err)
+	}
+	db, err := transit.PlanRoutes(net, cfg.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("sim: transit: %w", err)
+	}
+	cells, err := cellular.NewDeployment(net.BBox(), cfg.Cells)
+	if err != nil {
+		return nil, fmt.Errorf("sim: cellular: %w", err)
+	}
+	field, err := NewField(net, cfg.Field)
+	if err != nil {
+		return nil, fmt.Errorf("sim: field: %w", err)
+	}
+	demand, err := NewDemand(db, cfg.Demand)
+	if err != nil {
+		return nil, fmt.Errorf("sim: demand: %w", err)
+	}
+	return &World{Cfg: cfg, Net: net, Transit: db, Cells: cells, Field: field, Demand: demand}, nil
+}

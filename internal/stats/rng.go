@@ -1,0 +1,166 @@
+// Package stats provides the deterministic random-number machinery and
+// the small statistical toolkit (accumulators, empirical CDFs, quantiles,
+// linear regression) shared by the busprobe simulator and evaluation
+// harness.
+//
+// Every source of randomness in the repository flows through an *RNG so
+// that whole campaigns are reproducible from a single seed. Independent
+// sub-streams are derived with Fork, which hashes a label into the parent
+// state; two forks with different labels are statistically independent,
+// and forking does not perturb the parent stream.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator based on
+// splitmix64. The zero value is a valid generator seeded with 0; prefer
+// NewRNG to make the seed explicit.
+//
+// RNG is not safe for concurrent use; fork one stream per goroutine.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal deviate from the polar method.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent generator from the current generator state
+// and a label, without advancing the parent. Equal (state, label) pairs
+// always yield the same child, which is what makes per-entity streams
+// (per tower, per bus, per rider) reproducible regardless of the order in
+// which entities are created.
+func (r *RNG) Fork(label string) *RNG {
+	h := r.state
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3 // FNV-1a prime, then splitmix finalizer below
+	}
+	return &RNG{state: mix64(h)}
+}
+
+// ForkN derives an independent generator from an integer label.
+func (r *RNG) ForkN(n uint64) *RNG {
+	return &RNG{state: mix64(r.state ^ mix64(n+0x9e3779b97f4a7c15))}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform deviate in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normal deviate with the given mean and standard
+// deviation, using the Marsaglia polar method.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	return mean + stddev*r.StdNorm()
+}
+
+// StdNorm returns a standard normal deviate.
+func (r *RNG) StdNorm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// LogNormal returns a deviate whose logarithm is normal with parameters
+// mu and sigma (the parameters of the underlying normal, not the moments
+// of the log-normal itself).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Exp returns an exponential deviate with the given mean. It is used for
+// inter-arrival times (riders, taxis dispatch).
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Poisson returns a Poisson deviate with the given mean, using Knuth's
+// method for small means and a normal approximation above 30.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(r.Norm(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestForkIndependentOfParentPosition(t *testing.T) {
+	a := NewRNG(7)
+	child1 := a.Fork("tower")
+	// Forking must not advance the parent.
+	b := NewRNG(7)
+	child2 := b.Fork("tower")
+	for i := 0; i < 100; i++ {
+		if child1.Uint64() != child2.Uint64() {
+			t.Fatalf("forks of equal state diverged at %d", i)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("fork advanced parent stream")
+	}
+}
+
+func TestForkLabelsIndependent(t *testing.T) {
+	r := NewRNG(9)
+	c1 := r.Fork("alpha")
+	c2 := r.Fork("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct labels produced %d identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64RangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(4)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestStdNormMoments(t *testing.T) {
+	r := NewRNG(5)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.StdNorm())
+	}
+	if m := acc.Mean(); math.Abs(m) > 0.02 {
+		t.Errorf("mean = %v, want ~0", m)
+	}
+	if s := acc.StdDev(); math.Abs(s-1) > 0.02 {
+		t.Errorf("stddev = %v, want ~1", s)
+	}
+}
+
+func TestNormShiftScale(t *testing.T) {
+	r := NewRNG(6)
+	var acc Accumulator
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.Norm(10, 3))
+	}
+	if m := acc.Mean(); math.Abs(m-10) > 0.1 {
+		t.Errorf("mean = %v, want ~10", m)
+	}
+	if s := acc.StdDev(); math.Abs(s-3) > 0.1 {
+		t.Errorf("stddev = %v, want ~3", s)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(8)
+	var acc Accumulator
+	for i := 0; i < 100000; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatalf("negative exponential deviate %v", v)
+		}
+		acc.Add(v)
+	}
+	if m := acc.Mean(); math.Abs(m-5) > 0.15 {
+		t.Errorf("mean = %v, want ~5", m)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(10)
+	for _, mean := range []float64{0.5, 3, 12, 40} {
+		var acc Accumulator
+		for i := 0; i < 50000; i++ {
+			acc.Add(float64(r.Poisson(mean)))
+		}
+		if m := acc.Mean(); math.Abs(m-mean) > 0.1*mean+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := NewRNG(11)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+	if v := r.Poisson(-1); v != 0 {
+		t.Fatalf("Poisson(-1) = %d, want 0", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(12)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(14)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) frequency = %v", got)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(15)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}

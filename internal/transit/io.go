@@ -1,0 +1,109 @@
+package transit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"busprobe/internal/road"
+)
+
+// RouteSpec is the interchange representation of one bus route: the
+// ordered intersection nodes it drives through (a stop at each). This is
+// the "bus route operations are public information readily available on
+// the web" input of §III-A — deployments load their city's routes from a
+// file instead of using the synthetic planner.
+type RouteSpec struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	HeadwayS int    `json:"headwayS"`
+	Nodes    []int  `json:"nodes"`
+}
+
+// routesFile is the on-disk schema.
+type routesFile struct {
+	Format int         `json:"format"`
+	Routes []RouteSpec `json:"routes"`
+}
+
+// routesFormat is the schema version.
+const routesFormat = 1
+
+// ParseRoutesJSON reads a route definition file.
+func ParseRoutesJSON(r io.Reader) ([]RouteSpec, error) {
+	var in routesFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("transit: parse routes: %w", err)
+	}
+	if in.Format != routesFormat {
+		return nil, fmt.Errorf("transit: unsupported routes format %d", in.Format)
+	}
+	if len(in.Routes) == 0 {
+		return nil, fmt.Errorf("transit: no routes in file")
+	}
+	return in.Routes, nil
+}
+
+// WriteRoutesJSON serializes route specs.
+func WriteRoutesJSON(w io.Writer, specs []RouteSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(routesFile{Format: routesFormat, Routes: specs}); err != nil {
+		return fmt.Errorf("transit: write routes: %w", err)
+	}
+	return nil
+}
+
+// BuildFromSpecs assembles a transit DB from route specs over a road
+// network, validating every walk.
+func BuildFromSpecs(net *road.Network, specs []RouteSpec) (*DB, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("transit: no route specs")
+	}
+	bl := NewBuilder(net)
+	for _, sp := range specs {
+		if sp.ID == "" {
+			return nil, fmt.Errorf("transit: route spec without ID")
+		}
+		if sp.HeadwayS <= 0 {
+			return nil, fmt.Errorf("transit: route %s has no headway", sp.ID)
+		}
+		nodes := make([]road.NodeID, len(sp.Nodes))
+		for i, n := range sp.Nodes {
+			if n < 0 || n >= net.NumNodes() {
+				return nil, fmt.Errorf("transit: route %s references unknown node %d", sp.ID, n)
+			}
+			nodes[i] = road.NodeID(n)
+		}
+		name := sp.Name
+		if name == "" {
+			name = "Service " + sp.ID
+		}
+		if err := bl.AddRoute(RouteID(sp.ID), name, nodes, float64(sp.HeadwayS)); err != nil {
+			return nil, err
+		}
+	}
+	return bl.Build(), nil
+}
+
+// ExportSpecs flattens a DB's routes back into specs, inverting
+// BuildFromSpecs (node walks are recovered from the route paths).
+func (db *DB) ExportSpecs() []RouteSpec {
+	out := make([]RouteSpec, 0, len(db.routes))
+	for _, rt := range db.routes {
+		sp := RouteSpec{
+			ID:       string(rt.ID),
+			Name:     rt.Name,
+			HeadwayS: int(rt.HeadwayS),
+		}
+		for i, sid := range rt.Path {
+			seg := db.net.Segment(sid)
+			if i == 0 {
+				sp.Nodes = append(sp.Nodes, int(seg.From))
+			}
+			sp.Nodes = append(sp.Nodes, int(seg.To))
+		}
+		out = append(out, sp)
+	}
+	return out
+}

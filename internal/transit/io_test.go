@@ -1,0 +1,158 @@
+package transit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuildFromSpecs(t *testing.T) {
+	net := testNet(t)
+	specs := []RouteSpec{
+		{ID: "179", Name: "Service 179", HeadwayS: 480, Nodes: []int{0, 1, 2, 3}},
+		{ID: "243", HeadwayS: 600, Nodes: []int{3, 2, 1, 0}},
+	}
+	db, err := BuildFromSpecs(net, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRoutes() != 2 {
+		t.Fatalf("routes = %d", db.NumRoutes())
+	}
+	rt := db.Route("179")
+	if rt.NumStops() != 4 || rt.HeadwayS != 480 {
+		t.Errorf("route 179 shape wrong: %+v", rt)
+	}
+	if db.Route("243").Name != "Service 243" {
+		t.Error("default name not applied")
+	}
+	// Opposite directions aggregate to the same logical stops.
+	if db.NumStops() != 4 {
+		t.Errorf("stops = %d, want 4", db.NumStops())
+	}
+}
+
+func TestBuildFromSpecsValidation(t *testing.T) {
+	net := testNet(t)
+	cases := map[string][]RouteSpec{
+		"empty":        {},
+		"no id":        {{HeadwayS: 480, Nodes: []int{0, 1}}},
+		"no headway":   {{ID: "A", Nodes: []int{0, 1}}},
+		"bad node":     {{ID: "A", HeadwayS: 480, Nodes: []int{0, 999999}}},
+		"disconnected": {{ID: "A", HeadwayS: 480, Nodes: []int{0, 2}}},
+		"revisit":      {{ID: "A", HeadwayS: 480, Nodes: []int{0, 1, 0}}},
+	}
+	for name, specs := range cases {
+		if _, err := BuildFromSpecs(net, specs); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRoutesJSONRoundTrip(t *testing.T) {
+	net := testNet(t)
+	specs := []RouteSpec{
+		{ID: "179", Name: "Service 179", HeadwayS: 480, Nodes: []int{0, 1, 2, 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRoutesJSON(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRoutesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].ID != "179" || len(back[0].Nodes) != 4 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := BuildFromSpecs(net, back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRoutesJSONErrors(t *testing.T) {
+	if _, err := ParseRoutesJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+	if _, err := ParseRoutesJSON(strings.NewReader(`{"format":9,"routes":[{"id":"A"}]}`)); err == nil {
+		t.Error("want error for unknown format")
+	}
+	if _, err := ParseRoutesJSON(strings.NewReader(`{"format":1,"routes":[]}`)); err == nil {
+		t.Error("want error for empty routes")
+	}
+}
+
+func TestExportSpecsInvertsBuild(t *testing.T) {
+	net := testNet(t)
+	specs := []RouteSpec{
+		{ID: "179", Name: "Service 179", HeadwayS: 480, Nodes: []int{0, 1, 2, 3}},
+		{ID: "30", Name: "Service 30", HeadwayS: 720, Nodes: []int{3, 2, 1}},
+	}
+	db, err := BuildFromSpecs(net, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := db.ExportSpecs()
+	if len(exported) != len(specs) {
+		t.Fatalf("exported %d specs", len(exported))
+	}
+	for i, sp := range exported {
+		want := specs[i]
+		if sp.ID != want.ID || sp.HeadwayS != want.HeadwayS || sp.Name != want.Name {
+			t.Errorf("spec %d header differs: %+v vs %+v", i, sp, want)
+		}
+		if len(sp.Nodes) != len(want.Nodes) {
+			t.Fatalf("spec %d node count %d vs %d", i, len(sp.Nodes), len(want.Nodes))
+		}
+		for j := range sp.Nodes {
+			if sp.Nodes[j] != want.Nodes[j] {
+				t.Fatalf("spec %d node %d differs", i, j)
+			}
+		}
+	}
+	// Full cycle: rebuild from the export and compare route shapes.
+	db2, err := BuildFromSpecs(net, exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumStops() != db.NumStops() || db2.NumPlatforms() != db.NumPlatforms() {
+		t.Error("rebuild differs from original")
+	}
+}
+
+func TestPlannedCityExportsAndRebuilds(t *testing.T) {
+	// The synthetic planner's output must survive the interchange
+	// format, so a generated city can be frozen to a file and reloaded.
+	net := testNet(t)
+	cfg := DefaultPlanConfig()
+	cfg.RouteIDs = []RouteID{"179", "243"}
+	cfg.MinStops = 5
+	cfg.MaxStops = 8
+	db, err := PlanRoutes(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRoutesJSON(&buf, db.ExportSpecs()); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ParseRoutesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := BuildFromSpecs(net, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range db.Routes() {
+		rt2 := db2.Routes()[i]
+		if rt.ID != rt2.ID || rt.NumStops() != rt2.NumStops() {
+			t.Fatalf("route %d differs after round trip", i)
+		}
+		for j := range rt.Stops {
+			if rt.Stops[j] != rt2.Stops[j] {
+				t.Fatalf("route %s stop %d differs", rt.ID, j)
+			}
+		}
+	}
+}

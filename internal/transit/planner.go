@@ -1,0 +1,150 @@
+package transit
+
+import (
+	"fmt"
+
+	"busprobe/internal/geo"
+	"busprobe/internal/road"
+	"busprobe/internal/stats"
+)
+
+// PaperRouteIDs are the eight bus services of the paper's experiment
+// (§IV-A): routes 179, 199, 241, 243, 252, 257, 182 and a partial 30.
+var PaperRouteIDs = []RouteID{"179", "199", "241", "243", "252", "257", "182", "30"}
+
+// PlanConfig parameterizes the synthetic route planner.
+type PlanConfig struct {
+	// RouteIDs names the routes to plan; its length is the route count.
+	RouteIDs []RouteID
+	// MinStops and MaxStops bound each route's stop count (one stop per
+	// visited node). The paper's routes average ~17 stops (86 stops on
+	// 5 routes).
+	MinStops, MaxStops int
+	// StraightBias is the probability of continuing straight at an
+	// intersection when possible; higher values give more realistic
+	// corridor-following routes.
+	StraightBias float64
+	// HeadwayS is the scheduled departure interval per route.
+	HeadwayS float64
+	// Seed drives the walk.
+	Seed uint64
+}
+
+// DefaultPlanConfig mirrors the paper's deployment: 8 routes of 15-25
+// stops with 8-minute headways.
+func DefaultPlanConfig() PlanConfig {
+	ids := make([]RouteID, len(PaperRouteIDs))
+	copy(ids, PaperRouteIDs)
+	return PlanConfig{
+		RouteIDs:     ids,
+		MinStops:     17,
+		MaxStops:     28,
+		StraightBias: 0.70,
+		HeadwayS:     480,
+		Seed:         1,
+	}
+}
+
+// PlanRoutes generates route node walks over the network and assembles
+// the transit DB. Each route is a self-avoiding walk with straight-line
+// momentum, started from a point spread around the region so the routes
+// jointly cover it.
+func PlanRoutes(net *road.Network, cfg PlanConfig) (*DB, error) {
+	if len(cfg.RouteIDs) == 0 {
+		return nil, fmt.Errorf("transit: no route IDs")
+	}
+	if cfg.MinStops < 2 || cfg.MaxStops < cfg.MinStops {
+		return nil, fmt.Errorf("transit: bad stop bounds [%d,%d]", cfg.MinStops, cfg.MaxStops)
+	}
+	rng := stats.NewRNG(cfg.Seed).Fork("route-planner")
+	bl := NewBuilder(net)
+	bbox := net.BBox()
+	for i, id := range cfg.RouteIDs {
+		walkRNG := rng.Fork(string(id))
+		target := cfg.MinStops + walkRNG.Intn(cfg.MaxStops-cfg.MinStops+1)
+		var nodes []road.NodeID
+		// Retry a few times: self-avoiding walks can box themselves in.
+		for attempt := 0; attempt < 64; attempt++ {
+			start := spreadStart(net, bbox, i, len(cfg.RouteIDs), walkRNG)
+			nodes = selfAvoidingWalk(net, start, target, cfg.StraightBias, walkRNG)
+			if len(nodes) >= cfg.MinStops {
+				break
+			}
+		}
+		if len(nodes) < cfg.MinStops {
+			return nil, fmt.Errorf("transit: could not plan route %s (%d nodes)", id, len(nodes))
+		}
+		if err := bl.AddRoute(id, "Service "+string(id), nodes, cfg.HeadwayS); err != nil {
+			return nil, err
+		}
+	}
+	return bl.Build(), nil
+}
+
+// spreadStart picks a walk origin near one of several anchor points
+// spread across the region so routes do not all start in one corner.
+func spreadStart(net *road.Network, bbox geo.BBox, i, n int, rng *stats.RNG) road.NodeID {
+	fx := (float64(i%4) + 0.5) / 4
+	fy := (float64((i/4)%2) + 0.5) / 2
+	_ = n
+	p := geo.XY{
+		X: bbox.MinX + fx*bbox.Width() + rng.Range(-500, 500),
+		Y: bbox.MinY + fy*bbox.Height() + rng.Range(-500, 500),
+	}
+	return net.NearestNode(p)
+}
+
+// selfAvoidingWalk walks from start toward a target node count,
+// preferring to continue in the current heading.
+func selfAvoidingWalk(net *road.Network, start road.NodeID, target int, straightBias float64, rng *stats.RNG) []road.NodeID {
+	nodes := []road.NodeID{start}
+	visited := map[road.NodeID]bool{start: true}
+	var heading geo.XY // unit-ish direction of last move
+	for len(nodes) < target {
+		cur := nodes[len(nodes)-1]
+		outs := net.Outgoing(cur)
+		// Candidate next nodes not yet visited.
+		type cand struct {
+			node road.NodeID
+			dir  geo.XY
+		}
+		var cands []cand
+		for _, sid := range outs {
+			to := net.Segment(sid).To
+			if visited[to] {
+				continue
+			}
+			a, b := net.Node(cur).Pos, net.Node(to).Pos
+			d := geo.XY{X: b.X - a.X, Y: b.Y - a.Y}
+			l := geo.DistM(geo.XY{}, d)
+			if l > 0 {
+				d.X /= l
+				d.Y /= l
+			}
+			cands = append(cands, cand{node: to, dir: d})
+		}
+		if len(cands) == 0 {
+			break // boxed in
+		}
+		pick := -1
+		if (heading != geo.XY{}) && rng.Bool(straightBias) {
+			// Choose the candidate best aligned with the heading if any
+			// is roughly straight ahead.
+			bestDot := 0.5
+			for ci, c := range cands {
+				dot := heading.X*c.dir.X + heading.Y*c.dir.Y
+				if dot > bestDot {
+					bestDot, pick = dot, ci
+				}
+			}
+		}
+		if pick < 0 {
+			pick = rng.Intn(len(cands))
+		}
+		next := cands[pick]
+		nodes = append(nodes, next.node)
+		visited[next.node] = true
+		heading = next.dir
+	}
+	return nodes
+}

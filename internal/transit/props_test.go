@@ -1,0 +1,135 @@
+package transit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busprobe/internal/road"
+	"busprobe/internal/stats"
+)
+
+// singleRouteDB builds a DB with one linear route for relation-property
+// tests.
+func singleRouteDB(t *testing.T, n int) *DB {
+	t.Helper()
+	net := testNet(t)
+	bl := NewBuilder(net)
+	if err := bl.AddRoute("P", "", lineNodes(net, n), 480); err != nil {
+		t.Fatal(err)
+	}
+	return bl.Build()
+}
+
+func TestRReflexiveProperty(t *testing.T) {
+	db := singleRouteDB(t, 6)
+	stops := db.Route("P").Stops
+	f := func(i uint8) bool {
+		s := stops[int(i)%len(stops)]
+		return db.R(s, s) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAntisymmetricOnOneWayRoute(t *testing.T) {
+	// With a single one-direction route, R(x,y) and R(y,x) cannot both
+	// hold for distinct stops.
+	db := singleRouteDB(t, 7)
+	stops := db.Route("P").Stops
+	f := func(a, b uint8) bool {
+		x := stops[int(a)%len(stops)]
+		y := stops[int(b)%len(stops)]
+		if x == y {
+			return true
+		}
+		return !(db.R(x, y) == 1 && db.R(y, x) == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTransitiveOnOneRoute(t *testing.T) {
+	db := singleRouteDB(t, 7)
+	stops := db.Route("P").Stops
+	f := func(a, b, c uint8) bool {
+		x := stops[int(a)%len(stops)]
+		y := stops[int(b)%len(stops)]
+		z := stops[int(c)%len(stops)]
+		if db.R(x, y) == 1 && db.R(y, z) == 1 {
+			return db.R(x, z) == 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegDecompositionProperty(t *testing.T) {
+	// For random stop index pairs i < j, LegBetween equals the
+	// concatenation of the unit legs: same length, same segment count.
+	net := testNet(t)
+	bl := NewBuilder(net)
+	if err := bl.AddRoute("Q", "", lineNodes(net, 6), 480); err != nil {
+		t.Fatal(err)
+	}
+	rt := bl.Build().Route("Q")
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(rt.NumStops() - 1)
+		j := i + 1 + rng.Intn(rt.NumStops()-1-i)
+		merged := rt.LegBetween(net, i, j)
+		var length float64
+		var segs int
+		for k := i; k < j; k++ {
+			leg := rt.Leg(net, k)
+			length += leg.LengthM
+			segs += len(leg.Segments)
+		}
+		if segs != len(merged.Segments) {
+			t.Fatalf("[%d,%d]: merged %d segments, unit sum %d", i, j, len(merged.Segments), segs)
+		}
+		if diff := merged.LengthM - length; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("[%d,%d]: merged length %v, unit sum %v", i, j, merged.LengthM, length)
+		}
+	}
+}
+
+func TestPlannedRoutesConnectedProperty(t *testing.T) {
+	// Every planned route's consecutive stops are joined by a real
+	// directed segment path (the walk is valid in the network).
+	cfg := road.DefaultGridConfig()
+	net, err := road.GenerateGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := PlanRoutes(net, DefaultPlanConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range db.Routes() {
+		for i := 0; i < rt.NumLegs(); i++ {
+			leg := rt.Leg(net, i)
+			if len(leg.Segments) == 0 {
+				t.Fatalf("route %s leg %d empty", rt.ID, i)
+			}
+			from := db.Stop(leg.FromStop).Node
+			to := db.Stop(leg.ToStop).Node
+			if net.Segment(leg.Segments[0]).From != from {
+				t.Fatalf("route %s leg %d does not start at its stop", rt.ID, i)
+			}
+			last := leg.Segments[len(leg.Segments)-1]
+			if net.Segment(last).To != to {
+				t.Fatalf("route %s leg %d does not end at its stop", rt.ID, i)
+			}
+			// Interior connectivity.
+			for k := 1; k < len(leg.Segments); k++ {
+				if net.Segment(leg.Segments[k]).From != net.Segment(leg.Segments[k-1]).To {
+					t.Fatalf("route %s leg %d disconnected at %d", rt.ID, i, k)
+				}
+			}
+		}
+	}
+}

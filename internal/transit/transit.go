@@ -1,0 +1,123 @@
+// Package transit models the public bus infrastructure the system leans
+// on: physical stop platforms, aggregated logical stops, bus routes as
+// ordered stop sequences over the road network, and the route database
+// exposing the order relation R(x,y) that constrains trip mapping.
+//
+// Following §III-B of the paper, platforms on opposite sides of a two-way
+// road are aggregated into one logical Stop ("we aggregate the bus stops
+// located at the same location but different sides of the road as one");
+// the travel direction is recovered from trip timestamps, not from which
+// platform was fingerprinted.
+package transit
+
+import (
+	"fmt"
+
+	"busprobe/internal/geo"
+	"busprobe/internal/road"
+)
+
+// StopID identifies an aggregated (logical) bus stop.
+type StopID int
+
+// PlatformID identifies a physical roadside platform.
+type PlatformID int
+
+// RouteID identifies a bus route (service number, e.g. "179").
+type RouteID string
+
+// Platform is a physical bus-stop pole on one side of the road. Cellular
+// fingerprints are collected at platforms; the matching pipeline operates
+// on their aggregated Stop.
+type Platform struct {
+	ID   PlatformID
+	Stop StopID
+	Node road.NodeID
+	// Side distinguishes the two platforms of a two-way road (0 or 1).
+	Side int
+	Pos  geo.XY
+}
+
+// Stop is an aggregated bus stop: one or two platforms at the same road
+// location.
+type Stop struct {
+	ID        StopID
+	Node      road.NodeID
+	Name      string
+	Pos       geo.XY // centroid of the platforms
+	Platforms []PlatformID
+}
+
+// Leg is the stretch of road between two consecutive stops of a route:
+// the unit at which travel times are observed and traffic is estimated.
+type Leg struct {
+	FromStop StopID
+	ToStop   StopID
+	// Segments lists the directed road segments traversed, in order.
+	Segments []road.SegmentID
+	LengthM  float64
+}
+
+// Route is a bus service: an ordered walk over the road network with a
+// stop at every visited intersection node.
+type Route struct {
+	ID   RouteID
+	Name string
+	// Stops is the ordered list of logical stops served.
+	Stops []StopID
+	// Platforms is the ordered list of physical platforms served
+	// (parallel to Stops).
+	Platforms []PlatformID
+	// Path is the ordered list of directed road segments driven.
+	Path []road.SegmentID
+	// stopPathIdx[i] is the index into Path at which stop i's node is
+	// the From node; for the terminal stop it equals len(Path), so the
+	// leg from stop i to stop j always covers Path[stopPathIdx[i]:
+	// stopPathIdx[j]].
+	stopPathIdx []int
+	// HeadwayS is the scheduled interval between consecutive bus
+	// departures, in seconds.
+	HeadwayS float64
+}
+
+// NumStops returns the number of stops on the route.
+func (r *Route) NumStops() int { return len(r.Stops) }
+
+// NumLegs returns the number of inter-stop legs.
+func (r *Route) NumLegs() int { return len(r.Stops) - 1 }
+
+// StopIndex returns the position of the stop on the route, or -1.
+func (r *Route) StopIndex(s StopID) int {
+	for i, id := range r.Stops {
+		if id == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Leg returns the i-th inter-stop leg. It panics if i is out of range.
+func (r *Route) Leg(net *road.Network, i int) Leg {
+	if i < 0 || i >= r.NumLegs() {
+		panic(fmt.Sprintf("transit: leg %d out of range on route %s", i, r.ID))
+	}
+	return r.LegBetween(net, i, i+1)
+}
+
+// LegBetween returns the leg from stop index i to stop index j > i,
+// concatenating intermediate legs. This implements the paper's treatment
+// of skipped stops (§III-D): "our method automatically treats the
+// combined two adjacent segments as one".
+func (r *Route) LegBetween(net *road.Network, i, j int) Leg {
+	if i < 0 || j >= r.NumStops() || i >= j {
+		panic(fmt.Sprintf("transit: bad leg range [%d,%d] on route %s", i, j, r.ID))
+	}
+	lo, hi := r.stopPathIdx[i], r.stopPathIdx[j]
+	segs := make([]road.SegmentID, hi-lo)
+	copy(segs, r.Path[lo:hi])
+	var length float64
+	for _, sid := range segs {
+		length += net.Segment(sid).LengthM()
+	}
+	return Leg{FromStop: r.Stops[i], ToStop: r.Stops[j], Segments: segs, LengthM: length}
+}

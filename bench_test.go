@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"busprobe/internal/eval"
+	"busprobe/internal/probe"
 	"busprobe/internal/sim"
 )
 
@@ -305,6 +306,67 @@ func BenchmarkBeepDetectionSweep(b *testing.B) {
 	b.ReportMetric(rep.Metric("noise0.05_recall"), "recall@0.05")
 	b.ReportMetric(rep.Metric("noise0.35_recall"), "recall@0.35")
 }
+
+// benchTrips lazily records one intensive campaign day as a raw trip
+// corpus for the ingest benchmarks.
+var (
+	benchTripsOnce sync.Once
+	benchTripsVal  []probe.Trip
+	benchTripsErr  error
+)
+
+func benchTrips(b *testing.B) []probe.Trip {
+	b.Helper()
+	l := benchLab(b)
+	benchTripsOnce.Do(func() {
+		cfg := sim.DefaultCampaignConfig()
+		cfg.Days = 1
+		cfg.Participants = 22
+		cfg.IntensiveFromDay = 0
+		cfg.IntensiveTripsPerDay = 6
+		benchTripsVal, benchTripsErr = eval.CollectTrips(l, cfg)
+	})
+	if benchTripsErr != nil {
+		b.Fatal(benchTripsErr)
+	}
+	return benchTripsVal
+}
+
+// benchIngest replays the recorded corpus into a fresh backend each
+// iteration: workers == 1 uses the serial ProcessTrip loop, workers == 0
+// the concurrent batch path at GOMAXPROCS. Run with -cpu 1,4 to see the
+// batch path scale.
+func benchIngest(b *testing.B, workers int) {
+	trips := benchTrips(b)
+	l := benchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		back, err := l.NewBackend() // fresh dedup set every iteration
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if workers == 1 {
+			for _, trip := range trips {
+				if _, err := back.ProcessTrip(trip); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			for _, r := range back.ProcessTrips(trips, workers) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(len(trips))*float64(b.N)/b.Elapsed().Seconds(), "trips/s")
+}
+
+func BenchmarkIngestSerial(b *testing.B) { benchIngest(b, 1) }
+
+func BenchmarkIngestBatch(b *testing.B) { benchIngest(b, 0) }
 
 // BenchmarkEndToEndDay measures a full system day: city, survey,
 // campaign, pipeline, estimation.

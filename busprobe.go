@@ -24,8 +24,10 @@ import (
 
 	"busprobe/internal/core/traffic"
 	"busprobe/internal/eval"
+	"busprobe/internal/probe"
 	"busprobe/internal/road"
 	"busprobe/internal/server"
+	"busprobe/internal/server/stage"
 	"busprobe/internal/sim"
 )
 
@@ -90,7 +92,9 @@ func (s *System) Backend() *server.Backend { return s.back }
 func (s *System) Lab() *eval.Lab { return s.lab }
 
 // RunCampaign simulates a rider data-collection campaign feeding this
-// system's backend, returning the campaign statistics.
+// system's backend, returning the campaign statistics. Set
+// cfg.UploadBatchSize > 1 to deliver trips through the backend's
+// concurrent batch-ingest path.
 func (s *System) RunCampaign(cfg sim.CampaignConfig) (sim.CampaignStats, error) {
 	camp, err := sim.NewCampaign(s.lab.World, cfg, s.back, nil)
 	if err != nil {
@@ -98,6 +102,20 @@ func (s *System) RunCampaign(cfg sim.CampaignConfig) (sim.CampaignStats, error) 
 	}
 	camp.MinuteHook = func(tS float64) { s.back.Advance(tS) }
 	return camp.Run()
+}
+
+// IngestBatch feeds pre-recorded trips through the backend's
+// concurrent batch-ingest pipeline (workers <= 0 uses the backend's
+// configured parallelism), returning the per-trip outcomes in input
+// order.
+func (s *System) IngestBatch(trips []probe.Trip, workers int) []server.TripResult {
+	return s.back.ProcessTrips(trips, workers)
+}
+
+// StageMetrics snapshots the backend pipeline's per-stage
+// instrumentation counters (runs, items, drops, cumulative duration).
+func (s *System) StageMetrics() []stage.Metrics {
+	return s.back.StageMetrics()
 }
 
 // Traffic returns the current per-segment traffic estimates.

@@ -6,13 +6,16 @@
 // Usage:
 //
 //	busprobe-server [-addr :8080] [-seed 1] [-survey-runs 4]
+//	                [-ingest-workers N]
 //
 // Endpoints:
 //
 //	POST /v1/trips                 upload a rider trip (JSON)
+//	POST /v1/trips/batch           upload a trip array (concurrent ingest)
 //	GET  /v1/traffic               current traffic map
 //	GET  /v1/traffic/segment?id=N  one segment
 //	GET  /v1/stats                 pipeline counters
+//	GET  /v1/pipeline              per-stage instrumentation
 //	GET  /healthz                  liveness
 package main
 
@@ -37,15 +40,16 @@ func main() {
 	surveyRuns := flag.Int("survey-runs", 4, "fingerprint survey passes per stop")
 	fpdbPath := flag.String("fpdb", "", "fingerprint DB file: loaded if present, written after a survey otherwise")
 	journalPath := flag.String("journal", "", "trip journal (JSONL): replayed at startup, appended on upload")
+	ingestWorkers := flag.Int("ingest-workers", 0, "batch-ingest parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *surveyRuns, *fpdbPath, *journalPath); err != nil {
+	if err := run(*addr, *seed, *surveyRuns, *fpdbPath, *journalPath, *ingestWorkers); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string) error {
+func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string, ingestWorkers int) error {
 	worldCfg := sim.DefaultWorldConfig()
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
@@ -53,6 +57,7 @@ func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string)
 		return err
 	}
 	cfg := server.DefaultConfig()
+	cfg.IngestWorkers = ingestWorkers
 	fpdb, err := loadOrSurvey(world, cfg, surveyRuns, seed, fpdbPath)
 	if err != nil {
 		return err

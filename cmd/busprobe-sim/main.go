@@ -7,6 +7,11 @@
 // Usage:
 //
 //	busprobe-sim [-days 2] [-participants 22] [-seed 1] [-server URL]
+//	             [-upload-batch N]
+//
+// With -upload-batch > 1, concluded trips are buffered and delivered
+// through the backend's concurrent batch-ingest path (POST
+// /v1/trips/batch against a remote server) instead of one at a time.
 package main
 
 import (
@@ -33,15 +38,16 @@ func main() {
 	tripsPerDay := flag.Float64("trips-per-day", 4, "mean rides per participant per day")
 	seed := flag.Uint64("seed", 1, "master seed (must match the server's)")
 	serverURL := flag.String("server", "", "backend URL; empty runs in-process")
+	uploadBatch := flag.Int("upload-batch", 0, "buffer trips and ingest in concurrent batches of this size (0/1 = immediate)")
 	flag.Parse()
 
-	if err := run(*days, *participants, *tripsPerDay, *seed, *serverURL); err != nil {
+	if err := run(*days, *participants, *tripsPerDay, *seed, *serverURL, *uploadBatch); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(days, participants int, tripsPerDay float64, seed uint64, serverURL string) error {
+func run(days, participants int, tripsPerDay float64, seed uint64, serverURL string, uploadBatch int) error {
 	worldCfg := sim.DefaultWorldConfig()
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
@@ -80,6 +86,7 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 	campCfg.IntensiveTripsPerDay = tripsPerDay
 	campCfg.IntensiveFromDay = 0
 	campCfg.Seed = seed ^ 0xca
+	campCfg.UploadBatchSize = uploadBatch
 
 	camp, err := sim.NewCampaign(world, campCfg, uploader, nil)
 	if err != nil {
@@ -104,6 +111,9 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 			st.AppEnergyJ/float64(st.ParticipantTrips))
 	}
 
+	if st.BatchFlushes > 0 {
+		fmt.Printf("batched ingest: %d flushes, %d upload failures\n", st.BatchFlushes, st.UploadFailures)
+	}
 	if backend == nil {
 		fmt.Println("trips uploaded to remote backend; query it for the traffic map")
 		return nil
@@ -111,6 +121,12 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 	bs := backend.Stats()
 	fmt.Printf("backend: %d trips, %d/%d samples matched, %d visits mapped, %d observations\n",
 		bs.TripsReceived, bs.SamplesMatched, bs.SamplesReceived, bs.VisitsMapped, bs.Observations)
+	fmt.Println("pipeline stages:")
+	for _, m := range backend.StageMetrics() {
+		fmt.Printf("  %-9s runs=%-6d in=%-7d out=%-7d dropped=%-5d %.1fms\n",
+			m.Stage, m.Runs, m.ItemsIn, m.ItemsOut, m.Dropped,
+			float64(m.DurationNs)/1e6)
+	}
 
 	snap := backend.Traffic()
 	counts := make(map[traffic.Level]int)

@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"fmt"
+
+	"busprobe/internal/probe"
+	"busprobe/internal/server"
+	"busprobe/internal/sim"
+)
+
+// tripRecorder implements phone.Uploader by recording concluded trips
+// instead of processing them.
+type tripRecorder struct {
+	trips []probe.Trip
+}
+
+func (r *tripRecorder) Upload(trip probe.Trip) error {
+	r.trips = append(r.trips, trip)
+	return nil
+}
+
+// CollectTrips runs a campaign whose uploads are recorded rather than
+// processed, returning every concluded trip in upload order — the raw
+// corpus the ingest benchmarks replay through the serial and batched
+// backend paths.
+func CollectTrips(l *Lab, cfg sim.CampaignConfig) ([]probe.Trip, error) {
+	rec := &tripRecorder{}
+	camp, err := sim.NewCampaign(l.World, cfg, rec, nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := camp.Run(); err != nil {
+		return nil, err
+	}
+	if len(rec.trips) == 0 {
+		return nil, fmt.Errorf("eval: campaign concluded no trips")
+	}
+	return rec.trips, nil
+}
+
+// ReplayTrips feeds a recorded corpus through a fresh backend.
+// workers <= 1 replays serially with ProcessTrip; larger values use
+// the concurrent batch-ingest path, whose results are identical to the
+// serial replay (the fold order is preserved). The backend's clock is
+// advanced past the last sample so the estimates are queryable.
+func (l *Lab) ReplayTrips(trips []probe.Trip, workers int) (*server.Backend, error) {
+	b, err := l.NewBackend()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		for _, trip := range trips {
+			if _, err := b.ProcessTrip(trip); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	}
+	for i, res := range b.ProcessTrips(trips, workers) {
+		if res.Err != nil {
+			return nil, fmt.Errorf("eval: batch replay trip %d (%s): %w", i, trips[i].ID, res.Err)
+		}
+	}
+	return b, nil
+}

@@ -27,6 +27,14 @@ type Uploader interface {
 	Upload(trip probe.Trip) error
 }
 
+// BatchUploader ingests many trips in one call. Backends that can
+// parallelize batch ingest (and HTTP clients wrapping their batch
+// endpoint) implement it alongside Uploader; errs[i] reports trip i's
+// outcome.
+type BatchUploader interface {
+	UploadBatch(trips []probe.Trip) []error
+}
+
 // DefaultIdleTimeoutS is the trip-conclusion timeout: the phone ends the
 // current trip when no beep is detected for 10 minutes (§III-B).
 const DefaultIdleTimeoutS = 600.0

@@ -1,11 +1,14 @@
 // Package server implements the backend of the system (Fig. 4): trip
-// ingestion (in-process and HTTP), the three-stage trajectory-mapping
-// pipeline (per-sample matching → per-bus-stop clustering → per-trip
-// mapping), traffic estimation over the mapped legs, and the query API
-// serving the resulting traffic map.
+// ingestion (in-process and HTTP, serial and concurrent batch), the
+// stage-oriented trajectory-mapping pipeline (per-sample matching →
+// per-bus-stop clustering → per-trip mapping → observation extraction
+// → estimation, see internal/server/stage), traffic estimation over
+// the mapped legs, and the query API serving the resulting traffic
+// map.
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,7 +17,18 @@ import (
 	"busprobe/internal/core/traffic"
 	"busprobe/internal/probe"
 	"busprobe/internal/road"
+	"busprobe/internal/server/stage"
 	"busprobe/internal/transit"
+)
+
+// Sentinel upload-rejection errors. The HTTP layer maps them to status
+// codes (400 / 409); in-process callers distinguish them with
+// errors.Is instead of string matching.
+var (
+	// ErrInvalidTrip marks uploads failing probe.Trip validation.
+	ErrInvalidTrip = errors.New("server: invalid trip")
+	// ErrDuplicateTrip marks re-uploads of an already-ingested trip ID.
+	ErrDuplicateTrip = errors.New("server: duplicate trip")
 )
 
 // Config bundles the backend's tunables, defaulting to the paper's
@@ -35,6 +49,13 @@ type Config struct {
 	// MinSpeedKmh / MaxSpeedKmh bound plausible leg observations;
 	// out-of-range travel times are discarded as noise.
 	MinSpeedKmh, MaxSpeedKmh float64
+	// IngestWorkers caps the goroutines a batch ingest (ProcessTrips /
+	// UploadBatch) fans the CPU-bound stages across. <= 0 uses
+	// GOMAXPROCS.
+	IngestWorkers int
+	// StageHook, when non-nil, observes every pipeline stage run
+	// (counters + duration). It must be safe for concurrent use.
+	StageHook stage.Hook
 	// OnlineUpdate enables Fig. 4's online database path: confidently
 	// mapped stop visits refresh that stop's fingerprint, letting the
 	// database track radio-environment drift without re-surveying.
@@ -79,6 +100,20 @@ type Stats struct {
 	ObsDiscarded     int
 }
 
+// add accumulates a per-trip counter delta.
+func (s *Stats) add(d Stats) {
+	s.TripsReceived += d.TripsReceived
+	s.TripsRejected += d.TripsRejected
+	s.DuplicateTrips += d.DuplicateTrips
+	s.SamplesReceived += d.SamplesReceived
+	s.SamplesMatched += d.SamplesMatched
+	s.SamplesDiscarded += d.SamplesDiscarded
+	s.Clusters += d.Clusters
+	s.VisitsMapped += d.VisitsMapped
+	s.Observations += d.Observations
+	s.ObsDiscarded += d.ObsDiscarded
+}
+
 // ProcessedTrip reports how one trip moved through the pipeline.
 type ProcessedTrip struct {
 	TripID       string
@@ -98,18 +133,26 @@ type VisitRecord struct {
 }
 
 // Backend is the traffic-monitoring server core. It implements
-// phone.Uploader for in-process deployments; the HTTP layer wraps it for
-// networked ones. Safe for concurrent use.
+// phone.Uploader (and phone.BatchUploader) for in-process deployments;
+// the HTTP layer wraps it for networked ones. Safe for concurrent use.
 type Backend struct {
 	cfg     Config
 	transit *transit.DB
 	fpdb    *fingerprint.DB
 	est     *traffic.Estimator
+	pipe    *stage.Pipeline
 
-	mu      sync.Mutex
+	// The backend's mutable state is split across independent locks so
+	// ingestion never serializes against query traffic: dedupMu guards
+	// the duplicate-suppression set and the journal handle, statsMu
+	// guards the work counters, and the estimator and fingerprint DB
+	// carry their own internal synchronization.
+	dedupMu sync.Mutex
 	seen    map[string]bool
-	stats   Stats
 	journal *Journal
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // NewBackend assembles a backend over the transit database and the
@@ -133,7 +176,13 @@ func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, er
 		transit: tdb,
 		fpdb:    fpdb,
 		est:     est,
-		seen:    make(map[string]bool),
+		pipe: stage.New(fpdb, tdb, est, stage.Config{
+			Cluster:     cfg.Cluster,
+			MinSpeedKmh: cfg.MinSpeedKmh,
+			MaxSpeedKmh: cfg.MaxSpeedKmh,
+			Hook:        cfg.StageHook,
+		}),
+		seen: make(map[string]bool),
 	}, nil
 }
 
@@ -146,10 +195,20 @@ func (b *Backend) Transit() *transit.DB { return b.transit }
 // FingerprintDB returns the stop fingerprint database.
 func (b *Backend) FingerprintDB() *fingerprint.DB { return b.fpdb }
 
-// Stats returns a snapshot of the work counters.
+// Pipeline exposes the stage components (read-mostly; used by
+// evaluations and instrumentation).
+func (b *Backend) Pipeline() *stage.Pipeline { return b.pipe }
+
+// StageMetrics snapshots the per-stage instrumentation counters in
+// pipeline order.
+func (b *Backend) StageMetrics() []stage.Metrics { return b.pipe.Metrics() }
+
+// Stats returns a snapshot of the work counters. Counters are applied
+// in one critical section per trip, so a snapshot never shows a
+// half-processed trip.
 func (b *Backend) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
 	return b.stats
 }
 
@@ -159,96 +218,133 @@ func (b *Backend) Upload(trip probe.Trip) error {
 	return err
 }
 
-// ProcessTrip runs one trip through the full pipeline and folds its
-// observations into the traffic estimator.
+// ProcessTrip runs one trip through the full stage pipeline and folds
+// its observations into the traffic estimator. It is a thin
+// composition over the pipeline phases: admission (validate, dedup,
+// journal), the CPU-bound stage computation, and the ordered fold
+// (estimation + counters).
 func (b *Backend) ProcessTrip(trip probe.Trip) (ProcessedTrip, error) {
-	b.mu.Lock()
-	b.stats.TripsReceived++
-	if err := trip.Validate(); err != nil {
-		b.stats.TripsRejected++
-		b.mu.Unlock()
-		return ProcessedTrip{}, fmt.Errorf("server: rejecting upload: %w", err)
+	if err := b.admit(trip); err != nil {
+		return ProcessedTrip{}, err
 	}
-	if b.seen[trip.ID] {
-		b.stats.DuplicateTrips++
-		b.mu.Unlock()
-		return ProcessedTrip{}, fmt.Errorf("server: duplicate trip %s", trip.ID)
-	}
-	b.seen[trip.ID] = true
-	b.stats.SamplesReceived += len(trip.Samples)
-	journal := b.journal
-	b.mu.Unlock()
+	w := b.compute(trip)
+	b.fold(&w)
+	return w.out, w.err
+}
 
+// admit validates, deduplicates, and journals one upload. It takes
+// only the dedup lock, so admission never contends with stats readers
+// or estimator queries. Rejection counters are applied in a single
+// critical section, keeping Stats() trip-atomic.
+func (b *Backend) admit(trip probe.Trip) error {
+	if err := trip.Validate(); err != nil {
+		b.statsMu.Lock()
+		b.stats.TripsReceived++
+		b.stats.TripsRejected++
+		b.statsMu.Unlock()
+		return fmt.Errorf("%w: %v", ErrInvalidTrip, err)
+	}
+	b.dedupMu.Lock()
+	dup := b.seen[trip.ID]
+	if !dup {
+		b.seen[trip.ID] = true
+	}
+	journal := b.journal
+	b.dedupMu.Unlock()
+	if dup {
+		b.statsMu.Lock()
+		b.stats.TripsReceived++
+		b.stats.DuplicateTrips++
+		b.statsMu.Unlock()
+		return fmt.Errorf("%w %s", ErrDuplicateTrip, trip.ID)
+	}
 	// Persist accepted uploads before processing; a journaling failure
 	// fails the upload so the client retries rather than silently
 	// losing durability.
 	if journal != nil {
 		if err := journal.Append(trip); err != nil {
-			return ProcessedTrip{}, err
+			return err
 		}
 	}
+	return nil
+}
 
-	out := ProcessedTrip{TripID: trip.ID, Samples: len(trip.Samples)}
+// tripWork carries one admitted trip's pipeline products between the
+// (possibly concurrent) compute phase and the ordered fold phase.
+type tripWork struct {
+	out          ProcessedTrip
+	obs          []traffic.Observation
+	obsDiscarded int
+	delta        Stats
+	err          error
+}
+
+// compute runs the CPU-bound stages — matching, clustering, mapping,
+// observation extraction — for one admitted trip. It touches no
+// backend-wide mutable state except the fingerprint DB (internally
+// synchronized, and written only on the opt-in online-update path), so
+// any number of computes may run concurrently.
+func (b *Backend) compute(trip probe.Trip) tripWork {
+	w := tripWork{out: ProcessedTrip{TripID: trip.ID, Samples: len(trip.Samples)}}
+	w.delta.TripsReceived = 1
+	w.delta.SamplesReceived = len(trip.Samples)
 
 	// Stage 1: per-sample matching with the γ filter.
-	var elems []cluster.Element
-	for _, s := range trip.Samples {
-		m, ok := b.fpdb.Match(s.Fingerprint())
-		if !ok {
-			continue
-		}
-		elems = append(elems, cluster.Element{TimeS: s.TimeS, Stop: m.Stop, Score: m.Score})
-	}
-	out.Matched = len(elems)
-
-	b.mu.Lock()
-	b.stats.SamplesMatched += len(elems)
-	b.stats.SamplesDiscarded += len(trip.Samples) - len(elems)
-	b.mu.Unlock()
-
-	if len(elems) == 0 {
-		return out, nil
+	m := b.pipe.Match.Run(stage.MatchInput{Samples: trip.Samples})
+	w.out.Matched = len(m.Elements)
+	w.delta.SamplesMatched = len(m.Elements)
+	w.delta.SamplesDiscarded = m.Discarded
+	if len(m.Elements) == 0 {
+		return w
 	}
 
 	// Stage 2: per-bus-stop clustering.
-	clusters, err := cluster.Sequence(elems, b.cfg.Cluster)
+	cl, err := b.pipe.Cluster.Run(stage.ClusterInput{Elements: m.Elements})
 	if err != nil {
-		return out, err
+		w.err = err
+		return w
 	}
-	out.Clusters = len(clusters)
+	w.out.Clusters = len(cl.Clusters)
 
 	// Stage 3: per-trip ML mapping under route constraints.
-	mapped, err := tripResolve(clusters, b.transit)
+	mp, err := b.pipe.Map.Run(stage.MapInput{Clusters: cl.Clusters})
 	if err != nil {
-		return out, err
+		w.err = err
+		return w
 	}
-	for _, v := range mapped {
-		out.Visits = append(out.Visits, VisitRecord(v))
+	for _, v := range mp.Visits {
+		w.out.Visits = append(w.out.Visits, VisitRecord(v))
 	}
 
 	// Fig. 4's online database path: high-confidence visits refresh
 	// their stop's fingerprint.
 	if b.cfg.OnlineUpdate {
-		b.onlineUpdate(trip, clusters, mapped)
+		b.onlineUpdate(trip, cl.Clusters, mp.Visits)
 	}
 
 	// Stage 4: leg travel times → traffic observations.
-	obs, discarded := b.observations(mapped)
-	for _, o := range obs {
-		if err := b.est.AddObservation(o); err != nil {
-			discarded++
-			continue
-		}
-		out.Observations++
-	}
+	ex := b.pipe.Extract.Run(stage.ExtractInput{Visits: mp.Visits})
+	w.obs = ex.Observations
+	w.obsDiscarded = ex.Discarded
+	w.delta.Clusters = len(cl.Clusters)
+	w.delta.VisitsMapped = len(mp.Visits)
+	return w
+}
 
-	b.mu.Lock()
-	b.stats.Clusters += len(clusters)
-	b.stats.VisitsMapped += len(mapped)
-	b.stats.Observations += out.Observations
-	b.stats.ObsDiscarded += discarded
-	b.mu.Unlock()
-	return out, nil
+// fold applies one computed trip's effects: stage 5 (estimator
+// updates), then the whole trip's counters in a single critical
+// section. The batch path calls fold in input order, so batch results
+// are identical to serial ingestion.
+func (b *Backend) fold(w *tripWork) {
+	if w.err == nil {
+		est := b.pipe.Estimate.Run(stage.EstimateInput{Observations: w.obs})
+		w.out.Observations = est.Folded
+		w.delta.Observations = est.Folded
+		w.delta.ObsDiscarded = w.obsDiscarded + est.Discarded
+	}
+	b.statsMu.Lock()
+	b.stats.add(w.delta)
+	b.statsMu.Unlock()
 }
 
 // onlineUpdate refreshes stop fingerprints from confidently mapped
@@ -300,9 +396,9 @@ func (b *Backend) onlineUpdate(trip probe.Trip, clusters []cluster.Cluster, mapp
 // journal. Attach AFTER ReplayJournal, or replayed trips would be
 // re-journaled.
 func (b *Backend) AttachJournal(j *Journal) {
-	b.mu.Lock()
+	b.dedupMu.Lock()
 	b.journal = j
-	b.mu.Unlock()
+	b.dedupMu.Unlock()
 }
 
 // Advance drives the estimator's periodic refresh from the caller's

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+
+	"busprobe/internal/phone"
+	"busprobe/internal/probe"
+)
+
+// TripResult pairs one batch entry with its outcome.
+type TripResult struct {
+	Trip ProcessedTrip
+	Err  error
+}
+
+var _ phone.BatchUploader = (*Backend)(nil)
+
+// ProcessTrips ingests a batch of uploads, fanning the CPU-bound
+// stages — per-sample Smith–Waterman matching and the clustering /
+// mapping / extraction behind it — across a worker pool. workers <= 0
+// uses Config.IngestWorkers, itself defaulting to GOMAXPROCS.
+//
+// The result is deterministic and identical to a serial ProcessTrip
+// loop over the same slice: admission (validation, dedup, journaling)
+// runs sequentially in input order, the stage computations fan out,
+// and estimator folding plus counter application are re-serialized in
+// input order. When OnlineUpdate is enabled the batch degrades to the
+// serial path, because later trips' matching must observe earlier
+// trips' fingerprint refreshes.
+func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
+	res := make([]TripResult, len(trips))
+	if len(trips) == 0 {
+		return res
+	}
+	if workers <= 0 {
+		workers = b.cfg.IngestWorkers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trips) {
+		workers = len(trips)
+	}
+	if b.cfg.OnlineUpdate || workers == 1 {
+		for i, trip := range trips {
+			out, err := b.ProcessTrip(trip)
+			res[i] = TripResult{Trip: out, Err: err}
+		}
+		return res
+	}
+
+	// Phase 1 — ordered admission: validate, dedup, journal. Duplicate
+	// IDs within the batch resolve exactly as serial ingestion would
+	// (first occurrence wins).
+	admitted := make([]bool, len(trips))
+	for i := range trips {
+		if err := b.admit(trips[i]); err != nil {
+			res[i].Err = err
+			continue
+		}
+		admitted[i] = true
+	}
+
+	// Phase 2 — concurrent stage computation over the admitted trips.
+	work := make([]tripWork, len(trips))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				work[i] = b.compute(trips[i])
+			}
+		}()
+	}
+	for i := range trips {
+		if admitted[i] {
+			idx <- i
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Phase 3 — ordered fold: estimator updates and per-trip counters
+	// land in input order, keeping batch output byte-identical to a
+	// serial ProcessTrip loop.
+	for i := range trips {
+		if !admitted[i] {
+			continue
+		}
+		b.fold(&work[i])
+		res[i] = TripResult{Trip: work[i].out, Err: work[i].err}
+	}
+	return res
+}
+
+// UploadBatch implements phone.BatchUploader over ProcessTrips with
+// the backend's configured parallelism.
+func (b *Backend) UploadBatch(trips []probe.Trip) []error {
+	res := b.ProcessTrips(trips, 0)
+	errs := make([]error, len(res))
+	for i, r := range res {
+		errs[i] = r.Err
+	}
+	return errs
+}

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"busprobe/internal/probe"
+	"busprobe/internal/sim"
+)
+
+// batchCorpus fabricates n distinct trips over both test routes.
+func batchCorpus(t *testing.T, w *sim.World, n int) []probe.Trip {
+	t.Helper()
+	trips := make([]probe.Trip, n)
+	for i := range trips {
+		trips[i], _ = rideTrip(t, w, i%2, 0, 4+i%3, fmt.Sprintf("batch-%d", i))
+	}
+	return trips
+}
+
+func TestBatchIngestMatchesSerial(t *testing.T) {
+	// The acceptance bar for the concurrent path: per-trip results,
+	// counters, and the fused traffic map must be byte-identical to a
+	// serial ProcessTrip loop over the same slice.
+	w := testWorld(t)
+	trips := batchCorpus(t, w, 12)
+
+	serial := testBackend(t, w)
+	var serialRes []TripResult
+	for _, trip := range trips {
+		out, err := serial.ProcessTrip(trip)
+		serialRes = append(serialRes, TripResult{Trip: out, Err: err})
+	}
+
+	batched := testBackend(t, w)
+	batchRes := batched.ProcessTrips(trips, 4)
+
+	if len(batchRes) != len(serialRes) {
+		t.Fatalf("result count %d != %d", len(batchRes), len(serialRes))
+	}
+	for i := range serialRes {
+		if !reflect.DeepEqual(batchRes[i].Trip, serialRes[i].Trip) {
+			t.Errorf("trip %d diverged:\nserial %+v\nbatch  %+v",
+				i, serialRes[i].Trip, batchRes[i].Trip)
+		}
+		if (batchRes[i].Err == nil) != (serialRes[i].Err == nil) {
+			t.Errorf("trip %d error mismatch: %v vs %v", i, serialRes[i].Err, batchRes[i].Err)
+		}
+	}
+	if ss, bs := serial.Stats(), batched.Stats(); ss != bs {
+		t.Errorf("stats diverged:\nserial %+v\nbatch  %+v", ss, bs)
+	}
+	if st, bt := serial.Traffic(), batched.Traffic(); !reflect.DeepEqual(st, bt) {
+		t.Errorf("traffic maps diverged: %d vs %d segments", len(st), len(bt))
+	}
+}
+
+func TestBatchIngestRejections(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	good, _ := rideTrip(t, w, 0, 0, 4, "batch-good")
+	prior, _ := rideTrip(t, w, 0, 0, 4, "batch-prior")
+	if _, err := b.ProcessTrip(prior); err != nil {
+		t.Fatal(err)
+	}
+	batch := []probe.Trip{
+		good,
+		{},    // invalid: no ID, no samples
+		good,  // duplicate within the batch; first occurrence wins
+		prior, // duplicate of an earlier serial ingest
+	}
+	res := b.ProcessTrips(batch, 4)
+	if res[0].Err != nil {
+		t.Errorf("good trip rejected: %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, ErrInvalidTrip) {
+		t.Errorf("invalid trip error = %v", res[1].Err)
+	}
+	if !errors.Is(res[2].Err, ErrDuplicateTrip) {
+		t.Errorf("in-batch duplicate error = %v", res[2].Err)
+	}
+	if !errors.Is(res[3].Err, ErrDuplicateTrip) {
+		t.Errorf("cross-ingest duplicate error = %v", res[3].Err)
+	}
+	st := b.Stats()
+	if st.TripsRejected != 1 || st.DuplicateTrips != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBatchIngestOnlineUpdateFallsBackToSerial(t *testing.T) {
+	// OnlineUpdate mutates the fingerprint DB mid-pipeline, so the batch
+	// path must degrade to ordered serial processing — results must
+	// still match a plain loop.
+	w := testWorld(t)
+	cfg := DefaultConfig()
+	cfg.OnlineUpdate = true
+	mk := func() *Backend {
+		fpdb, err := BuildFingerprintDB(w.Cells, w.Transit, 4, cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBackend(cfg, w.Transit, fpdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	trips := batchCorpus(t, w, 6)
+	serial := mk()
+	for _, trip := range trips {
+		if _, err := serial.ProcessTrip(trip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := mk()
+	for i, r := range batched.ProcessTrips(trips, 4) {
+		if r.Err != nil {
+			t.Fatalf("trip %d: %v", i, r.Err)
+		}
+	}
+	if ss, bs := serial.Stats(), batched.Stats(); ss != bs {
+		t.Errorf("stats diverged:\nserial %+v\nbatch  %+v", ss, bs)
+	}
+}
+
+func TestUploadBatchErrorAlignment(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	good, _ := rideTrip(t, w, 0, 0, 4, "ub-good")
+	errs := b.UploadBatch([]probe.Trip{good, {}})
+	if len(errs) != 2 {
+		t.Fatalf("errs = %d", len(errs))
+	}
+	if errs[0] != nil {
+		t.Errorf("good trip: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrInvalidTrip) {
+		t.Errorf("invalid trip: %v", errs[1])
+	}
+}
+
+func TestHTTPUploadStatusCodes(t *testing.T) {
+	// Satellite of the sentinel errors: the single-trip endpoint must
+	// answer 409 for duplicates and 400 for invalid uploads.
+	w := testWorld(t)
+	b := testBackend(t, w)
+	srv := httptest.NewServer(Handler(b))
+	defer srv.Close()
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, _ := rideTrip(t, w, 0, 0, 4, "http-dup")
+	if err := client.Upload(trip); err != nil {
+		t.Fatal(err)
+	}
+	post := func(tr probe.Trip) int {
+		t.Helper()
+		body, err := json.Marshal(&tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Post(srv.URL+"/v1/trips", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(trip); code != http.StatusConflict {
+		t.Errorf("duplicate upload status = %d, want 409", code)
+	}
+	if code := post(probe.Trip{}); code != http.StatusBadRequest {
+		t.Errorf("invalid upload status = %d, want 400", code)
+	}
+}
+
+func TestHTTPBatchEndpoint(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	srv := httptest.NewServer(Handler(b))
+	defer srv.Close()
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := batchCorpus(t, w, 5)
+	trips = append(trips, probe.Trip{}) // one invalid straggler
+	out, err := client.UploadTrips(trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 5 || out.Rejected != 1 {
+		t.Errorf("accepted=%d rejected=%d", out.Accepted, out.Rejected)
+	}
+	if len(out.Results) != 6 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	for i := 0; i < 5; i++ {
+		if !out.Results[i].Accepted || out.Results[i].TripID != trips[i].ID {
+			t.Errorf("row %d = %+v", i, out.Results[i])
+		}
+	}
+	if out.Results[5].Accepted || out.Results[5].Error == "" {
+		t.Errorf("invalid row = %+v", out.Results[5])
+	}
+	if st := b.Stats(); st.TripsReceived != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The batch uploader interface over HTTP reports per-row errors.
+	errs := client.UploadBatch(trips[:1])
+	if errs[0] == nil {
+		t.Error("re-upload over batch endpoint not rejected")
+	}
+	// Pipeline metrics are served and ordered.
+	ms, err := client.PipelineMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 || ms[0].Stage != "match" || ms[4].Stage != "estimate" {
+		t.Fatalf("pipeline metrics = %+v", ms)
+	}
+	if ms[0].Runs == 0 {
+		t.Error("match stage shows no runs after ingesting trips")
+	}
+}
+
+func TestCampaignBatchedUploads(t *testing.T) {
+	// End-to-end: a campaign with UploadBatchSize delivers through the
+	// backend's concurrent batch path and loses nothing.
+	w := testWorld(t)
+	run := func(batch int) (sim.CampaignStats, Stats) {
+		t.Helper()
+		b := testBackend(t, w)
+		cfg := sim.DefaultCampaignConfig()
+		cfg.Days = 1
+		cfg.Participants = 6
+		cfg.Seed = 11
+		cfg.UploadBatchSize = batch
+		camp, err := sim.NewCampaign(w, cfg, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp.MinuteHook = func(tS float64) { b.Advance(tS) }
+		st, err := camp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, b.Stats()
+	}
+	immediate, immediateBS := run(0)
+	batched, batchedBS := run(8)
+	if batched.BatchFlushes == 0 {
+		t.Error("batched campaign never flushed")
+	}
+	if batched.UploadFailures != 0 {
+		t.Errorf("upload failures = %d", batched.UploadFailures)
+	}
+	if immediateBS.TripsReceived == 0 {
+		t.Fatal("campaign produced no trips")
+	}
+	if batchedBS.TripsReceived != immediateBS.TripsReceived {
+		t.Errorf("batched path lost trips: %d != %d",
+			batchedBS.TripsReceived, immediateBS.TripsReceived)
+	}
+	_ = immediate
+}
+
+func TestProcessTripsEmptyAndWorkerClamp(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	if res := b.ProcessTrips(nil, 4); len(res) != 0 {
+		t.Errorf("nil batch returned %d results", len(res))
+	}
+	// More workers than trips must clamp, not deadlock.
+	trips := batchCorpus(t, w, 2)
+	done := make(chan []TripResult, 1)
+	go func() { done <- b.ProcessTrips(trips, 64) }()
+	select {
+	case res := <-done:
+		for i, r := range res {
+			if r.Err != nil {
+				t.Errorf("trip %d: %v", i, r.Err)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("batch ingest deadlocked")
+	}
+}

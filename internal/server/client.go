@@ -10,6 +10,7 @@ import (
 
 	"busprobe/internal/phone"
 	"busprobe/internal/probe"
+	"busprobe/internal/server/stage"
 )
 
 // Client talks to a backend over its HTTP API. It implements
@@ -20,7 +21,10 @@ type Client struct {
 	http    *http.Client
 }
 
-var _ phone.Uploader = (*Client)(nil)
+var (
+	_ phone.Uploader      = (*Client)(nil)
+	_ phone.BatchUploader = (*Client)(nil)
+)
 
 // NewClient returns a client for the backend at baseURL (e.g.
 // "http://127.0.0.1:8080").
@@ -50,6 +54,61 @@ func (c *Client) Upload(trip probe.Trip) error {
 		return fmt.Errorf("server: upload rejected (%d): %s", resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 	return nil
+}
+
+// UploadTrips posts a batch of trips through the server's concurrent
+// ingest endpoint, returning the per-trip outcomes in input order.
+func (c *Client) UploadTrips(trips []probe.Trip) (BatchUploadResponseJSON, error) {
+	var out BatchUploadResponseJSON
+	body, err := json.Marshal(trips)
+	if err != nil {
+		return out, fmt.Errorf("server: encode batch: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/v1/trips/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, fmt.Errorf("server: batch upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return out, fmt.Errorf("server: batch upload rejected (%d): %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("server: batch upload: decode: %w", err)
+	}
+	return out, nil
+}
+
+// UploadBatch implements phone.BatchUploader over UploadTrips: errs[i]
+// reports trip i's outcome.
+func (c *Client) UploadBatch(trips []probe.Trip) []error {
+	errs := make([]error, len(trips))
+	out, err := c.UploadTrips(trips)
+	if err != nil || len(out.Results) != len(trips) {
+		if err == nil {
+			err = fmt.Errorf("server: batch upload: %d results for %d trips", len(out.Results), len(trips))
+		}
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for i, row := range out.Results {
+		if !row.Accepted {
+			errs[i] = fmt.Errorf("server: upload rejected: %s", row.Error)
+		}
+	}
+	return errs
+}
+
+// PipelineMetrics fetches the backend's per-stage instrumentation
+// counters.
+func (c *Client) PipelineMetrics() ([]stage.Metrics, error) {
+	var out []stage.Metrics
+	if err := c.getJSON("/v1/pipeline", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Traffic fetches the full traffic-map snapshot.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -33,18 +34,59 @@ type UploadResponseJSON struct {
 	Error        string `json:"error,omitempty"`
 }
 
+// BatchUploadResponseJSON acknowledges a batched trip upload with one
+// row per submitted trip, in input order.
+type BatchUploadResponseJSON struct {
+	Accepted int                  `json:"accepted"`
+	Rejected int                  `json:"rejected"`
+	Results  []UploadResponseJSON `json:"results,omitempty"`
+	Error    string               `json:"error,omitempty"`
+}
+
 // maxUploadBytes bounds one trip upload (a day-long trip is ~100 KiB).
 const maxUploadBytes = 4 << 20
+
+// maxBatchUploadBytes bounds one batched upload.
+const maxBatchUploadBytes = 64 << 20
+
+// uploadStatus maps a rejection to its HTTP status: sentinel errors
+// get distinguishable codes (409 duplicate, 400 invalid) so clients
+// need not string-match; anything else is a 422.
+func uploadStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrDuplicateTrip):
+		return http.StatusConflict
+	case errors.Is(err, ErrInvalidTrip):
+		return http.StatusBadRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// uploadRow renders one trip outcome as a response row.
+func uploadRow(tripID string, res ProcessedTrip, err error) UploadResponseJSON {
+	if err != nil {
+		return UploadResponseJSON{TripID: tripID, Error: err.Error()}
+	}
+	return UploadResponseJSON{
+		Accepted:     true,
+		TripID:       res.TripID,
+		Visits:       len(res.Visits),
+		Observations: res.Observations,
+	}
+}
 
 // Handler returns the backend's HTTP API:
 //
 //	POST /v1/trips            upload one probe.Trip (JSON)
+//	POST /v1/trips/batch      upload a JSON array of trips (concurrent ingest)
 //	GET  /v1/traffic          full traffic-map snapshot
 //	GET  /v1/traffic/segment?id=N   one segment's estimate
 //	GET  /v1/region           inferred regional congestion index
 //	GET  /v1/routes?depart=T  per-route live end-to-end travel times
 //	GET  /v1/arrivals?route=R&stop=I&depart=T   downstream ETAs
 //	GET  /v1/stats            pipeline counters
+//	GET  /v1/pipeline         per-stage instrumentation counters
 //	GET  /healthz             liveness
 func Handler(b *Backend) http.Handler {
 	mux := http.NewServeMux()
@@ -64,17 +106,36 @@ func Handler(b *Backend) http.Handler {
 		}
 		res, err := b.ProcessTrip(trip)
 		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, UploadResponseJSON{
-				TripID: trip.ID, Error: err.Error(),
-			})
+			writeJSON(w, uploadStatus(err), uploadRow(trip.ID, res, err))
 			return
 		}
-		writeJSON(w, http.StatusAccepted, UploadResponseJSON{
-			Accepted:     true,
-			TripID:       res.TripID,
-			Visits:       len(res.Visits),
-			Observations: res.Observations,
-		})
+		writeJSON(w, http.StatusAccepted, uploadRow(trip.ID, res, nil))
+	})
+	mux.HandleFunc("/v1/trips/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var trips []probe.Trip
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchUploadBytes))
+		if err := dec.Decode(&trips); err != nil {
+			writeJSON(w, http.StatusBadRequest, BatchUploadResponseJSON{Error: "malformed JSON: " + err.Error()})
+			return
+		}
+		results := b.ProcessTrips(trips, 0)
+		out := BatchUploadResponseJSON{Results: make([]UploadResponseJSON, len(results))}
+		for i, res := range results {
+			out.Results[i] = uploadRow(trips[i].ID, res.Trip, res.Err)
+			if res.Err != nil {
+				out.Rejected++
+			} else {
+				out.Accepted++
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/v1/pipeline", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.StageMetrics())
 	})
 	mux.HandleFunc("/v1/traffic", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

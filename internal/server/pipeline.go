@@ -2,12 +2,16 @@ package server
 
 import (
 	"busprobe/internal/cellular"
-	"busprobe/internal/core/cluster"
 	"busprobe/internal/core/traffic"
 	"busprobe/internal/core/tripmap"
 	"busprobe/internal/road"
+	"busprobe/internal/server/stage"
 	"busprobe/internal/transit"
 )
+
+// The stage logic itself lives in internal/server/stage; this file
+// keeps the backend-level aliases and thin delegators the query
+// extensions and white-box tests use.
 
 // visit mirrors tripmap.Visit; VisitRecord converts from it.
 type visit = tripmap.Visit
@@ -15,128 +19,26 @@ type visit = tripmap.Visit
 // cellularFP aliases the fingerprint type for the online-update path.
 type cellularFP = cellular.Fingerprint
 
-// tripResolve runs the per-trip ML mapping.
-func tripResolve(clusters []cluster.Cluster, tdb *transit.DB) ([]visit, error) {
-	res, err := tripmap.Resolve(clusters, tdb)
-	if err != nil {
-		return nil, err
-	}
-	return res.Visits, nil
-}
-
-// observations converts a mapped visit sequence into per-leg traffic
-// observations. For each consecutive visit pair the bus travel time is
-// BTT = arrive(next) - depart(prev) (§III-D); the covered road segments
-// come from a route serving both stops in order. Visits whose stop pair
-// no route serves in order (mapping noise) and travel times implying
-// implausible speeds are discarded.
+// observations runs the extraction stage: a mapped visit sequence
+// becomes per-leg traffic observations (§III-D).
 func (b *Backend) observations(visits []visit) (obs []traffic.Observation, discarded int) {
-	if len(visits) < 2 {
-		return nil, 0
-	}
-	routes := b.rankRoutesByVisitSupport(visits)
-	net := b.transit.Network()
-	for i := 0; i+1 < len(visits); i++ {
-		from, to := visits[i], visits[i+1]
-		if from.Stop == to.Stop {
-			continue // repeated resolution of the same stop; no motion
-		}
-		btt := to.ArriveS - from.DepartS
-		if btt <= 0 {
-			discarded++
-			continue
-		}
-		leg, ok := b.legBetween(routes, from.Stop, to.Stop)
-		if !ok {
-			discarded++
-			continue
-		}
-		speedKmh := leg.LengthM / btt * 3.6
-		if speedKmh < b.cfg.MinSpeedKmh || speedKmh > b.cfg.MaxSpeedKmh {
-			discarded++
-			continue
-		}
-		freeKmh := legFreeKmh(net, leg)
-		obs = append(obs, traffic.Observation{
-			Segments:   leg.Segments,
-			LengthM:    leg.LengthM,
-			FreeKmh:    freeKmh,
-			BTTSeconds: btt,
-			TimeS:      to.ArriveS,
-		})
-	}
-	return obs, discarded
+	out := b.pipe.Extract.Run(stage.ExtractInput{Visits: visits})
+	return out.Observations, out.Discarded
 }
 
 // rankRoutesByVisitSupport orders the routes by how many of the trip's
-// consecutive visit pairs they serve in order, so legs are attributed to
-// the route the rider most plausibly took.
+// consecutive visit pairs they serve in order.
 func (b *Backend) rankRoutesByVisitSupport(visits []visit) []*transit.Route {
-	type scored struct {
-		rt *transit.Route
-		n  int
-	}
-	all := b.transit.Routes()
-	ranked := make([]scored, 0, len(all))
-	for _, rt := range all {
-		n := 0
-		for i := 0; i+1 < len(visits); i++ {
-			fi := rt.StopIndex(visits[i].Stop)
-			ti := rt.StopIndex(visits[i+1].Stop)
-			if fi >= 0 && ti > fi {
-				n++
-			}
-		}
-		ranked = append(ranked, scored{rt: rt, n: n})
-	}
-	// Stable selection sort by descending support keeps determinism and
-	// is tiny (route counts are single digits).
-	for i := 0; i < len(ranked); i++ {
-		best := i
-		for j := i + 1; j < len(ranked); j++ {
-			if ranked[j].n > ranked[best].n {
-				best = j
-			}
-		}
-		ranked[i], ranked[best] = ranked[best], ranked[i]
-	}
-	out := make([]*transit.Route, len(ranked))
-	for i, s := range ranked {
-		out[i] = s.rt
-	}
-	return out
+	return b.pipe.Extract.RankRoutesByVisitSupport(visits)
 }
 
 // legBetween finds the road stretch between two stops on the
-// best-supported route serving them in order. The pair may skip
-// intermediate stops (nobody tapped there): LegBetween concatenates the
-// intermediate legs, implementing the §III-D merge.
+// best-supported route serving them in order.
 func (b *Backend) legBetween(routes []*transit.Route, from, to transit.StopID) (transit.Leg, bool) {
-	net := b.transit.Network()
-	for _, rt := range routes {
-		fi := rt.StopIndex(from)
-		if fi < 0 {
-			continue
-		}
-		ti := rt.StopIndex(to)
-		if ti <= fi {
-			continue
-		}
-		return rt.LegBetween(net, fi, ti), true
-	}
-	return transit.Leg{}, false
+	return b.pipe.Extract.LegBetween(routes, from, to)
 }
 
-// legFreeKmh returns the harmonic-mean free-flow speed over a leg
-// (total length / total free-flow time), which is the free speed the
-// Eq. 3 "a" term needs for a multi-segment stretch.
+// legFreeKmh returns the harmonic-mean free-flow speed over a leg.
 func legFreeKmh(net *road.Network, leg transit.Leg) float64 {
-	var timeS float64
-	for _, sid := range leg.Segments {
-		timeS += net.Segment(sid).FreeTravelS()
-	}
-	if timeS <= 0 {
-		return 0
-	}
-	return leg.LengthM / timeS * 3.6
+	return stage.LegFreeKmh(net, leg)
 }

@@ -1,0 +1,87 @@
+// Package stage decomposes the backend's Fig. 4 processing pipeline
+// into named, independently instrumented components: per-sample
+// matching, per-bus-stop co-clustering, per-trip ML mapping,
+// observation extraction, and traffic estimation. Each stage has a
+// typed input/output record and per-stage counters (runs, items,
+// drops, cumulative duration), so stages can be swapped, measured, and
+// scaled independently — the backend's ProcessTrip is a thin
+// composition over them, and the concurrent batch-ingest path runs the
+// CPU-bound stages from many goroutines at once.
+package stage
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a point-in-time snapshot of one stage's counters.
+type Metrics struct {
+	Stage      string `json:"stage"`
+	Runs       int64  `json:"runs"`
+	ItemsIn    int64  `json:"itemsIn"`
+	ItemsOut   int64  `json:"itemsOut"`
+	Dropped    int64  `json:"dropped"`
+	DurationNs int64  `json:"durationNs"`
+}
+
+// Duration returns the stage's cumulative run time.
+func (m Metrics) Duration() time.Duration { return time.Duration(m.DurationNs) }
+
+// Hook observes one completed stage run (counters + duration). Hooks
+// must be safe for concurrent use: the batch-ingest path runs stages
+// from many goroutines.
+type Hook func(stage string, itemsIn, itemsOut, dropped int, d time.Duration)
+
+// Stage is the common surface of every pipeline component.
+type Stage interface {
+	// Name identifies the stage ("match", "cluster", "map", "extract",
+	// "estimate").
+	Name() string
+	// Metrics snapshots the stage's counters.
+	Metrics() Metrics
+}
+
+// instrument carries a stage's identity and counters; every concrete
+// stage embeds one. The counters are atomics so concurrent stage runs
+// never block each other — or a Metrics reader — on a lock. Durations
+// are observability only and never feed back into results, so reading
+// the wall clock here does not break run reproducibility.
+type instrument struct {
+	name string
+	hook Hook
+
+	runs       atomic.Int64
+	itemsIn    atomic.Int64
+	itemsOut   atomic.Int64
+	dropped    atomic.Int64
+	durationNs atomic.Int64
+}
+
+// Name implements Stage.
+func (i *instrument) Name() string { return i.name }
+
+// Metrics implements Stage.
+func (i *instrument) Metrics() Metrics {
+	return Metrics{
+		Stage:      i.name,
+		Runs:       i.runs.Load(),
+		ItemsIn:    i.itemsIn.Load(),
+		ItemsOut:   i.itemsOut.Load(),
+		Dropped:    i.dropped.Load(),
+		DurationNs: i.durationNs.Load(),
+	}
+}
+
+// observe folds one completed run into the counters and fires the
+// hook, if any.
+func (i *instrument) observe(in, out, dropped int, start time.Time) {
+	d := time.Since(start)
+	i.runs.Add(1)
+	i.itemsIn.Add(int64(in))
+	i.itemsOut.Add(int64(out))
+	i.dropped.Add(int64(dropped))
+	i.durationNs.Add(int64(d))
+	if i.hook != nil {
+		i.hook(i.name, in, out, dropped, d)
+	}
+}

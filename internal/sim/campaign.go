@@ -9,6 +9,7 @@ import (
 	"busprobe/internal/cellular"
 	"busprobe/internal/geo"
 	"busprobe/internal/phone"
+	"busprobe/internal/probe"
 	"busprobe/internal/stats"
 	"busprobe/internal/transit"
 )
@@ -37,6 +38,14 @@ type CampaignConfig struct {
 	// phone hears the beeps while moving like a train, and the
 	// accelerometer filter must discard them.
 	TrainDecoysPerDay float64
+	// UploadBatchSize > 1 buffers concluded trips and delivers them to
+	// the uploader in batches of this size when the uploader implements
+	// phone.BatchUploader (the backend's concurrent ingest path, or the
+	// HTTP client's batch endpoint). Buffered trips reach the backend
+	// in conclusion order, so the resulting estimates match immediate
+	// upload — only their arrival time shifts to the flush. 0 or 1
+	// uploads each trip immediately.
+	UploadBatchSize int
 	// Seed drives all campaign randomness.
 	Seed uint64
 }
@@ -68,6 +77,9 @@ func (c CampaignConfig) Validate() error {
 	if c.SparseTripsPerDay < 0 || c.IntensiveTripsPerDay < 0 {
 		return fmt.Errorf("sim: negative trip rates")
 	}
+	if c.UploadBatchSize < 0 {
+		return fmt.Errorf("sim: negative upload batch size %d", c.UploadBatchSize)
+	}
 	return nil
 }
 
@@ -98,6 +110,11 @@ type CampaignStats struct {
 	// TrainDecoys counts train-reader beep bursts delivered to (and
 	// filtered by) participant phones.
 	TrainDecoys int
+	// BatchFlushes counts batched-upload deliveries, and UploadFailures
+	// the trips a batch flush rejected (both zero when UploadBatchSize
+	// is off).
+	BatchFlushes   int
+	UploadFailures int
 	// RidingSeconds totals participant time on buses, the basis of the
 	// app's energy cost.
 	RidingSeconds float64
@@ -164,6 +181,40 @@ type busRun struct {
 	onboard []*participant
 }
 
+// batchingUploader buffers concluded trips and flushes them through a
+// phone.BatchUploader in fixed-size batches, exercising the backend's
+// concurrent ingest path. Trips reach the sink in conclusion order.
+type batchingUploader struct {
+	sink  phone.BatchUploader
+	size  int
+	buf   []probe.Trip
+	stats *CampaignStats
+}
+
+// Upload implements phone.Uploader by buffering; delivery errors
+// surface at flush time in the campaign stats.
+func (u *batchingUploader) Upload(trip probe.Trip) error {
+	u.buf = append(u.buf, trip)
+	if len(u.buf) >= u.size {
+		u.flush()
+	}
+	return nil
+}
+
+// flush delivers the buffered trips as one batch.
+func (u *batchingUploader) flush() {
+	if len(u.buf) == 0 {
+		return
+	}
+	u.stats.BatchFlushes++
+	for _, err := range u.sink.UploadBatch(u.buf) {
+		if err != nil {
+			u.stats.UploadFailures++
+		}
+	}
+	u.buf = u.buf[:0]
+}
+
 // Campaign orchestrates a full data-collection run over a world,
 // delivering concluded participant trips to the uploader (the backend).
 // Not safe for concurrent use.
@@ -180,6 +231,9 @@ type Campaign struct {
 	nextSpawn map[transit.RouteID]float64
 	parts     []*participant
 	stats     CampaignStats
+	// batcher buffers uploads when UploadBatchSize is configured and
+	// the uploader supports batch ingest.
+	batcher *batchingUploader
 
 	// MinuteHook, when set, is invoked once per simulated minute with
 	// the current time — the attachment point for live evaluations
@@ -203,10 +257,19 @@ func NewCampaign(w *World, cfg CampaignConfig, uploader phone.Uploader, observer
 		rng:       stats.NewRNG(cfg.Seed).Fork("campaign"),
 		nextSpawn: make(map[transit.RouteID]float64),
 	}
+	agentSink := uploader
+	if cfg.UploadBatchSize > 1 {
+		sink, ok := uploader.(phone.BatchUploader)
+		if !ok {
+			return nil, fmt.Errorf("sim: UploadBatchSize set but uploader %T has no batch path", uploader)
+		}
+		c.batcher = &batchingUploader{sink: sink, size: cfg.UploadBatchSize, stats: &c.stats}
+		agentSink = c.batcher
+	}
 	for i := 0; i < cfg.Participants; i++ {
 		prng := c.rng.Fork(fmt.Sprintf("participant-%d", i))
 		sc := &busScanner{cells: w.Cells, rng: prng.Fork("scan"), scans: &c.stats.ScansTaken}
-		agent, err := phone.NewAgent(phone.DefaultAgentConfig(fmt.Sprintf("dev-%02d", i)), sc, uploader)
+		agent, err := phone.NewAgent(phone.DefaultAgentConfig(fmt.Sprintf("dev-%02d", i)), sc, agentSink)
 		if err != nil {
 			return nil, err
 		}
@@ -231,9 +294,15 @@ func (c *Campaign) Run() (CampaignStats, error) {
 		if err := c.runDay(day); err != nil {
 			return c.stats, err
 		}
+		if c.batcher != nil {
+			c.batcher.flush() // bound the buffer to one day's trips
+		}
 	}
 	for _, p := range c.parts {
 		p.agent.Flush()
+	}
+	if c.batcher != nil {
+		c.batcher.flush()
 	}
 	return c.stats, nil
 }

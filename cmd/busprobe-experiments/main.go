@@ -187,6 +187,19 @@ func run(quick bool, seed uint64, days int) error {
 		return err
 	}
 	fmt.Println(rep)
+
+	// Robustness: the end-to-end indicator under injected upload loss.
+	faultCfg := campCfg
+	faultCfg.Days = 1
+	faultCfg.UploadBatchSize = 8
+	rates := []float64{0, 0.1, 0.2, 0.4}
+	if quick {
+		rates = []float64{0, 0.2}
+	}
+	if rep, _, err = eval.FaultSweep(lab, faultCfg, rates); err != nil {
+		return err
+	}
+	fmt.Println(rep)
 	if !quick {
 		if rep, err = eval.ExtPortability(5, seed); err != nil {
 			return err

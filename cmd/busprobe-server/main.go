@@ -6,7 +6,8 @@
 // Usage:
 //
 //	busprobe-server [-addr :8080] [-seed 1] [-survey-runs 4]
-//	                [-ingest-workers N]
+//	                [-ingest-workers N] [-max-inflight-batches N]
+//	                [-request-timeout SECONDS]
 //
 // Endpoints:
 //
@@ -41,15 +42,17 @@ func main() {
 	fpdbPath := flag.String("fpdb", "", "fingerprint DB file: loaded if present, written after a survey otherwise")
 	journalPath := flag.String("journal", "", "trip journal (JSONL): replayed at startup, appended on upload")
 	ingestWorkers := flag.Int("ingest-workers", 0, "batch-ingest parallelism (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight-batches", 0, "admission gate: concurrent batch ingests before shedding with 429 (0 = unbounded)")
+	reqTimeout := flag.Float64("request-timeout", 0, "per-request handling budget in seconds (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *surveyRuns, *fpdbPath, *journalPath, *ingestWorkers); err != nil {
+	if err := run(*addr, *seed, *surveyRuns, *fpdbPath, *journalPath, *ingestWorkers, *maxInflight, *reqTimeout); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string, ingestWorkers int) error {
+func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string, ingestWorkers, maxInflight int, reqTimeoutS float64) error {
 	worldCfg := sim.DefaultWorldConfig()
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
@@ -58,6 +61,8 @@ func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string,
 	}
 	cfg := server.DefaultConfig()
 	cfg.IngestWorkers = ingestWorkers
+	cfg.MaxInflightBatches = maxInflight
+	cfg.RequestTimeoutS = reqTimeoutS
 	fpdb, err := loadOrSurvey(world, cfg, surveyRuns, seed, fpdbPath)
 	if err != nil {
 		return err

@@ -7,11 +7,17 @@
 // Usage:
 //
 //	busprobe-sim [-days 2] [-participants 22] [-seed 1] [-server URL]
-//	             [-upload-batch N]
+//	             [-upload-batch N] [-fault-drop R] [-fault-dup R]
+//	             [-fault-reorder R] [-fault-delay R] [-fault-corrupt R]
+//	             [-upload-retries N]
 //
 // With -upload-batch > 1, concluded trips are buffered and delivered
 // through the backend's concurrent batch-ingest path (POST
 // /v1/trips/batch against a remote server) instead of one at a time.
+//
+// The -fault-* rates route every upload through a seeded fault
+// injector (chaos campaign); -upload-retries enables the phone-side
+// retry/backoff/spool layer so injected losses can be recovered.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"busprobe/internal/core/traffic"
+	"busprobe/internal/faults"
 	"busprobe/internal/phone"
 	"busprobe/internal/server"
 	"busprobe/internal/sim"
@@ -39,15 +46,28 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed (must match the server's)")
 	serverURL := flag.String("server", "", "backend URL; empty runs in-process")
 	uploadBatch := flag.Int("upload-batch", 0, "buffer trips and ingest in concurrent batches of this size (0/1 = immediate)")
+	faultDrop := flag.Float64("fault-drop", 0, "probability of losing an uploaded trip")
+	faultDup := flag.Float64("fault-dup", 0, "probability of duplicating an uploaded trip")
+	faultReorder := flag.Float64("fault-reorder", 0, "probability of reordering an uploaded trip")
+	faultDelay := flag.Float64("fault-delay", 0, "probability of delaying an uploaded trip until campaign end")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability of corrupting an uploaded trip")
+	uploadRetries := flag.Int("upload-retries", 0, "phone-side upload attempts per trip (0 disables the retry layer)")
 	flag.Parse()
 
-	if err := run(*days, *participants, *tripsPerDay, *seed, *serverURL, *uploadBatch); err != nil {
+	fcfg := faults.Config{
+		DropRate:    *faultDrop,
+		DupRate:     *faultDup,
+		ReorderRate: *faultReorder,
+		DelayRate:   *faultDelay,
+		CorruptRate: *faultCorrupt,
+	}
+	if err := run(*days, *participants, *tripsPerDay, *seed, *serverURL, *uploadBatch, fcfg, *uploadRetries); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(days, participants int, tripsPerDay float64, seed uint64, serverURL string, uploadBatch int) error {
+func run(days, participants int, tripsPerDay float64, seed uint64, serverURL string, uploadBatch int, fcfg faults.Config, uploadRetries int) error {
 	worldCfg := sim.DefaultWorldConfig()
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
@@ -87,6 +107,11 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 	campCfg.IntensiveFromDay = 0
 	campCfg.Seed = seed ^ 0xca
 	campCfg.UploadBatchSize = uploadBatch
+	campCfg.Faults = fcfg
+	if uploadRetries > 0 {
+		campCfg.UploadRetry = phone.DefaultRetryConfig(seed ^ 0x7e7)
+		campCfg.UploadRetry.MaxAttempts = uploadRetries
+	}
 
 	camp, err := sim.NewCampaign(world, campCfg, uploader, nil)
 	if err != nil {
@@ -113,6 +138,14 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 
 	if st.BatchFlushes > 0 {
 		fmt.Printf("batched ingest: %d flushes, %d upload failures\n", st.BatchFlushes, st.UploadFailures)
+	}
+	if st.FaultTripsOffered > 0 {
+		fmt.Printf("fault injection: %d offers, %d dropped, %d duplicated, %d reordered, %d delayed, %d corrupted → %d delivered\n",
+			st.FaultTripsOffered, st.FaultTripsDropped, st.FaultTripsDuplicated,
+			st.FaultTripsReordered, st.FaultTripsDelayed, st.FaultTripsCorrupted, st.FaultTripsDelivered)
+		fmt.Printf("upload outcomes: %d duplicates absorbed, %d failures (%d dropped, %d shed, %d invalid), %d retries, %d spool-recovered\n",
+			st.UploadDuplicates, st.UploadFailures, st.UploadsDropped, st.UploadsShed,
+			st.UploadsInvalid, st.UploadRetries, st.UploadSpoolRecovered)
 	}
 	if backend == nil {
 		fmt.Println("trips uploaded to remote backend; query it for the traffic map")

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -44,22 +45,50 @@ type Observation struct {
 }
 
 // segState is the per-segment estimator state: the fused historic belief
-// plus the accumulating current window.
+// plus the retained per-window report sets it was folded from.
 type segState struct {
-	hist   Estimate
-	window stats.Accumulator
+	hist Estimate
+	// base / baseIdx checkpoint the belief at the last Compact: windows
+	// below baseIdx have been discarded, so the fold chain replays from
+	// base instead of from scratch.
+	base    Estimate
+	baseIdx int64
+	// foldedIdx is the exclusive upper window index already folded into
+	// hist. Always >= baseIdx.
+	foldedIdx int64
+	// dirty marks that a report landed in an already-folded window (an
+	// out-of-order delivery); the fold chain is replayed from base on
+	// the next settle.
+	dirty bool
+	// windows holds each update window's speed reports, kept sorted so
+	// the fold is a pure function of the report multiset — delivery
+	// order never changes an estimate.
+	windows map[int64][]float64
 }
 
 // Estimator maintains the per-segment traffic estimates: observations
-// accumulate into a window, and every period the window is folded into
-// the Bayesian belief (Eq. 4). Safe for concurrent use.
+// accumulate into periodic update windows, and completed windows are
+// folded into the Bayesian belief (Eq. 4) in window order.
+//
+// Folding is deterministic in the *set* of observations, not their
+// arrival order: reports are bucketed by their own timestamps, each
+// window's reports are kept sorted, and a report arriving for an
+// already-folded window replays the segment's fold chain. Two runs that
+// deliver the same observations — in any order, with any interleaving
+// of Advance calls — therefore produce byte-identical estimates, which
+// is what lets the chaos harness assert that duplicated and reordered
+// uploads cannot corrupt the traffic map. Safe for concurrent use.
 type Estimator struct {
 	mu        sync.Mutex
 	model     Model
 	periodS   float64
 	driftPerS float64
 	segs      map[road.SegmentID]*segState
-	nextS     float64 // next scheduled fold time
+	// watermarkIdx is the exclusive upper window index due for folding:
+	// windows below it are complete. It advances with observation and
+	// Advance timestamps and never retreats.
+	watermarkIdx int64
+	lateDropped  int
 }
 
 // NewEstimator returns an estimator with the given transit model, update
@@ -80,17 +109,22 @@ func NewEstimator(model Model, periodS, driftVarPerS float64) (*Estimator, error
 		periodS:   periodS,
 		driftPerS: driftVarPerS,
 		segs:      make(map[road.SegmentID]*segState),
-		nextS:     periodS,
 	}, nil
 }
 
 // Model returns the transit model in use.
 func (e *Estimator) Model() Model { return e.model }
 
+// windowOf buckets a timestamp into its update-window index.
+func (e *Estimator) windowOf(tS float64) int64 {
+	return int64(math.Floor(tS / e.periodS))
+}
+
 // AddObservation converts a bus observation to an automobile speed via
-// Eq. 3 and adds it to the current window of every covered segment (the
-// uniform-speed-along-leg assumption). It also advances the periodic
-// fold to the observation time.
+// Eq. 3 and buckets it into the update window of its own timestamp on
+// every covered segment (the uniform-speed-along-leg assumption). The
+// observation time also advances the fold watermark, so a fresher
+// report implicitly completes older windows.
 func (e *Estimator) AddObservation(obs Observation) error {
 	if len(obs.Segments) == 0 {
 		return fmt.Errorf("traffic: observation covers no segments")
@@ -101,42 +135,118 @@ func (e *Estimator) AddObservation(obs Observation) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.advanceLocked(obs.TimeS)
+	if idx := e.windowOf(obs.TimeS); idx > e.watermarkIdx {
+		e.watermarkIdx = idx
+	}
+	idx := e.windowOf(obs.TimeS)
 	for _, sid := range obs.Segments {
 		st := e.segs[sid]
 		if st == nil {
-			st = &segState{}
+			st = &segState{windows: make(map[int64][]float64)}
 			e.segs[sid] = st
 		}
-		st.window.Add(speed)
+		if idx < st.baseIdx {
+			// The window was compacted away; the report arrived too
+			// late to be honored.
+			e.lateDropped++
+			continue
+		}
+		lst := st.windows[idx]
+		at := sort.SearchFloat64s(lst, speed)
+		lst = append(lst, 0)
+		copy(lst[at+1:], lst[at:])
+		lst[at] = speed
+		st.windows[idx] = lst
+		if idx < st.foldedIdx {
+			st.dirty = true
+		}
 	}
 	return nil
 }
 
-// Advance folds completed update windows up to the given time. Call it
-// from the clock driver; AddObservation also calls it implicitly.
+// Advance moves the fold watermark to the given time and folds completed
+// windows. Call it from the clock driver.
 func (e *Estimator) Advance(nowS float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.advanceLocked(nowS)
+	if idx := e.windowOf(nowS); idx > e.watermarkIdx {
+		e.watermarkIdx = idx
+	}
+	e.settleAllLocked()
 }
 
-func (e *Estimator) advanceLocked(nowS float64) {
-	for e.nextS <= nowS {
-		for _, st := range e.segs {
-			if st.window.N() == 0 {
-				continue
-			}
-			v := st.window.Mean()
-			varV := st.window.Var()
-			if st.window.N() < 2 || varV <= 0 {
-				varV = DefaultSingleReportVar
-			}
-			st.hist = fuseAt(Inflate(st.hist, e.nextS, e.driftPerS), v, varV, e.nextS)
-			st.window = stats.Accumulator{}
-		}
-		e.nextS += e.periodS
+// settleAllLocked folds every segment up to the watermark.
+func (e *Estimator) settleAllLocked() {
+	for _, st := range e.segs {
+		e.settleLocked(st)
 	}
+}
+
+// settleLocked brings one segment's belief up to the watermark: a dirty
+// segment (late report) replays its fold chain from the checkpoint,
+// then every complete unfolded window is folded in ascending order.
+// Each window folds at its own end boundary regardless of when settle
+// runs, so the result depends only on the report multiset and the
+// watermark.
+func (e *Estimator) settleLocked(st *segState) {
+	if st.dirty {
+		st.hist = st.base
+		st.foldedIdx = st.baseIdx
+		st.dirty = false
+	}
+	if st.foldedIdx >= e.watermarkIdx {
+		return
+	}
+	var due []int64
+	for idx := range st.windows {
+		if idx >= st.foldedIdx && idx < e.watermarkIdx {
+			due = append(due, idx)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, idx := range due {
+		var acc stats.Accumulator
+		for _, v := range st.windows[idx] {
+			acc.Add(v)
+		}
+		v := acc.Mean()
+		varV := acc.Var()
+		if acc.N() < 2 || varV <= 0 {
+			varV = DefaultSingleReportVar
+		}
+		endS := float64(idx+1) * e.periodS
+		st.hist = fuseAt(Inflate(st.hist, endS, e.driftPerS), v, varV, endS)
+	}
+	st.foldedIdx = e.watermarkIdx
+}
+
+// Compact checkpoints every segment's belief and discards the folded
+// window reports behind it, bounding the estimator's memory on long
+// deployments. Reports arriving for a compacted window afterwards are
+// dropped and counted by LateDropped — compaction trades unbounded
+// reorder tolerance for bounded state, so run it no more often than the
+// staleness the upload path can produce.
+func (e *Estimator) Compact() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.segs {
+		e.settleLocked(st)
+		st.base = st.hist
+		st.baseIdx = st.foldedIdx
+		for idx := range st.windows {
+			if idx < st.baseIdx {
+				delete(st.windows, idx)
+			}
+		}
+	}
+}
+
+// LateDropped counts reports that arrived after their window was
+// compacted away and could not be folded.
+func (e *Estimator) LateDropped() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lateDropped
 }
 
 // fuseAt is Fuse plus the update timestamp.
@@ -152,7 +262,11 @@ func (e *Estimator) Get(sid road.SegmentID) (Estimate, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := e.segs[sid]
-	if st == nil || st.hist.Reports == 0 {
+	if st == nil {
+		return Estimate{}, false
+	}
+	e.settleLocked(st)
+	if st.hist.Reports == 0 {
 		return Estimate{}, false
 	}
 	return st.hist, true
@@ -163,6 +277,7 @@ func (e *Estimator) Get(sid road.SegmentID) (Estimate, bool) {
 func (e *Estimator) Snapshot() map[road.SegmentID]Estimate {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.settleAllLocked()
 	out := make(map[road.SegmentID]Estimate, len(e.segs))
 	for sid, st := range e.segs {
 		if st.hist.Reports > 0 {

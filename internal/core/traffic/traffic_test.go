@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -313,5 +314,106 @@ func TestEstimatorLateObservationTriggersFolds(t *testing.T) {
 	est, ok := e.Get(1)
 	if !ok || est.Reports != 1 {
 		t.Errorf("first window not folded by implicit advance: %+v ok=%v", est, ok)
+	}
+}
+
+func TestEstimatorOrderInsensitiveProperty(t *testing.T) {
+	// The chaos suite's foundation: the settled map is a pure function
+	// of the observation multiset and the final watermark, so any
+	// delivery order — including late arrivals behind interleaved
+	// Advance calls — folds to identical estimates.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 5 + rng.Intn(30)
+		obsSet := make([]Observation, n)
+		for i := range obsSet {
+			obsSet[i] = obs(
+				[]road.SegmentID{road.SegmentID(rng.Intn(4)), road.SegmentID(4 + rng.Intn(3))},
+				rng.Range(40, 400),
+				rng.Range(0, 6*DefaultPeriodS),
+			)
+		}
+		endS := 7 * DefaultPeriodS
+
+		serial := newEstimator(t)
+		for _, o := range obsSet {
+			if err := serial.AddObservation(o); err != nil {
+				return false
+			}
+		}
+		serial.Advance(endS)
+
+		shuffled := newEstimator(t)
+		for i, p := range rng.Perm(n) {
+			if err := shuffled.AddObservation(obsSet[p]); err != nil {
+				return false
+			}
+			// Interleave settles: late arrivals must refold cleanly.
+			if i%3 == 0 {
+				shuffled.Advance(rng.Range(0, endS))
+				shuffled.Snapshot()
+			}
+		}
+		shuffled.Advance(endS)
+
+		return reflect.DeepEqual(serial.Snapshot(), shuffled.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorCompactBoundsStateAndCountsLate(t *testing.T) {
+	e := newEstimator(t)
+	if err := e.AddObservation(obs([]road.SegmentID{1}, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	e.Advance(DefaultPeriodS)
+	before, _ := e.Get(1)
+	e.Compact()
+
+	// A report for the compacted window is dropped, not folded.
+	if err := e.AddObservation(obs([]road.SegmentID{1}, 400, 20)); err != nil {
+		t.Fatal(err)
+	}
+	e.Advance(2 * DefaultPeriodS)
+	if got := e.LateDropped(); got != 1 {
+		t.Errorf("LateDropped = %d, want 1", got)
+	}
+	after, _ := e.Get(1)
+	if after != before {
+		t.Errorf("compacted-window report changed the estimate: %+v -> %+v", before, after)
+	}
+
+	// Reports for live windows still fold normally after compaction.
+	if err := e.AddObservation(obs([]road.SegmentID{1}, 400, 2*DefaultPeriodS+10)); err != nil {
+		t.Fatal(err)
+	}
+	e.Advance(3 * DefaultPeriodS)
+	final, _ := e.Get(1)
+	if final.Reports != before.Reports+1 || final.SpeedKmh >= before.SpeedKmh {
+		t.Errorf("post-compaction fold missing: %+v -> %+v", before, final)
+	}
+}
+
+func TestEstimatorCompactionIdempotentWhenTimely(t *testing.T) {
+	// Compacting between settles must not change estimates as long as
+	// no report arrives later than the compaction point.
+	build := func(compact bool) map[road.SegmentID]Estimate {
+		e := newEstimator(t)
+		for w := 0; w < 4; w++ {
+			at := float64(w)*DefaultPeriodS + 10
+			if err := e.AddObservation(obs([]road.SegmentID{1, 2}, 60+20*float64(w), at)); err != nil {
+				t.Fatal(err)
+			}
+			e.Advance(float64(w+1) * DefaultPeriodS)
+			if compact {
+				e.Compact()
+			}
+		}
+		return e.Snapshot()
+	}
+	if got, want := build(true), build(false); !reflect.DeepEqual(got, want) {
+		t.Errorf("compaction changed timely estimates:\n%v\n%v", got, want)
 	}
 }

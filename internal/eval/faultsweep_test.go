@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"busprobe/internal/sim"
+)
+
+func TestFaultSweepShape(t *testing.T) {
+	l := lab(t)
+	cfg := sim.DefaultCampaignConfig()
+	cfg.Days = 1
+	cfg.Participants = 8
+	cfg.SparseTripsPerDay = 4
+	cfg.IntensiveFromDay = 0
+	cfg.IntensiveTripsPerDay = 4
+	cfg.UploadBatchSize = 8
+	cfg.Seed = 5
+
+	rep, points, err := FaultSweep(l, cfg, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	clean, lossy := points[0], points[1]
+	if clean.DeliveredFrac != 1 || clean.VisitRecall != 1 {
+		t.Errorf("clean run not its own baseline: %+v", clean)
+	}
+	if clean.Segments == 0 || clean.MapMAE <= 0 {
+		t.Errorf("clean map empty: %+v", clean)
+	}
+	// Retries recover injected loss; without them a 50% drop rate loses
+	// roughly half the trips. Coverage can only shrink.
+	if lossy.DeliveredFrac <= 0 || lossy.DeliveredFrac > 1 {
+		t.Errorf("lossy delivered fraction = %v", lossy.DeliveredFrac)
+	}
+	if lossy.DeliveredNoRetry >= lossy.DeliveredFrac {
+		t.Errorf("retry layer recovered nothing: %v (no retry) vs %v (retry)",
+			lossy.DeliveredNoRetry, lossy.DeliveredFrac)
+	}
+	if lossy.VisitRecall < 0 || lossy.VisitRecall > 1 {
+		t.Errorf("visit recall = %v outside [0,1]", lossy.VisitRecall)
+	}
+	if lossy.Segments > clean.Segments {
+		t.Errorf("loss grew the map: %d > %d segments", lossy.Segments, clean.Segments)
+	}
+
+	for _, key := range []string{
+		"drop00_delivered", "drop00_recall", "drop00_mae", "drop00_segments",
+		"drop50_delivered", "drop50_delivered_noretry", "drop50_recall",
+		"drop50_mae", "drop50_segments",
+	} {
+		if _, ok := rep.Metrics[key]; !ok {
+			t.Errorf("metric %q missing", key)
+		}
+	}
+	if !strings.Contains(rep.Text, "drop rate") || !strings.Contains(rep.Text, "visit recall") {
+		t.Errorf("report text malformed:\n%s", rep.Text)
+	}
+}

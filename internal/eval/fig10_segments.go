@@ -72,7 +72,7 @@ func Fig10SegmentSeries(l *Lab, run *CampaignRun, day int) (Report, error) {
 			continue
 		}
 		for sid, est := range snap.Estimates {
-			if snap.TimeS-est.UpdatedS <= 2*l.Cfg.PeriodS {
+			if snap.TimeS-est.UpdatedS <= l.freshHorizonS() {
 				freshCount[sid]++
 			}
 		}
@@ -130,7 +130,7 @@ func Fig10SegmentSeries(l *Lab, run *CampaignRun, day int) (Report, error) {
 			continue
 		}
 		for gsid, est := range snap.Estimates {
-			if snap.TimeS-est.UpdatedS > 2*l.Cfg.PeriodS {
+			if snap.TimeS-est.UpdatedS > l.freshHorizonS() {
 				continue
 			}
 			vt := feed.SpeedKmh(gsid, snap.TimeS)
@@ -154,7 +154,7 @@ func Fig10SegmentSeries(l *Lab, run *CampaignRun, day int) (Report, error) {
 			if ok {
 				if est, got := snap.Estimates[sid]; got {
 					va, known = est.SpeedKmh, true
-					fresh = snap.TimeS-est.UpdatedS <= 2*l.Cfg.PeriodS
+					fresh = snap.TimeS-est.UpdatedS <= l.freshHorizonS()
 				}
 			}
 			vt := feed.SpeedKmh(sid, t)

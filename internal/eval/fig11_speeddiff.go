@@ -31,9 +31,9 @@ func Fig11SpeedDifference(l *Lab, run *CampaignRun) (Report, error) {
 	high := &stats.ECDF{}
 	for _, snap := range run.Snapshots {
 		for sid, est := range snap.Estimates {
-			// Only count fresh estimates (updated within two refresh
-			// periods), mirroring "when both are available".
-			if snap.TimeS-est.UpdatedS > 2*l.Cfg.PeriodS {
+			// Only count fresh estimates, mirroring "when both are
+			// available".
+			if snap.TimeS-est.UpdatedS > l.freshHorizonS() {
 				continue
 			}
 			vt := feed.SpeedKmh(sid, snap.TimeS)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/phone"
 	"busprobe/internal/server"
 	"busprobe/internal/sim"
 	"busprobe/internal/transit"
@@ -46,6 +47,17 @@ func SmallLab() (*Lab, error) {
 	cfg.Plan.MinStops = 8
 	cfg.Plan.MaxStops = 14
 	return NewLab(cfg, 4)
+}
+
+// freshHorizonS is how stale an estimate may be (snapshot time minus
+// UpdatedS) and still describe "current" traffic in the evaluation
+// figures. Estimates are stamped with the end of the update window
+// their observations fell in, and a phone only uploads a trip after the
+// conclusion idle timeout, so even a just-delivered report is already
+// ~IdleTimeout old on arrival; allow two refresh periods of genuine
+// staleness on top of that unavoidable delivery lag.
+func (l *Lab) freshHorizonS() float64 {
+	return 2*l.Cfg.PeriodS + phone.DefaultIdleTimeoutS
 }
 
 // NewBackend creates a fresh backend over the lab's databases.

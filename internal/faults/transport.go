@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"busprobe/internal/stats"
+)
+
+// Transport is a fault-injecting http.RoundTripper: with FailRate it
+// refuses the request with a synthetic network error before it reaches
+// the wire, modelling the flaky cellular uplink below the trip-level
+// Injector. Decisions are drawn per attempt from a seeded stream, so a
+// client with retries sees a reproducible failure pattern.
+type Transport struct {
+	// Base performs the real round trip; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// FailRate is the probability of refusing an attempt in [0, 1].
+	FailRate float64
+
+	mu       sync.Mutex
+	rng      *stats.RNG
+	attempts int
+	failed   int
+}
+
+// NewTransport returns a transport failing attempts at failRate.
+func NewTransport(base http.RoundTripper, failRate float64, seed uint64) (*Transport, error) {
+	if failRate < 0 || failRate > 1 {
+		return nil, fmt.Errorf("faults: fail rate %v outside [0,1]", failRate)
+	}
+	return &Transport{Base: base, FailRate: failRate, rng: stats.NewRNG(seed)}, nil
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.attempts++
+	n := t.attempts
+	fail := t.FailRate > 0 && t.rng.ForkN(uint64(n)).Bool(t.FailRate)
+	if fail {
+		t.failed++
+	}
+	t.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("faults: injected network failure (attempt %d): %w", n, ErrDropped)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// Counts reports (attempts seen, attempts failed).
+func (t *Transport) Counts() (attempts, failed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts, t.failed
+}

@@ -1,0 +1,243 @@
+package phone
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"busprobe/internal/probe"
+)
+
+// scriptedUploader returns a scripted error sequence, one per call.
+type scriptedUploader struct {
+	script []error
+	calls  int
+	trips  []probe.Trip
+}
+
+func (s *scriptedUploader) Upload(t probe.Trip) error {
+	s.trips = append(s.trips, t)
+	var err error
+	if s.calls < len(s.script) {
+		err = s.script[s.calls]
+	}
+	s.calls++
+	return err
+}
+
+var errNetwork = errors.New("network down")
+
+func tripN(i int) probe.Trip {
+	return probe.Trip{ID: fmt.Sprintf("trip-%d", i), DeviceID: "d"}
+}
+
+func TestBackoffScheduleProperties(t *testing.T) {
+	// For any seed the schedule is monotone non-decreasing, never
+	// exceeds the cap, starts at >= base, and is reproducible.
+	f := func(seed uint64) bool {
+		cfg := DefaultRetryConfig(seed)
+		b1, b2 := NewBackoff(cfg), NewBackoff(cfg)
+		prev := 0.0
+		for i := 0; i < 12; i++ {
+			d := b1.DelayS(i)
+			if d != b2.DelayS(i) {
+				return false // not deterministic
+			}
+			if d < prev {
+				return false // not monotone
+			}
+			if d > cfg.MaxDelayS {
+				return false // cap violated
+			}
+			if i == 0 && d < cfg.BaseDelayS {
+				return false // jitter may only lengthen a delay
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackoffCapAndNegativeAttempt(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 4, BaseDelayS: 1, MaxDelayS: 8, JitterFrac: 0, Seed: 1}
+	b := NewBackoff(cfg)
+	for i, want := range []float64{1, 2, 4, 8, 8, 8} {
+		if got := b.DelayS(i); got != want {
+			t.Errorf("DelayS(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := b.DelayS(-5); got != b.DelayS(0) {
+		t.Errorf("negative attempt = %v, want clamp to attempt 0", got)
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	s := &scriptedUploader{script: []error{errNetwork, errNetwork, nil}}
+	var delays []float64
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(d float64) { delays = append(delays, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(tripN(0)); err != nil {
+		t.Fatalf("upload after transient failures: %v", err)
+	}
+	if s.calls != 3 {
+		t.Errorf("attempts = %d, want 3", s.calls)
+	}
+	if len(delays) != 2 || delays[1] < delays[0] {
+		t.Errorf("recorded backoff delays = %v", delays)
+	}
+	st := r.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Spooled != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRetryDuplicateIsSuccess(t *testing.T) {
+	s := &scriptedUploader{script: []error{fmt.Errorf("server: %w", probe.ErrDuplicateTrip)}}
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(tripN(0)); err != nil {
+		t.Fatalf("duplicate rejection surfaced as error: %v", err)
+	}
+	if s.calls != 1 {
+		t.Errorf("duplicate was retried: %d calls", s.calls)
+	}
+	if st := r.Stats(); st.DupSuccesses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRetryInvalidIsPermanent(t *testing.T) {
+	s := &scriptedUploader{script: []error{fmt.Errorf("server: %w", probe.ErrInvalidTrip)}}
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(tripN(0)); !errors.Is(err, probe.ErrInvalidTrip) {
+		t.Fatalf("invalid trip error = %v", err)
+	}
+	if s.calls != 1 {
+		t.Errorf("invalid trip was retried: %d calls", s.calls)
+	}
+	st := r.Stats()
+	if st.PermanentFailures != 1 || st.Spooled != 0 {
+		t.Errorf("invalid trip must not be spooled: %+v", st)
+	}
+}
+
+func TestRetrySpoolRecovery(t *testing.T) {
+	// Trip 0 exhausts its attempts and is spooled; trip 1 succeeds and
+	// the spool drains behind it.
+	cfg := DefaultRetryConfig(7)
+	cfg.MaxAttempts = 2
+	s := &scriptedUploader{script: []error{errNetwork, errNetwork}} // then all nil
+	r, err := NewRetryUploader(cfg, s, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(tripN(0)); !errors.Is(err, errNetwork) {
+		t.Fatalf("exhausted upload error = %v", err)
+	}
+	if r.SpoolLen() != 1 {
+		t.Fatalf("spool len = %d, want 1", r.SpoolLen())
+	}
+	if err := r.Upload(tripN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.SpoolLen() != 0 {
+		t.Errorf("spool not drained after success: %d left", r.SpoolLen())
+	}
+	st := r.Stats()
+	if st.Spooled != 1 || st.SpoolRecovered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Delivery order after recovery: trip 0 twice (failures), trip 1,
+	// then the spooled trip 0.
+	last := s.trips[len(s.trips)-1]
+	if last.ID != "trip-0" {
+		t.Errorf("last delivered = %s, want the recovered trip-0", last.ID)
+	}
+}
+
+func TestRetrySpoolBoundEvictsOldest(t *testing.T) {
+	cfg := DefaultRetryConfig(7)
+	cfg.MaxAttempts = 1
+	cfg.SpoolSize = 2
+	fail := make([]error, 10)
+	for i := range fail {
+		fail[i] = errNetwork
+	}
+	r, err := NewRetryUploader(cfg, &scriptedUploader{script: fail}, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		_ = r.Upload(tripN(i))
+	}
+	if r.SpoolLen() != 2 {
+		t.Fatalf("spool len = %d, want bound 2", r.SpoolLen())
+	}
+	st := r.Stats()
+	if st.Spooled != 4 || st.SpoolDropped != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// FlushSpool against a now-healthy sink recovers the two newest.
+	ok := &scriptedUploader{}
+	r.next = ok
+	r.FlushSpool()
+	if r.SpoolLen() != 0 || len(ok.trips) != 2 {
+		t.Fatalf("flush delivered %d, spool %d", len(ok.trips), r.SpoolLen())
+	}
+	if ok.trips[0].ID != "trip-2" || ok.trips[1].ID != "trip-3" {
+		t.Errorf("recovered %s, %s — oldest were not the ones evicted", ok.trips[0].ID, ok.trips[1].ID)
+	}
+}
+
+func TestRetryDrainStopsAtTransientFailure(t *testing.T) {
+	cfg := DefaultRetryConfig(7)
+	cfg.MaxAttempts = 1
+	s := &scriptedUploader{script: []error{errNetwork, errNetwork, nil, nil, errNetwork}}
+	r, err := NewRetryUploader(cfg, s, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Upload(tripN(0)) // spooled
+	_ = r.Upload(tripN(1)) // spooled
+	// Success; drain recovers trip 0, then trip 1 fails again and stays.
+	if err := r.Upload(tripN(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.SpoolLen() != 1 {
+		t.Errorf("spool len = %d, want 1 (drain must stop at the first failure)", r.SpoolLen())
+	}
+	if st := r.Stats(); st.SpoolRecovered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRetryConfigValidate(t *testing.T) {
+	bad := []RetryConfig{
+		{MaxAttempts: 0},
+		{MaxAttempts: 1, BaseDelayS: -1},
+		{MaxAttempts: 1, JitterFrac: 1.5},
+		{MaxAttempts: 1, SpoolSize: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultRetryConfig(1).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if _, err := NewRetryUploader(DefaultRetryConfig(1), nil, nil); err == nil {
+		t.Error("nil uploader accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package probe
+
+import "errors"
+
+// Transport-neutral upload rejection sentinels. The backend (and its
+// HTTP client) wrap these so the phone-side retry logic can classify
+// failures with errors.Is without importing the server package:
+//
+//   - ErrDuplicateTrip: the trip was already ingested. Retrying is
+//     pointless but harmless — an upload that died after the server
+//     committed it looks exactly like this, so retry layers treat it as
+//     success (idempotent delivery).
+//   - ErrInvalidTrip: the trip fails structural validation. Permanent;
+//     retrying cannot help.
+//   - ErrOverloaded: the backend shed the upload under load. Transient;
+//     retry after backing off.
+var (
+	ErrDuplicateTrip = errors.New("duplicate trip")
+	ErrInvalidTrip   = errors.New("invalid trip")
+	ErrOverloaded    = errors.New("backend overloaded")
+)

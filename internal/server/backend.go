@@ -8,7 +8,6 @@
 package server
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -22,13 +21,17 @@ import (
 )
 
 // Sentinel upload-rejection errors. The HTTP layer maps them to status
-// codes (400 / 409); in-process callers distinguish them with
-// errors.Is instead of string matching.
+// codes (400 / 409 / 429); in-process callers distinguish them with
+// errors.Is instead of string matching. Each wraps the transport-neutral
+// probe sentinel, so phone-side retry policy can classify rejections
+// without importing this package.
 var (
 	// ErrInvalidTrip marks uploads failing probe.Trip validation.
-	ErrInvalidTrip = errors.New("server: invalid trip")
+	ErrInvalidTrip = fmt.Errorf("server: %w", probe.ErrInvalidTrip)
 	// ErrDuplicateTrip marks re-uploads of an already-ingested trip ID.
-	ErrDuplicateTrip = errors.New("server: duplicate trip")
+	ErrDuplicateTrip = fmt.Errorf("server: %w", probe.ErrDuplicateTrip)
+	// ErrOverloaded marks uploads shed by the admission gate.
+	ErrOverloaded = fmt.Errorf("server: %w", probe.ErrOverloaded)
 )
 
 // Config bundles the backend's tunables, defaulting to the paper's
@@ -53,6 +56,13 @@ type Config struct {
 	// UploadBatch) fans the CPU-bound stages across. <= 0 uses
 	// GOMAXPROCS.
 	IngestWorkers int
+	// MaxInflightBatches bounds concurrently admitted batch ingests;
+	// beyond it the admission gate sheds the batch (HTTP 429 with
+	// Retry-After). 0 disables shedding.
+	MaxInflightBatches int
+	// RequestTimeoutS bounds each HTTP request's handling time; slow
+	// requests get 503. 0 disables the per-request timeout.
+	RequestTimeoutS float64
 	// StageHook, when non-nil, observes every pipeline stage run
 	// (counters + duration). It must be safe for concurrent use.
 	StageHook stage.Hook
@@ -98,6 +108,10 @@ type Stats struct {
 	VisitsMapped     int
 	Observations     int
 	ObsDiscarded     int
+	// BatchesShed / TripsShed count batch uploads (and the trips they
+	// carried) refused by the admission gate under load.
+	BatchesShed int
+	TripsShed   int
 }
 
 // add accumulates a per-trip counter delta.
@@ -153,6 +167,11 @@ type Backend struct {
 
 	statsMu sync.Mutex
 	stats   Stats
+
+	// gate bounds concurrently admitted batch ingests (nil = unbounded);
+	// admission holds the per-stage-style counters for /v1/pipeline.
+	gate      chan struct{}
+	admission stage.Metrics
 }
 
 // NewBackend assembles a backend over the transit database and the
@@ -167,11 +186,23 @@ func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, er
 	if cfg.MinSpeedKmh <= 0 || cfg.MaxSpeedKmh <= cfg.MinSpeedKmh {
 		return nil, fmt.Errorf("server: bad speed bounds [%v, %v]", cfg.MinSpeedKmh, cfg.MaxSpeedKmh)
 	}
+	if cfg.MaxInflightBatches < 0 {
+		return nil, fmt.Errorf("server: negative max inflight batches %d", cfg.MaxInflightBatches)
+	}
+	if cfg.RequestTimeoutS < 0 {
+		return nil, fmt.Errorf("server: negative request timeout %v", cfg.RequestTimeoutS)
+	}
 	est, err := traffic.NewEstimator(cfg.Model, cfg.PeriodS, cfg.DriftVarPerS)
 	if err != nil {
 		return nil, err
 	}
+	var gate chan struct{}
+	if cfg.MaxInflightBatches > 0 {
+		gate = make(chan struct{}, cfg.MaxInflightBatches)
+	}
 	return &Backend{
+		gate:      gate,
+		admission: stage.Metrics{Stage: "admission"},
 		cfg:     cfg,
 		transit: tdb,
 		fpdb:    fpdb,
@@ -200,8 +231,49 @@ func (b *Backend) FingerprintDB() *fingerprint.DB { return b.fpdb }
 func (b *Backend) Pipeline() *stage.Pipeline { return b.pipe }
 
 // StageMetrics snapshots the per-stage instrumentation counters in
-// pipeline order.
-func (b *Backend) StageMetrics() []stage.Metrics { return b.pipe.Metrics() }
+// pipeline order, with the batch admission gate appended as a
+// pseudo-stage (runs = gate decisions, items in = trips offered, items
+// out = trips admitted, dropped = trips shed).
+func (b *Backend) StageMetrics() []stage.Metrics {
+	ms := b.pipe.Metrics()
+	b.statsMu.Lock()
+	adm := b.admission
+	b.statsMu.Unlock()
+	return append(ms, adm)
+}
+
+// AdmitBatch asks the admission gate for a slot for a batch of n trips.
+// On success, the caller must invoke the returned release exactly once
+// when the ingest finishes. A saturated gate sheds the batch: ok is
+// false and the shed counters are updated.
+func (b *Backend) AdmitBatch(n int) (release func(), ok bool) {
+	if b.gate == nil {
+		b.statsMu.Lock()
+		b.admission.Runs++
+		b.admission.ItemsIn += int64(n)
+		b.admission.ItemsOut += int64(n)
+		b.statsMu.Unlock()
+		return func() {}, true
+	}
+	select {
+	case b.gate <- struct{}{}:
+		b.statsMu.Lock()
+		b.admission.Runs++
+		b.admission.ItemsIn += int64(n)
+		b.admission.ItemsOut += int64(n)
+		b.statsMu.Unlock()
+		return func() { <-b.gate }, true
+	default:
+		b.statsMu.Lock()
+		b.admission.Runs++
+		b.admission.ItemsIn += int64(n)
+		b.admission.Dropped += int64(n)
+		b.stats.BatchesShed++
+		b.stats.TripsShed += n
+		b.statsMu.Unlock()
+		return nil, false
+	}
+}
 
 // Stats returns a snapshot of the work counters. Counters are applied
 // in one critical section per trip, so a snapshot never shows a

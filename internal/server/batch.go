@@ -97,10 +97,20 @@ func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
 }
 
 // UploadBatch implements phone.BatchUploader over ProcessTrips with
-// the backend's configured parallelism.
+// the backend's configured parallelism. The batch passes the admission
+// gate first: a shed batch fails every trip with ErrOverloaded, exactly
+// as the HTTP endpoint answers 429.
 func (b *Backend) UploadBatch(trips []probe.Trip) []error {
+	errs := make([]error, len(trips))
+	release, ok := b.AdmitBatch(len(trips))
+	if !ok {
+		for i := range errs {
+			errs[i] = ErrOverloaded
+		}
+		return errs
+	}
+	defer release()
 	res := b.ProcessTrips(trips, 0)
-	errs := make([]error, len(res))
 	for i, r := range res {
 		errs[i] = r.Err
 	}

@@ -215,18 +215,23 @@ func TestHTTPBatchEndpoint(t *testing.T) {
 	if st := b.Stats(); st.TripsReceived != 6 {
 		t.Errorf("stats = %+v", st)
 	}
-	// The batch uploader interface over HTTP reports per-row errors.
+	// The batch uploader interface over HTTP reports per-row errors,
+	// classified with the server sentinels via the row code.
 	errs := client.UploadBatch(trips[:1])
-	if errs[0] == nil {
-		t.Error("re-upload over batch endpoint not rejected")
+	if !errors.Is(errs[0], ErrDuplicateTrip) {
+		t.Errorf("re-upload over batch endpoint = %v, want ErrDuplicateTrip", errs[0])
 	}
-	// Pipeline metrics are served and ordered.
+	// Pipeline metrics are served and ordered, with the admission gate
+	// appended as a pseudo-stage.
 	ms, err := client.PipelineMetrics()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != 5 || ms[0].Stage != "match" || ms[4].Stage != "estimate" {
+	if len(ms) != 6 || ms[0].Stage != "match" || ms[4].Stage != "estimate" || ms[5].Stage != "admission" {
 		t.Fatalf("pipeline metrics = %+v", ms)
+	}
+	if ms[5].ItemsIn != 7 || ms[5].ItemsOut != 7 || ms[5].Dropped != 0 {
+		t.Errorf("admission row = %+v", ms[5])
 	}
 	if ms[0].Runs == 0 {
 		t.Error("match stage shows no runs after ingesting trips")

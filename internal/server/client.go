@@ -7,11 +7,17 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"busprobe/internal/phone"
 	"busprobe/internal/probe"
 	"busprobe/internal/server/stage"
 )
+
+// DefaultClientTimeout bounds a client request when the caller does not
+// supply its own http.Client. Without it, a stalled backend would hang
+// Upload and Healthy forever.
+const DefaultClientTimeout = 15 * time.Second
 
 // Client talks to a backend over its HTTP API. It implements
 // phone.Uploader, so simulated phones can upload over a real network
@@ -27,18 +33,36 @@ var (
 )
 
 // NewClient returns a client for the backend at baseURL (e.g.
-// "http://127.0.0.1:8080").
+// "http://127.0.0.1:8080"). A nil httpClient gets a private client with
+// DefaultClientTimeout, never the timeout-less http.DefaultClient.
 func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	if baseURL == "" {
 		return nil, fmt.Errorf("server: empty base URL")
 	}
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultClientTimeout}
 	}
 	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
 }
 
-// Upload posts one trip.
+// statusErr maps a rejection status to the matching sentinel so callers
+// classify HTTP rejections exactly like in-process ones; unknown
+// statuses map to nil.
+func statusErr(status int) error {
+	switch status {
+	case http.StatusConflict:
+		return ErrDuplicateTrip
+	case http.StatusBadRequest:
+		return ErrInvalidTrip
+	case http.StatusTooManyRequests:
+		return ErrOverloaded
+	default:
+		return nil
+	}
+}
+
+// Upload posts one trip. Rejections carry the server sentinels: 409 →
+// ErrDuplicateTrip, 400 → ErrInvalidTrip, 429 → ErrOverloaded.
 func (c *Client) Upload(trip probe.Trip) error {
 	body, err := json.Marshal(&trip)
 	if err != nil {
@@ -51,6 +75,9 @@ func (c *Client) Upload(trip probe.Trip) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		if sent := statusErr(resp.StatusCode); sent != nil {
+			return fmt.Errorf("upload rejected (%d): %s: %w", resp.StatusCode, strings.TrimSpace(string(msg)), sent)
+		}
 		return fmt.Errorf("server: upload rejected (%d): %s", resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 	return nil
@@ -71,6 +98,10 @@ func (c *Client) UploadTrips(trips []probe.Trip) (BatchUploadResponseJSON, error
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return out, fmt.Errorf("batch upload shed (retry after %s): %w",
+				resp.Header.Get("Retry-After"), ErrOverloaded)
+		}
 		return out, fmt.Errorf("server: batch upload rejected (%d): %s", resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -94,7 +125,17 @@ func (c *Client) UploadBatch(trips []probe.Trip) []error {
 		return errs
 	}
 	for i, row := range out.Results {
-		if !row.Accepted {
+		if row.Accepted {
+			continue
+		}
+		switch row.Code {
+		case "duplicate":
+			errs[i] = fmt.Errorf("upload rejected: %s: %w", row.Error, ErrDuplicateTrip)
+		case "invalid":
+			errs[i] = fmt.Errorf("upload rejected: %s: %w", row.Error, ErrInvalidTrip)
+		case "overloaded":
+			errs[i] = fmt.Errorf("upload rejected: %s: %w", row.Error, ErrOverloaded)
+		default:
 			errs[i] = fmt.Errorf("server: upload rejected: %s", row.Error)
 		}
 	}

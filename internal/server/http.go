@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"busprobe/internal/core/traffic"
 	"busprobe/internal/probe"
@@ -25,13 +26,17 @@ type SegmentEstimateJSON struct {
 	Level    string  `json:"level"`
 }
 
-// UploadResponseJSON acknowledges a trip upload.
+// UploadResponseJSON acknowledges a trip upload. Code carries the
+// machine-readable rejection class ("duplicate", "invalid",
+// "overloaded", or empty) so batch clients can classify per-row
+// failures without string-matching Error.
 type UploadResponseJSON struct {
 	Accepted     bool   `json:"accepted"`
 	TripID       string `json:"tripId"`
 	Visits       int    `json:"visits"`
 	Observations int    `json:"observations"`
 	Error        string `json:"error,omitempty"`
+	Code         string `json:"code,omitempty"`
 }
 
 // BatchUploadResponseJSON acknowledges a batched trip upload with one
@@ -50,23 +55,41 @@ const maxUploadBytes = 4 << 20
 const maxBatchUploadBytes = 64 << 20
 
 // uploadStatus maps a rejection to its HTTP status: sentinel errors
-// get distinguishable codes (409 duplicate, 400 invalid) so clients
-// need not string-match; anything else is a 422.
+// get distinguishable codes (409 duplicate, 400 invalid, 429 shed) so
+// clients need not string-match; anything else is a 422.
 func uploadStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrDuplicateTrip):
 		return http.StatusConflict
 	case errors.Is(err, ErrInvalidTrip):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusUnprocessableEntity
+	}
+}
+
+// uploadCode is the machine-readable rejection class for a row.
+func uploadCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDuplicateTrip):
+		return "duplicate"
+	case errors.Is(err, ErrInvalidTrip):
+		return "invalid"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	default:
+		return "error"
 	}
 }
 
 // uploadRow renders one trip outcome as a response row.
 func uploadRow(tripID string, res ProcessedTrip, err error) UploadResponseJSON {
 	if err != nil {
-		return UploadResponseJSON{TripID: tripID, Error: err.Error()}
+		return UploadResponseJSON{TripID: tripID, Error: err.Error(), Code: uploadCode(err)}
 	}
 	return UploadResponseJSON{
 		Accepted:     true,
@@ -122,6 +145,18 @@ func Handler(b *Backend) http.Handler {
 			writeJSON(w, http.StatusBadRequest, BatchUploadResponseJSON{Error: "malformed JSON: " + err.Error()})
 			return
 		}
+		// Admission gate: decode first so a shed response reports the
+		// exact trip count it refused, then try for an ingest slot.
+		release, ok := b.AdmitBatch(len(trips))
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, BatchUploadResponseJSON{
+				Rejected: len(trips),
+				Error:    ErrOverloaded.Error(),
+			})
+			return
+		}
+		defer release()
 		results := b.ProcessTrips(trips, 0)
 		out := BatchUploadResponseJSON{Results: make([]UploadResponseJSON, len(results))}
 		for i, res := range results {
@@ -226,6 +261,12 @@ func Handler(b *Backend) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, rows)
 	})
+	// Per-request timeout: a handler stuck past the budget answers 503
+	// instead of pinning the connection (and the client's retry budget)
+	// indefinitely.
+	if s := b.Config().RequestTimeoutS; s > 0 {
+		return http.TimeoutHandler(mux, time.Duration(s*float64(time.Second)), "request timed out")
+	}
 	return mux
 }
 

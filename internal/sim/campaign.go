@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"busprobe/internal/accel"
 	"busprobe/internal/cellular"
+	"busprobe/internal/faults"
 	"busprobe/internal/geo"
 	"busprobe/internal/phone"
 	"busprobe/internal/probe"
@@ -46,6 +48,16 @@ type CampaignConfig struct {
 	// upload — only their arrival time shifts to the flush. 0 or 1
 	// uploads each trip immediately.
 	UploadBatchSize int
+	// Faults, when any rate is non-zero, routes every upload through a
+	// seeded faults.Injector between the phones and the uploader,
+	// subjecting the campaign to loss, duplication, reordering, delay,
+	// and corruption. A zero Faults.Seed defaults to Seed^0xfa5.
+	Faults faults.Config
+	// UploadRetry, when MaxAttempts > 0, wraps the upload path in a
+	// phone.RetryUploader (above the injector, so retries re-offer the
+	// trip to the fault model). Backoff delays are recorded, not slept —
+	// the campaign runs in simulated time.
+	UploadRetry phone.RetryConfig
 	// Seed drives all campaign randomness.
 	Seed uint64
 }
@@ -80,6 +92,14 @@ func (c CampaignConfig) Validate() error {
 	if c.UploadBatchSize < 0 {
 		return fmt.Errorf("sim: negative upload batch size %d", c.UploadBatchSize)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.UploadRetry.MaxAttempts > 0 {
+		if err := c.UploadRetry.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -110,11 +130,29 @@ type CampaignStats struct {
 	// TrainDecoys counts train-reader beep bursts delivered to (and
 	// filtered by) participant phones.
 	TrainDecoys int
-	// BatchFlushes counts batched-upload deliveries, and UploadFailures
-	// the trips a batch flush rejected (both zero when UploadBatchSize
-	// is off).
-	BatchFlushes   int
-	UploadFailures int
+	// BatchFlushes counts batched-upload deliveries (zero when
+	// UploadBatchSize is off). UploadFailures counts trips the upload
+	// path rejected for any non-duplicate reason; the three counters
+	// after it break the failures down by class. UploadDuplicates counts
+	// duplicate-trip rejections, which are not failures — the backend
+	// already holds the trip.
+	BatchFlushes     int
+	UploadFailures   int
+	UploadsDropped   int // injected network loss (faults.ErrDropped)
+	UploadsShed      int // backend admission gate (probe.ErrOverloaded)
+	UploadsInvalid   int // structural rejection (probe.ErrInvalidTrip)
+	UploadDuplicates int
+	// Fault-injection and retry totals, copied from the injector and
+	// retry layers at the end of Run (zero when those layers are off).
+	FaultTripsOffered    int
+	FaultTripsDropped    int
+	FaultTripsDuplicated int
+	FaultTripsReordered  int
+	FaultTripsDelayed    int
+	FaultTripsCorrupted  int
+	FaultTripsDelivered  int
+	UploadRetries        int
+	UploadSpoolRecovered int
 	// RidingSeconds totals participant time on buses, the basis of the
 	// app's energy cost.
 	RidingSeconds float64
@@ -181,14 +219,39 @@ type busRun struct {
 	onboard []*participant
 }
 
+// classifyUpload files one trip's delivery outcome into the campaign
+// stats, preserving the error identity instead of discarding it.
+// Duplicate rejections are idempotent successes, not failures. Returns
+// the error when it was a real failure, nil otherwise.
+func classifyUpload(err error, st *CampaignStats) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, probe.ErrDuplicateTrip):
+		st.UploadDuplicates++
+		return nil
+	}
+	st.UploadFailures++
+	switch {
+	case errors.Is(err, faults.ErrDropped):
+		st.UploadsDropped++
+	case errors.Is(err, probe.ErrOverloaded):
+		st.UploadsShed++
+	case errors.Is(err, probe.ErrInvalidTrip):
+		st.UploadsInvalid++
+	}
+	return err
+}
+
 // batchingUploader buffers concluded trips and flushes them through a
 // phone.BatchUploader in fixed-size batches, exercising the backend's
 // concurrent ingest path. Trips reach the sink in conclusion order.
 type batchingUploader struct {
-	sink  phone.BatchUploader
-	size  int
-	buf   []probe.Trip
-	stats *CampaignStats
+	sink    phone.BatchUploader
+	size    int
+	buf     []probe.Trip
+	stats   *CampaignStats
+	lastErr *error
 }
 
 // Upload implements phone.Uploader by buffering; delivery errors
@@ -201,18 +264,36 @@ func (u *batchingUploader) Upload(trip probe.Trip) error {
 	return nil
 }
 
-// flush delivers the buffered trips as one batch.
+// flush delivers the buffered trips as one batch, classifying each
+// trip's outcome into the campaign stats.
 func (u *batchingUploader) flush() {
 	if len(u.buf) == 0 {
 		return
 	}
 	u.stats.BatchFlushes++
 	for _, err := range u.sink.UploadBatch(u.buf) {
-		if err != nil {
-			u.stats.UploadFailures++
+		if ferr := classifyUpload(err, u.stats); ferr != nil {
+			*u.lastErr = ferr
 		}
 	}
 	u.buf = u.buf[:0]
+}
+
+// countingUploader classifies immediate (non-batched) uploads into the
+// campaign stats on their way to the sink.
+type countingUploader struct {
+	sink    phone.Uploader
+	stats   *CampaignStats
+	lastErr *error
+}
+
+// Upload implements phone.Uploader.
+func (u *countingUploader) Upload(trip probe.Trip) error {
+	err := u.sink.Upload(trip)
+	if ferr := classifyUpload(err, u.stats); ferr != nil {
+		*u.lastErr = ferr
+	}
+	return err
 }
 
 // Campaign orchestrates a full data-collection run over a world,
@@ -234,6 +315,13 @@ type Campaign struct {
 	// batcher buffers uploads when UploadBatchSize is configured and
 	// the uploader supports batch ingest.
 	batcher *batchingUploader
+	// injector / retrier are the optional fault-injection and retry
+	// layers of the upload chain (agents → batcher → retrier →
+	// injector → uploader).
+	injector *faults.Injector
+	retrier  *phone.RetryUploader
+	// lastUploadErr retains the most recent real upload failure.
+	lastUploadErr error
 
 	// MinuteHook, when set, is invoked once per simulated minute with
 	// the current time — the attachment point for live evaluations
@@ -257,14 +345,43 @@ func NewCampaign(w *World, cfg CampaignConfig, uploader phone.Uploader, observer
 		rng:       stats.NewRNG(cfg.Seed).Fork("campaign"),
 		nextSpawn: make(map[transit.RouteID]float64),
 	}
-	agentSink := uploader
-	if cfg.UploadBatchSize > 1 {
-		sink, ok := uploader.(phone.BatchUploader)
-		if !ok {
-			return nil, fmt.Errorf("sim: UploadBatchSize set but uploader %T has no batch path", uploader)
+	// Assemble the upload chain inside-out: uploader ← injector ←
+	// retrier ← batcher/counter ← agents. The retry layer sits above
+	// the injector so every retry re-offers the trip to the fault
+	// model (a fresh coin flip, like a fresh radio transmission).
+	sink := uploader
+	if cfg.Faults.Enabled() {
+		fcfg := cfg.Faults
+		if fcfg.Seed == 0 {
+			fcfg.Seed = cfg.Seed ^ 0xfa5
 		}
-		c.batcher = &batchingUploader{sink: sink, size: cfg.UploadBatchSize, stats: &c.stats}
+		inj, err := faults.NewInjector(fcfg, sink)
+		if err != nil {
+			return nil, err
+		}
+		c.injector = inj
+		sink = inj
+	}
+	if cfg.UploadRetry.MaxAttempts > 0 {
+		// Backoff delays are recorded by the policy but not slept: the
+		// campaign runs in simulated time.
+		ret, err := phone.NewRetryUploader(cfg.UploadRetry, sink, func(float64) {})
+		if err != nil {
+			return nil, err
+		}
+		c.retrier = ret
+		sink = ret
+	}
+	agentSink := sink
+	if cfg.UploadBatchSize > 1 {
+		bsink, ok := sink.(phone.BatchUploader)
+		if !ok {
+			return nil, fmt.Errorf("sim: UploadBatchSize set but uploader %T has no batch path", sink)
+		}
+		c.batcher = &batchingUploader{sink: bsink, size: cfg.UploadBatchSize, stats: &c.stats, lastErr: &c.lastUploadErr}
 		agentSink = c.batcher
+	} else {
+		agentSink = &countingUploader{sink: sink, stats: &c.stats, lastErr: &c.lastUploadErr}
 	}
 	for i := 0; i < cfg.Participants; i++ {
 		prng := c.rng.Fork(fmt.Sprintf("participant-%d", i))
@@ -304,8 +421,47 @@ func (c *Campaign) Run() (CampaignStats, error) {
 	if c.batcher != nil {
 		c.batcher.flush()
 	}
+	// End-of-campaign recovery: drain the retry spool, then deliver the
+	// injector's held (delayed / still-reordered) trips.
+	if c.retrier != nil {
+		c.retrier.FlushSpool()
+	}
+	if c.injector != nil {
+		c.injector.Flush()
+	}
+	c.collectFaultStats()
 	return c.stats, nil
 }
+
+// collectFaultStats copies the injector and retry counters into the
+// campaign summary.
+func (c *Campaign) collectFaultStats() {
+	if c.injector != nil {
+		fs := c.injector.Stats()
+		c.stats.FaultTripsOffered = fs.Offered
+		c.stats.FaultTripsDropped = fs.Dropped
+		c.stats.FaultTripsDuplicated = fs.Duplicated
+		c.stats.FaultTripsReordered = fs.Reordered
+		c.stats.FaultTripsDelayed = fs.Delayed
+		c.stats.FaultTripsCorrupted = fs.Corrupted
+		c.stats.FaultTripsDelivered = fs.Delivered
+	}
+	if c.retrier != nil {
+		rs := c.retrier.Stats()
+		c.stats.UploadRetries = rs.Retries
+		c.stats.UploadSpoolRecovered = rs.SpoolRecovered
+	}
+}
+
+// Injector exposes the fault-injection layer, when configured.
+func (c *Campaign) Injector() *faults.Injector { return c.injector }
+
+// Retrier exposes the upload retry layer, when configured.
+func (c *Campaign) Retrier() *phone.RetryUploader { return c.retrier }
+
+// LastUploadError returns the most recent real (non-duplicate) upload
+// failure the campaign observed, or nil.
+func (c *Campaign) LastUploadError() error { return c.lastUploadErr }
 
 // weatherOfDay returns the day's frozen weather in [-1, 1].
 func (c *Campaign) weatherOfDay(day int) float64 {

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	busprobe-server [-addr :8080] [-seed 1] [-survey-runs 4]
-//	                [-ingest-workers N] [-max-inflight-batches N]
-//	                [-request-timeout SECONDS]
+//	                [-shards N] [-ingest-workers N]
+//	                [-max-inflight-batches N] [-request-timeout SECONDS]
 //
 // Endpoints:
 //
@@ -17,6 +17,7 @@
 //	GET  /v1/traffic/segment?id=N  one segment
 //	GET  /v1/stats                 pipeline counters
 //	GET  /v1/pipeline              per-stage instrumentation
+//	GET  /v1/shards                per-shard footprint and counters
 //	GET  /healthz                  liveness
 package main
 
@@ -40,19 +41,23 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master world seed")
 	surveyRuns := flag.Int("survey-runs", 4, "fingerprint survey passes per stop")
 	fpdbPath := flag.String("fpdb", "", "fingerprint DB file: loaded if present, written after a survey otherwise")
-	journalPath := flag.String("journal", "", "trip journal (JSONL): replayed at startup, appended on upload")
+	journalPath := flag.String("journal", "", "trip journal (JSONL): replayed at startup, appended on upload (with -shards > 1, one <path>.shardN file per shard)")
+	shards := flag.Int("shards", 1, "region shards behind the coordinator (1 = monolithic)")
 	ingestWorkers := flag.Int("ingest-workers", 0, "batch-ingest parallelism (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight-batches", 0, "admission gate: concurrent batch ingests before shedding with 429 (0 = unbounded)")
 	reqTimeout := flag.Float64("request-timeout", 0, "per-request handling budget in seconds (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *surveyRuns, *fpdbPath, *journalPath, *ingestWorkers, *maxInflight, *reqTimeout); err != nil {
+	if err := run(*addr, *seed, *surveyRuns, *shards, *fpdbPath, *journalPath, *ingestWorkers, *maxInflight, *reqTimeout); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string, ingestWorkers, maxInflight int, reqTimeoutS float64) error {
+func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath string, ingestWorkers, maxInflight int, reqTimeoutS float64) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1")
+	}
 	worldCfg := sim.DefaultWorldConfig()
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
@@ -67,31 +72,67 @@ func run(addr string, seed uint64, surveyRuns int, fpdbPath, journalPath string,
 	if err != nil {
 		return err
 	}
-	backend, err := server.NewBackend(cfg, world.Transit, fpdb)
+	coord, err := server.NewCoordinator(cfg, world.Transit, fpdb, shards)
 	if err != nil {
 		return err
 	}
 	if journalPath != "" {
-		if _, statErr := os.Stat(journalPath); statErr == nil {
-			replayed, skipped, err := server.ReplayJournal(journalPath, backend)
+		// Replay through the coordinator, not the owning shard: routing
+		// is content-deterministic, so trips land back on their home
+		// shards even if the shard count changed since the journals were
+		// written.
+		var replayed, skipped int
+		paths := journalPaths(journalPath, shards)
+		for _, p := range paths {
+			if _, statErr := os.Stat(p); statErr != nil {
+				continue
+			}
+			r, s, err := server.ReplayJournal(p, coord)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("journal: replayed %d trips (%d skipped)\n", replayed, skipped)
+			replayed += r
+			skipped += s
 		}
-		j, err := server.OpenJournal(journalPath)
-		if err != nil {
+		fmt.Printf("journal: replayed %d trips (%d skipped)\n", replayed, skipped)
+		journals := make([]*server.Journal, shards)
+		for i, p := range paths {
+			j, err := server.OpenJournal(p)
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			journals[i] = j
+		}
+		if err := coord.AttachJournals(journals); err != nil {
 			return err
 		}
-		defer j.Close()
-		backend.AttachJournal(j)
 	}
 	fmt.Printf("city: %d road segments, %d stops, %d routes, %d cell towers\n",
 		world.Net.NumSegments(), world.Transit.NumStops(),
 		world.Transit.NumRoutes(), world.Cells.NumTowers())
 	fmt.Printf("fingerprint DB: %d stops surveyed\n", fpdb.Len())
+	if shards > 1 {
+		for _, st := range coord.ShardStatuses() {
+			fmt.Printf("shard %d: %d routes, %d stops, %d segments\n",
+				st.Shard, st.Routes, st.Stops, st.Segments)
+		}
+	}
 	fmt.Printf("listening on %s\n", addr)
-	return http.ListenAndServe(addr, server.Handler(backend))
+	return http.ListenAndServe(addr, server.Handler(coord))
+}
+
+// journalPaths names each shard's journal file: the bare path for a
+// monolithic run, "<path>.shardN" per shard otherwise.
+func journalPaths(path string, shards int) []string {
+	if shards == 1 {
+		return []string{path}
+	}
+	out := make([]string, shards)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s.shard%d", path, i)
+	}
+	return out
 }
 
 // loadOrSurvey restores a persisted fingerprint database, or surveys the

@@ -7,9 +7,9 @@
 // Usage:
 //
 //	busprobe-sim [-days 2] [-participants 22] [-seed 1] [-server URL]
-//	             [-upload-batch N] [-fault-drop R] [-fault-dup R]
-//	             [-fault-reorder R] [-fault-delay R] [-fault-corrupt R]
-//	             [-upload-retries N]
+//	             [-shards N] [-upload-batch N] [-fault-drop R]
+//	             [-fault-dup R] [-fault-reorder R] [-fault-delay R]
+//	             [-fault-corrupt R] [-upload-retries N]
 //
 // With -upload-batch > 1, concluded trips are buffered and delivered
 // through the backend's concurrent batch-ingest path (POST
@@ -45,6 +45,7 @@ func main() {
 	tripsPerDay := flag.Float64("trips-per-day", 4, "mean rides per participant per day")
 	seed := flag.Uint64("seed", 1, "master seed (must match the server's)")
 	serverURL := flag.String("server", "", "backend URL; empty runs in-process")
+	shards := flag.Int("shards", 1, "region shards for the in-process backend (1 = monolithic)")
 	uploadBatch := flag.Int("upload-batch", 0, "buffer trips and ingest in concurrent batches of this size (0/1 = immediate)")
 	faultDrop := flag.Float64("fault-drop", 0, "probability of losing an uploaded trip")
 	faultDup := flag.Float64("fault-dup", 0, "probability of duplicating an uploaded trip")
@@ -61,13 +62,16 @@ func main() {
 		DelayRate:   *faultDelay,
 		CorruptRate: *faultCorrupt,
 	}
-	if err := run(*days, *participants, *tripsPerDay, *seed, *serverURL, *uploadBatch, fcfg, *uploadRetries); err != nil {
+	if err := run(*days, *participants, *tripsPerDay, *seed, *serverURL, *shards, *uploadBatch, fcfg, *uploadRetries); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(days, participants int, tripsPerDay float64, seed uint64, serverURL string, uploadBatch int, fcfg faults.Config, uploadRetries int) error {
+func run(days, participants int, tripsPerDay float64, seed uint64, serverURL string, shards, uploadBatch int, fcfg faults.Config, uploadRetries int) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1")
+	}
 	worldCfg := sim.DefaultWorldConfig()
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
@@ -76,18 +80,19 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 	}
 
 	var uploader phone.Uploader
-	var backend *server.Backend
+	var backend server.API
 	if serverURL == "" {
 		cfg := server.DefaultConfig()
 		fpdb, err := server.BuildFingerprintDB(world.Cells, world.Transit, 4, cfg, seed^0xf9)
 		if err != nil {
 			return err
 		}
-		backend, err = server.NewBackend(cfg, world.Transit, fpdb)
+		coord, err := server.NewCoordinator(cfg, world.Transit, fpdb, shards)
 		if err != nil {
 			return err
 		}
-		uploader = backend
+		backend = coord
+		uploader = coord
 	} else {
 		client, err := server.NewClient(serverURL, &http.Client{Timeout: 10 * time.Second})
 		if err != nil {
@@ -154,6 +159,14 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 	bs := backend.Stats()
 	fmt.Printf("backend: %d trips, %d/%d samples matched, %d visits mapped, %d observations\n",
 		bs.TripsReceived, bs.SamplesMatched, bs.SamplesReceived, bs.VisitsMapped, bs.Observations)
+	if shards > 1 {
+		fmt.Println("shards:")
+		for _, sh := range backend.ShardStatuses() {
+			fmt.Printf("  shard %d: %d routes, %d stops, %d segments, %d trips, %d observations\n",
+				sh.Shard, sh.Routes, sh.Stops, sh.Segments,
+				sh.Stats.TripsReceived, sh.Stats.Observations)
+		}
+	}
 	fmt.Println("pipeline stages:")
 	for _, m := range backend.StageMetrics() {
 		fmt.Printf("  %-9s runs=%-6d in=%-7d out=%-7d dropped=%-5d %.1fms\n",

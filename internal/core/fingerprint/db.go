@@ -161,18 +161,32 @@ func (db *DB) MatchAll(sample cellular.Fingerprint) []Match {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	var out []Match
 	if db.gamma > 0 {
-		for _, stop := range db.candidateStops(sample) {
-			fp := db.entries[stop]
-			score := Similarity(sample, fp, db.scoring)
-			if score >= db.gamma {
-				out = append(out, Match{Stop: stop, Score: score, Common: CommonIDs(sample, fp)})
-			}
-		}
-		sortMatches(out)
-		return out
+		return db.matchIndexedLocked(sample)
 	}
+	return db.matchScanLocked(sample)
+}
+
+// matchIndexedLocked aligns the sample against the index candidates
+// only. Caller holds a read lock and guarantees γ > 0, so skipping
+// zero-overlap stops (which score exactly 0) cannot change the result.
+func (db *DB) matchIndexedLocked(sample cellular.Fingerprint) []Match {
+	var out []Match
+	for _, stop := range db.candidateStops(sample) {
+		fp := db.entries[stop]
+		score := Similarity(sample, fp, db.scoring)
+		if score >= db.gamma {
+			out = append(out, Match{Stop: stop, Score: score, Common: CommonIDs(sample, fp)})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// matchScanLocked aligns the sample against every stored stop. Caller
+// holds a read lock.
+func (db *DB) matchScanLocked(sample cellular.Fingerprint) []Match {
+	var out []Match
 	for stop, fp := range db.entries {
 		score := Similarity(sample, fp, db.scoring)
 		if score >= db.gamma {
@@ -181,6 +195,18 @@ func (db *DB) MatchAll(sample cellular.Fingerprint) []Match {
 	}
 	sortMatches(out)
 	return out
+}
+
+// matchAllScan is the exhaustive-scan reference implementation of
+// MatchAll, kept for the equivalence tests and benchmarks that compare
+// the inverted-index path against it.
+func (db *DB) matchAllScan(sample cellular.Fingerprint) []Match {
+	if len(sample) == 0 {
+		return nil
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.matchScanLocked(sample)
 }
 
 // sortMatches orders candidates best-first with deterministic ties.

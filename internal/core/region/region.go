@@ -50,8 +50,28 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// zoneKey addresses a zone.
-type zoneKey struct{ X, Y int }
+// Zone addresses one square cell of the city-wide zone grid. The same
+// grid that extrapolates traffic (§VI) also gives any city position a
+// stable discrete address, which the backend's spatial sharding uses to
+// order route groups deterministically.
+type Zone struct{ X, Y int }
+
+// ZoneAt maps a position to its zone on a grid of zoneM-sized squares.
+func ZoneAt(p geo.XY, zoneM float64) Zone {
+	return Zone{X: int(math.Floor(p.X / zoneM)), Y: int(math.Floor(p.Y / zoneM))}
+}
+
+// Less orders zones column-major (X, then Y), the deterministic sweep
+// order the shard partitioner assigns route groups in.
+func (z Zone) Less(o Zone) bool {
+	if z.X != o.X {
+		return z.X < o.X
+	}
+	return z.Y < o.Y
+}
+
+// zoneKey addresses a zone (internal alias of Zone).
+type zoneKey = Zone
 
 // zoneAgg accumulates a zone's covered evidence.
 type zoneAgg struct {
@@ -117,9 +137,7 @@ func Infer(net *road.Network, estimates map[road.SegmentID]traffic.Estimate, cfg
 }
 
 // zoneOf maps a position to its zone.
-func zoneOf(p geo.XY, zoneM float64) zoneKey {
-	return zoneKey{X: int(math.Floor(p.X / zoneM)), Y: int(math.Floor(p.Y / zoneM))}
-}
+func zoneOf(p geo.XY, zoneM float64) zoneKey { return ZoneAt(p, zoneM) }
 
 // OverallIndex returns the city-wide congestion index: the
 // length-weighted mean speed/design ratio over covered roads.

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 
 	"busprobe/internal/probe"
@@ -8,34 +9,16 @@ import (
 	"busprobe/internal/sim"
 )
 
-// tripRecorder implements phone.Uploader by recording concluded trips
-// instead of processing them.
-type tripRecorder struct {
-	trips []probe.Trip
-}
-
-func (r *tripRecorder) Upload(trip probe.Trip) error {
-	r.trips = append(r.trips, trip)
-	return nil
-}
-
 // CollectTrips runs a campaign whose uploads are recorded rather than
-// processed, returning every concluded trip in upload order — the raw
-// corpus the ingest benchmarks replay through the serial and batched
-// backend paths.
+// processed (sim.RecordTrips), returning every concluded trip in upload
+// order — the raw corpus the ingest benchmarks replay through the
+// serial, batched, and sharded backend paths.
 func CollectTrips(l *Lab, cfg sim.CampaignConfig) ([]probe.Trip, error) {
-	rec := &tripRecorder{}
-	camp, err := sim.NewCampaign(l.World, cfg, rec, nil)
+	trips, _, err := sim.RecordTrips(l.World, cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eval: %w", err)
 	}
-	if _, err := camp.Run(); err != nil {
-		return nil, err
-	}
-	if len(rec.trips) == 0 {
-		return nil, fmt.Errorf("eval: campaign concluded no trips")
-	}
-	return rec.trips, nil
+	return trips, nil
 }
 
 // ReplayTrips feeds a recorded corpus through a fresh backend.
@@ -62,4 +45,24 @@ func (l *Lab) ReplayTrips(trips []probe.Trip, workers int) (*server.Backend, err
 		}
 	}
 	return b, nil
+}
+
+// ReplayTripsSharded feeds a recorded corpus through a fresh
+// shards-way coordinator, trip by trip in input order. Duplicate
+// uploads (a fault-injected corpus contains them by design) are
+// absorbed by the home shard's dedup set, exactly as a live campaign's
+// would be; any other rejection aborts. The merged traffic map matches
+// ReplayTrips over the deduplicated corpus once both clocks advance
+// past the last sample.
+func (l *Lab) ReplayTripsSharded(trips []probe.Trip, shards int) (*server.Coordinator, error) {
+	c, err := l.NewCoordinator(shards)
+	if err != nil {
+		return nil, err
+	}
+	for _, trip := range trips {
+		if _, err := c.ProcessTrip(trip); err != nil && !errors.Is(err, server.ErrDuplicateTrip) {
+			return nil, err
+		}
+	}
+	return c, nil
 }

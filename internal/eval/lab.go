@@ -65,6 +65,12 @@ func (l *Lab) NewBackend() (*server.Backend, error) {
 	return server.NewBackend(l.Cfg, l.World.Transit, l.FPDB)
 }
 
+// NewCoordinator creates a fresh shards-way coordinator over the lab's
+// databases.
+func (l *Lab) NewCoordinator(shards int) (*server.Coordinator, error) {
+	return server.NewCoordinator(l.Cfg, l.World.Transit, l.FPDB, shards)
+}
+
 // routeOrDie fetches a route that must exist in the lab's plan.
 func (l *Lab) route(id transit.RouteID) (*transit.Route, error) {
 	rt := l.World.Transit.Route(id)

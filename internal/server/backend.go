@@ -172,6 +172,13 @@ type Backend struct {
 	// admission holds the per-stage-style counters for /v1/pipeline.
 	gate      chan struct{}
 	admission stage.Metrics
+
+	// obsRoute, when set (by a Coordinator), routes each extracted
+	// observation to the estimate stage owning its road segments, so a
+	// trip whose best-matching route lives on another shard still folds
+	// into the city-wide map exactly once. Nil folds locally. Set before
+	// any ingestion; read-only afterwards.
+	obsRoute func(traffic.Observation) *stage.Estimator
 }
 
 // NewBackend assembles a backend over the transit database and the
@@ -409,10 +416,36 @@ func (b *Backend) compute(trip probe.Trip) tripWork {
 // are identical to serial ingestion.
 func (b *Backend) fold(w *tripWork) {
 	if w.err == nil {
-		est := b.pipe.Estimate.Run(stage.EstimateInput{Observations: w.obs})
-		w.out.Observations = est.Folded
-		w.delta.Observations = est.Folded
-		w.delta.ObsDiscarded = w.obsDiscarded + est.Discarded
+		var folded, discarded int
+		if b.obsRoute == nil {
+			est := b.pipe.Estimate.Run(stage.EstimateInput{Observations: w.obs})
+			folded, discarded = est.Folded, est.Discarded
+		} else {
+			// Sharded scatter: group the trip's observations by owning
+			// estimate stage (first-appearance order) and fold each group
+			// on its owner, so every segment's report multiset lives in
+			// exactly one estimator and the fan-in merge stays exact.
+			var targets []*stage.Estimator
+			byTarget := make(map[*stage.Estimator][]traffic.Observation)
+			for _, o := range w.obs {
+				t := b.obsRoute(o)
+				if t == nil {
+					t = b.pipe.Estimate
+				}
+				if _, ok := byTarget[t]; !ok {
+					targets = append(targets, t)
+				}
+				byTarget[t] = append(byTarget[t], o)
+			}
+			for _, t := range targets {
+				est := t.Run(stage.EstimateInput{Observations: byTarget[t]})
+				folded += est.Folded
+				discarded += est.Discarded
+			}
+		}
+		w.out.Observations = folded
+		w.delta.Observations = folded
+		w.delta.ObsDiscarded = w.obsDiscarded + discarded
 	}
 	b.statsMu.Lock()
 	b.stats.add(w.delta)
@@ -480,6 +513,23 @@ func (b *Backend) Advance(nowS float64) { b.est.Advance(nowS) }
 // Traffic returns the current fused estimate per covered road segment.
 func (b *Backend) Traffic() map[road.SegmentID]traffic.Estimate {
 	return b.est.Snapshot()
+}
+
+// TrafficSegment returns one segment's fused estimate, if any.
+func (b *Backend) TrafficSegment(sid road.SegmentID) (traffic.Estimate, bool) {
+	return b.est.Get(sid)
+}
+
+// ShardStatuses reports the backend as a single all-owning shard, so the
+// monolithic and sharded deployments share one observability surface.
+func (b *Backend) ShardStatuses() []ShardStatus {
+	return []ShardStatus{{
+		Shard:    0,
+		Routes:   b.transit.NumRoutes(),
+		Stops:    b.transit.NumStops(),
+		Segments: b.transit.Network().NumSegments(),
+		Stats:    b.Stats(),
+	}}
 }
 
 // Estimator exposes the underlying traffic estimator (read-mostly; used

@@ -96,22 +96,27 @@ func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
 	return res
 }
 
-// UploadBatch implements phone.BatchUploader over ProcessTrips with
-// the backend's configured parallelism. The batch passes the admission
-// gate first: a shed batch fails every trip with ErrOverloaded, exactly
-// as the HTTP endpoint answers 429.
-func (b *Backend) UploadBatch(trips []probe.Trip) []error {
-	errs := make([]error, len(trips))
+// IngestBatch is the gated batch-ingest entry point: the batch passes
+// the admission gate first (a shed batch fails every trip with
+// ErrOverloaded, exactly as the HTTP endpoint answers 429), then runs
+// through ProcessTrips with the configured parallelism.
+func (b *Backend) IngestBatch(trips []probe.Trip) []TripResult {
 	release, ok := b.AdmitBatch(len(trips))
 	if !ok {
-		for i := range errs {
-			errs[i] = ErrOverloaded
+		res := make([]TripResult, len(trips))
+		for i := range res {
+			res[i].Err = ErrOverloaded
 		}
-		return errs
+		return res
 	}
 	defer release()
-	res := b.ProcessTrips(trips, 0)
-	for i, r := range res {
+	return b.ProcessTrips(trips, 0)
+}
+
+// UploadBatch implements phone.BatchUploader over IngestBatch.
+func (b *Backend) UploadBatch(trips []probe.Trip) []error {
+	errs := make([]error, len(trips))
+	for i, r := range b.IngestBatch(trips) {
 		errs[i] = r.Err
 	}
 	return errs

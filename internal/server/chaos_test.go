@@ -42,8 +42,8 @@ func runChaosCampaign(t *testing.T, w *sim.World, fcfg faults.Config, retry phon
 	return camp, st, b
 }
 
-// trafficBytes renders the backend's /v1/traffic response.
-func trafficBytes(t *testing.T, b *Backend) []byte {
+// trafficBytes renders the /v1/traffic response of any serving API.
+func trafficBytes(t *testing.T, b API) []byte {
 	t.Helper()
 	rec := httptest.NewRecorder()
 	Handler(b).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/traffic", nil))

@@ -168,6 +168,16 @@ func (c *Client) Stats() (Stats, error) {
 	return out, err
 }
 
+// Shards fetches the per-shard footprint and counters (one row for a
+// monolithic backend).
+func (c *Client) Shards() ([]ShardStatus, error) {
+	var out []ShardStatus
+	if err := c.getJSON("/v1/shards", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Region fetches the inferred regional congestion summary.
 func (c *Client) Region() (RegionJSON, error) {
 	var out RegionJSON

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"busprobe/internal/core/arrival"
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/core/region"
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/phone"
+	"busprobe/internal/probe"
+	"busprobe/internal/road"
+	"busprobe/internal/server/stage"
+	"busprobe/internal/transit"
+)
+
+// Coordinator shards the backend by city region: the transit network is
+// split into route-closed groups on the region zone grid
+// (transit.PartitionRoutes), and each shard is a full Backend — its own
+// dedup set, stage pipeline, admission gate, journal, and estimator —
+// over the shared transit and fingerprint databases. Uploads route to
+// their home shard by fingerprint pre-match; reads fan in across shards
+// and merge deterministically.
+//
+// The merged traffic map is byte-identical to a monolithic Backend fed
+// the same trips, by construction:
+//
+//   - Trip routing is content-deterministic, so a duplicated upload
+//     lands on the same shard and dies at that shard's dedup set.
+//   - Each shard computes trips against the full databases, so a trip's
+//     matched visits and extracted observations are exactly the
+//     monolith's.
+//   - Observations scatter to the estimator owning their segments
+//     (Backend.obsRoute), so each segment's report multiset lives in
+//     exactly one shard — and the PR 2 estimator is a pure function of
+//     (report multiset, watermark), making the union of shard snapshots
+//     equal to the monolith snapshot once clocks advance together.
+//
+// Safe for concurrent use.
+type Coordinator struct {
+	cfg    Config
+	tdb    *transit.DB
+	fpdb   *fingerprint.DB
+	part   *transit.Partition
+	shards []*Backend
+}
+
+var (
+	_ phone.Uploader      = (*Coordinator)(nil)
+	_ phone.BatchUploader = (*Coordinator)(nil)
+)
+
+// NewCoordinator assembles a coordinator with the given number of region
+// shards over the shared transit and fingerprint databases. One shard
+// degenerates to a monolith behind the same API. Shards may outnumber
+// route groups; the surplus shards simply stay empty.
+func NewCoordinator(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB, shards int) (*Coordinator, error) {
+	if tdb == nil || fpdb == nil {
+		return nil, fmt.Errorf("server: nil transit or fingerprint DB")
+	}
+	part, err := transit.PartitionRoutes(tdb, shards, region.DefaultConfig().ZoneM)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, tdb: tdb, fpdb: fpdb, part: part}
+	for i := 0; i < shards; i++ {
+		b, err := NewBackend(cfg, tdb, fpdb)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, b)
+	}
+	// Installed after every shard exists: the scatter can target any
+	// peer's estimate stage.
+	for _, b := range c.shards {
+		b.obsRoute = c.ownerStage
+	}
+	return c, nil
+}
+
+// ownerStage routes one observation to the estimate stage of the shard
+// owning its road segments (a leg's segments all belong to one route,
+// hence one shard). Unowned segments fold on the home shard.
+func (c *Coordinator) ownerStage(o traffic.Observation) *stage.Estimator {
+	if len(o.Segments) > 0 {
+		if sh, ok := c.part.SegmentShard(o.Segments[0]); ok {
+			return c.shards[sh].pipe.Estimate
+		}
+	}
+	return nil
+}
+
+// Config returns the serving configuration.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// Partition exposes the route-closed shard assignment.
+func (c *Coordinator) Partition() *transit.Partition { return c.part }
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shards exposes the underlying shard backends (read-mostly; used by
+// evaluations and tests).
+func (c *Coordinator) Shards() []*Backend { return c.shards }
+
+// ShardFor routes a trip to its home shard by fingerprint pre-match: the
+// first sample whose best match clears γ names a stop, and that stop's
+// shard takes the trip. The decision depends only on trip content, so a
+// duplicated upload routes identically and is absorbed by the home
+// shard's dedup set. Trips matching nothing fall back to shard 0 (they
+// produce no visits anywhere, so only the counter placement varies).
+func (c *Coordinator) ShardFor(trip probe.Trip) int {
+	for _, s := range trip.Samples {
+		m, ok := c.fpdb.Match(s.Fingerprint())
+		if !ok {
+			continue
+		}
+		if sh, ok := c.part.StopShard(m.Stop); ok {
+			return sh
+		}
+	}
+	return 0
+}
+
+// ProcessTrip routes one trip to its home shard and ingests it there.
+func (c *Coordinator) ProcessTrip(trip probe.Trip) (ProcessedTrip, error) {
+	return c.shards[c.ShardFor(trip)].ProcessTrip(trip)
+}
+
+// Upload implements phone.Uploader.
+func (c *Coordinator) Upload(trip probe.Trip) error {
+	_, err := c.ProcessTrip(trip)
+	return err
+}
+
+// splitByShard groups batch indices by home shard, preserving input
+// order within each shard.
+func (c *Coordinator) splitByShard(trips []probe.Trip) [][]int {
+	idxs := make([][]int, len(c.shards))
+	for i, trip := range trips {
+		sh := c.ShardFor(trip)
+		idxs[sh] = append(idxs[sh], i)
+	}
+	return idxs
+}
+
+// runSharded fans a batch out to its home shards (one goroutine per
+// non-empty shard) and reassembles per-trip results in input order.
+// Within a shard trips keep their relative order, so per-shard dedup and
+// fold semantics match serial ingestion.
+func (c *Coordinator) runSharded(trips []probe.Trip, run func(sh int, sub []probe.Trip) []TripResult) []TripResult {
+	res := make([]TripResult, len(trips))
+	var wg sync.WaitGroup
+	for sh, idxs := range c.splitByShard(trips) {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, idxs []int) {
+			defer wg.Done()
+			sub := make([]probe.Trip, len(idxs))
+			for k, i := range idxs {
+				sub[k] = trips[i]
+			}
+			for k, r := range run(sh, sub) {
+				res[idxs[k]] = r
+			}
+		}(sh, idxs)
+	}
+	wg.Wait()
+	return res
+}
+
+// ProcessTrips ingests a batch without admission gating, fanning
+// sub-batches to their home shards.
+func (c *Coordinator) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
+	return c.runSharded(trips, func(sh int, sub []probe.Trip) []TripResult {
+		return c.shards[sh].ProcessTrips(sub, workers)
+	})
+}
+
+// IngestBatch ingests a batch with per-shard admission: each home
+// shard's sub-batch passes that shard's gate, so a saturated region
+// sheds its own trips (ErrOverloaded) while the rest of the city keeps
+// ingesting.
+func (c *Coordinator) IngestBatch(trips []probe.Trip) []TripResult {
+	return c.runSharded(trips, func(sh int, sub []probe.Trip) []TripResult {
+		return c.shards[sh].IngestBatch(sub)
+	})
+}
+
+// UploadBatch implements phone.BatchUploader over IngestBatch.
+func (c *Coordinator) UploadBatch(trips []probe.Trip) []error {
+	errs := make([]error, len(trips))
+	for i, r := range c.IngestBatch(trips) {
+		errs[i] = r.Err
+	}
+	return errs
+}
+
+// Stats sums the shards' counters. Each trip is counted by exactly one
+// shard (its home), so the sum never double-counts.
+func (c *Coordinator) Stats() Stats {
+	var out Stats
+	for _, b := range c.shards {
+		s := b.Stats()
+		out.add(s)
+		out.BatchesShed += s.BatchesShed
+		out.TripsShed += s.TripsShed
+	}
+	return out
+}
+
+// StageMetrics merges the shards' per-stage counters by stage name
+// (stage.Merge), yielding one city-wide row per stage plus the summed
+// admission pseudo-stage.
+func (c *Coordinator) StageMetrics() []stage.Metrics {
+	groups := make([][]stage.Metrics, len(c.shards))
+	for i, b := range c.shards {
+		groups[i] = b.StageMetrics()
+	}
+	return stage.Merge(groups...)
+}
+
+// Traffic fans in across shards and merges the snapshots. The scatter
+// gives every segment exactly one owning estimator, so the union is
+// disjoint and merge order cannot matter.
+func (c *Coordinator) Traffic() map[road.SegmentID]traffic.Estimate {
+	out := make(map[road.SegmentID]traffic.Estimate)
+	for _, b := range c.shards {
+		for sid, est := range b.Traffic() {
+			out[sid] = est
+		}
+	}
+	return out
+}
+
+// TrafficSegment reads one segment from its owning shard.
+func (c *Coordinator) TrafficSegment(sid road.SegmentID) (traffic.Estimate, bool) {
+	if sh, ok := c.part.SegmentShard(sid); ok {
+		return c.shards[sh].TrafficSegment(sid)
+	}
+	return traffic.Estimate{}, false
+}
+
+// Advance drives every shard's estimator clock, keeping the shard
+// watermarks in lockstep with a monolithic deployment's.
+func (c *Coordinator) Advance(nowS float64) {
+	for _, b := range c.shards {
+		b.Advance(nowS)
+	}
+}
+
+// mergedSource adapts the fan-in read path to arrival.TrafficSource, so
+// route and arrival predictions see the city-wide map.
+type mergedSource struct{ c *Coordinator }
+
+func (s mergedSource) Get(sid road.SegmentID) (traffic.Estimate, bool) {
+	return s.c.TrafficSegment(sid)
+}
+
+// RegionModel infers the §VI zone model over the merged snapshot.
+func (c *Coordinator) RegionModel() (*region.Model, error) {
+	return region.Infer(c.tdb.Network(), c.Traffic(), region.DefaultConfig())
+}
+
+// RouteStatuses digests the merged map into per-route travel times.
+func (c *Coordinator) RouteStatuses(departS float64) ([]RouteStatus, error) {
+	return routeStatuses(c.tdb, departS, mergedSource{c})
+}
+
+// PredictArrivals forecasts downstream ETAs from the merged map.
+func (c *Coordinator) PredictArrivals(routeID transit.RouteID, fromIdx int, departS float64) ([]arrival.Prediction, error) {
+	return predictArrivals(c.tdb, routeID, fromIdx, departS, mergedSource{c})
+}
+
+// AttachJournals gives each shard its own journal (one per shard, in
+// shard order). Attach AFTER replay, as with Backend.AttachJournal.
+func (c *Coordinator) AttachJournals(js []*Journal) error {
+	if len(js) != len(c.shards) {
+		return fmt.Errorf("server: %d journals for %d shards", len(js), len(c.shards))
+	}
+	for i, b := range c.shards {
+		b.AttachJournal(js[i])
+	}
+	return nil
+}
+
+// ShardStatuses reports each shard's partition footprint and counters.
+func (c *Coordinator) ShardStatuses() []ShardStatus {
+	out := make([]ShardStatus, len(c.shards))
+	for i, b := range c.shards {
+		out[i] = ShardStatus{
+			Shard:    i,
+			Routes:   len(c.part.RoutesIn(i)),
+			Stops:    c.part.StopsIn(i),
+			Segments: c.part.SegmentsIn(i),
+			Stats:    b.Stats(),
+		}
+	}
+	return out
+}

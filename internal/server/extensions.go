@@ -56,15 +56,21 @@ func (b *Backend) ReconstructTrip(visits []VisitRecord) (*reconstruct.Trajectory
 // a route, for a bus departing that stop at departS, using the live
 // traffic map.
 func (b *Backend) PredictArrivals(routeID transit.RouteID, fromIdx int, departS float64) ([]arrival.Prediction, error) {
-	rt := b.transit.Route(routeID)
+	return predictArrivals(b.transit, routeID, fromIdx, departS, b.est)
+}
+
+// predictArrivals is the prediction read path shared by the monolithic
+// Backend (local estimator) and the Coordinator (merged fan-in source).
+func predictArrivals(tdb *transit.DB, routeID transit.RouteID, fromIdx int, departS float64, src arrival.TrafficSource) ([]arrival.Prediction, error) {
+	rt := tdb.Route(routeID)
 	if rt == nil {
 		return nil, fmt.Errorf("server: unknown route %q", routeID)
 	}
-	pred, err := arrival.NewPredictor(b.transit.Network(), arrival.DefaultConfig())
+	pred, err := arrival.NewPredictor(tdb.Network(), arrival.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	return pred.Predict(rt, fromIdx, departS, b.est)
+	return pred.Predict(rt, fromIdx, departS, src)
 }
 
 // RouteStatus summarizes one route's current conditions.
@@ -79,14 +85,20 @@ type RouteStatus struct {
 // RouteStatuses returns every route's live end-to-end travel time at the
 // given departure time, the rider-facing digest of the traffic map.
 func (b *Backend) RouteStatuses(departS float64) ([]RouteStatus, error) {
-	pred, err := arrival.NewPredictor(b.transit.Network(), arrival.DefaultConfig())
+	return routeStatuses(b.transit, departS, b.est)
+}
+
+// routeStatuses is the digest read path shared by Backend and
+// Coordinator; src is the local estimator or the merged fan-in view.
+func routeStatuses(tdb *transit.DB, departS float64, src arrival.TrafficSource) ([]RouteStatus, error) {
+	pred, err := arrival.NewPredictor(tdb.Network(), arrival.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	net := b.transit.Network()
+	net := tdb.Network()
 	var out []RouteStatus
-	for _, rt := range b.transit.Routes() {
-		preds, err := pred.Predict(rt, 0, departS, b.est)
+	for _, rt := range tdb.Routes() {
+		preds, err := pred.Predict(rt, 0, departS, src)
 		if err != nil {
 			return nil, err
 		}

@@ -99,7 +99,9 @@ func uploadRow(tripID string, res ProcessedTrip, err error) UploadResponseJSON {
 	}
 }
 
-// Handler returns the backend's HTTP API:
+// Handler returns the serving HTTP API over a monolithic Backend or a
+// sharded Coordinator — the responses are identical either way (the
+// coordinator's reads fan in and merge deterministically):
 //
 //	POST /v1/trips            upload one probe.Trip (JSON)
 //	POST /v1/trips/batch      upload a JSON array of trips (concurrent ingest)
@@ -110,8 +112,9 @@ func uploadRow(tripID string, res ProcessedTrip, err error) UploadResponseJSON {
 //	GET  /v1/arrivals?route=R&stop=I&depart=T   downstream ETAs
 //	GET  /v1/stats            pipeline counters
 //	GET  /v1/pipeline         per-stage instrumentation counters
+//	GET  /v1/shards           per-shard footprint and counters
 //	GET  /healthz             liveness
-func Handler(b *Backend) http.Handler {
+func Handler(b API) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -145,10 +148,19 @@ func Handler(b *Backend) http.Handler {
 			writeJSON(w, http.StatusBadRequest, BatchUploadResponseJSON{Error: "malformed JSON: " + err.Error()})
 			return
 		}
-		// Admission gate: decode first so a shed response reports the
-		// exact trip count it refused, then try for an ingest slot.
-		release, ok := b.AdmitBatch(len(trips))
-		if !ok {
+		// Admission is per shard inside IngestBatch: on a coordinator a
+		// saturated region sheds only its own trips (per-row
+		// "overloaded" codes) while the rest of the batch ingests. Only
+		// a batch shed in full keeps the 429 + Retry-After answer.
+		results := b.IngestBatch(trips)
+		shedAll := len(results) > 0
+		for _, res := range results {
+			if !errors.Is(res.Err, ErrOverloaded) {
+				shedAll = false
+				break
+			}
+		}
+		if shedAll {
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, BatchUploadResponseJSON{
 				Rejected: len(trips),
@@ -156,8 +168,6 @@ func Handler(b *Backend) http.Handler {
 			})
 			return
 		}
-		defer release()
-		results := b.ProcessTrips(trips, 0)
 		out := BatchUploadResponseJSON{Results: make([]UploadResponseJSON, len(results))}
 		for i, res := range results {
 			out.Results[i] = uploadRow(trips[i].ID, res.Trip, res.Err)
@@ -192,7 +202,7 @@ func Handler(b *Backend) http.Handler {
 			http.Error(w, "bad segment id", http.StatusBadRequest)
 			return
 		}
-		est, ok := b.Estimator().Get(road.SegmentID(id))
+		est, ok := b.TrafficSegment(road.SegmentID(id))
 		if !ok {
 			http.Error(w, "no estimate for segment", http.StatusNotFound)
 			return
@@ -201,6 +211,9 @@ func Handler(b *Backend) http.Handler {
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, b.Stats())
+	})
+	mux.HandleFunc("/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.ShardStatuses())
 	})
 	mux.HandleFunc("/v1/region", func(w http.ResponseWriter, r *http.Request) {
 		model, err := b.RegionModel()

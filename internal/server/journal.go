@@ -2,9 +2,9 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"sync"
 
@@ -57,32 +57,45 @@ func (j *Journal) Close() error {
 	return j.f.Close()
 }
 
-// ReplayJournal feeds every journaled trip through the backend pipeline.
-// Malformed lines and pipeline rejections (duplicates, invalid trips)
-// are counted, not fatal — a torn final line from a crash must not brick
-// the restart.
-func ReplayJournal(path string, b *Backend) (replayed, skipped int, err error) {
+// TripProcessor ingests one trip; both *Backend and *Coordinator
+// qualify, so journal replay rebuilds monolithic and sharded
+// deployments through the same path.
+type TripProcessor interface {
+	ProcessTrip(trip probe.Trip) (ProcessedTrip, error)
+}
+
+// ReplayJournal feeds every journaled trip through the sink's pipeline.
+// The journal is line-oriented, so a torn final line from a crash — or a
+// corrupt line anywhere in the file — skips that record and keeps
+// replaying; malformed lines and pipeline rejections (duplicates,
+// invalid trips) are counted, not fatal. Only an unreadable file is an
+// error.
+func ReplayJournal(path string, sink TripProcessor) (replayed, skipped int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("server: open journal: %w", err)
 	}
 	defer f.Close()
-	dec := json.NewDecoder(bufio.NewReader(f))
-	for {
-		var trip probe.Trip
-		if err := dec.Decode(&trip); err != nil {
-			if err == io.EOF {
-				break
-			}
-			// Torn or corrupt tail: stop replaying, keep what we have.
-			skipped++
-			break
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), maxUploadBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
 		}
-		if _, err := b.ProcessTrip(trip); err != nil {
+		var trip probe.Trip
+		if err := json.Unmarshal(line, &trip); err != nil {
+			skipped++
+			continue
+		}
+		if _, err := sink.ProcessTrip(trip); err != nil {
 			skipped++
 			continue
 		}
 		replayed++
+	}
+	if err := sc.Err(); err != nil {
+		return replayed, skipped, fmt.Errorf("server: read journal: %w", err)
 	}
 	return replayed, skipped, nil
 }

@@ -93,6 +93,59 @@ func TestReplaySkipsDuplicatesAndGarbage(t *testing.T) {
 	}
 }
 
+func TestReplaySkipsCorruptMiddleLine(t *testing.T) {
+	// A corrupt line in the MIDDLE of the journal (a partial write that
+	// later appends happened to follow, or disk damage) must cost only
+	// that record: everything after it still replays.
+	w := testWorld(t)
+	b1 := testBackend(t, w)
+	path := filepath.Join(t.TempDir(), "trips.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := rideTrip(t, w, 0, 0, 5, "mid-1")
+	if err := j.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"id\":\"garbled\",\"sam\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := rideTrip(t, w, 1, 0, 5, "mid-2")
+	if err := j.Append(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, skipped, err := ReplayJournal(path, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 2 {
+		t.Errorf("replayed = %d, want 2 (records after the corrupt line must survive)", replayed)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if _, err := b1.ProcessTrip(last); err == nil {
+		t.Error("trip after the corrupt line was not replayed")
+	}
+}
+
 func TestReplayMissingFile(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)

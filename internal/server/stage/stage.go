@@ -72,6 +72,37 @@ func (i *instrument) Metrics() Metrics {
 	}
 }
 
+// Merge sums per-stage snapshots by stage name, preserving the order in
+// which names first appear. A sharded deployment merges its shards'
+// pipelines with it: every shard reports the same stage names, so the
+// result has one row per stage with city-wide totals and no double
+// counting.
+func Merge(groups ...[]Metrics) []Metrics {
+	var order []string
+	byName := make(map[string]*Metrics)
+	for _, ms := range groups {
+		for _, m := range ms {
+			agg := byName[m.Stage]
+			if agg == nil {
+				order = append(order, m.Stage)
+				cp := m
+				byName[m.Stage] = &cp
+				continue
+			}
+			agg.Runs += m.Runs
+			agg.ItemsIn += m.ItemsIn
+			agg.ItemsOut += m.ItemsOut
+			agg.Dropped += m.Dropped
+			agg.DurationNs += m.DurationNs
+		}
+	}
+	out := make([]Metrics, len(order))
+	for i, name := range order {
+		out[i] = *byName[name]
+	}
+	return out
+}
+
 // observe folds one completed run into the counters and fires the
 // hook, if any.
 func (i *instrument) observe(in, out, dropped int, start time.Time) {

@@ -1,6 +1,11 @@
 package sim
 
 import (
+	"fmt"
+
+	"busprobe/internal/cellular"
+	"busprobe/internal/geo"
+	"busprobe/internal/road"
 	"busprobe/internal/transit"
 )
 
@@ -47,4 +52,93 @@ func LondonWorldConfig() WorldConfig {
 	// Busier stops.
 	cfg.Demand.BaseBeepsPerVisit = 1.8
 	return cfg
+}
+
+// TwinCityWorld hand-builds a city of two road islands with no
+// connection between them — one bus route each — so the transit system
+// partitions into two route-closed groups. The generated worlds all
+// collapse into one group (their routes interconnect, as real city
+// routes do), which makes this the reference world for exercising a
+// multi-shard coordinator: campaigns run on it unmodified, and every
+// trip belongs unambiguously to one island.
+func TwinCityWorld(seed uint64) (*World, error) {
+	cfg := DefaultWorldConfig()
+	cfg.Seed = seed
+	cfg.Road.Seed = seed ^ 0xa11ce
+	cfg.Cells.Seed = seed ^ 0xce11
+	cfg.Field.Seed = seed ^ 0xf1e1d
+	cfg.Demand.Seed = seed ^ 0xdea4d
+
+	const (
+		stopsPerIsland = 8
+		spacingM       = 500.0
+		// Islands sit far apart in both axes: well beyond cell reach, so
+		// fingerprints never straddle islands, and beyond the region
+		// zone size, so the partitioner lands the groups in different
+		// zones.
+		eastOffsetX = 9500.0
+		eastOffsetY = 2000.0
+	)
+
+	var nodes []road.Node
+	var segments []*road.Segment
+	addPair := func(a, b road.NodeID) {
+		fwd := &road.Segment{
+			ID:      road.SegmentID(len(segments)),
+			From:    a,
+			To:      b,
+			Shape:   geo.NewPolyline([]geo.XY{nodes[a].Pos, nodes[b].Pos}),
+			Class:   road.ClassLocal,
+			FreeKmh: cfg.Road.LocalKmh,
+		}
+		rev := &road.Segment{
+			ID:      road.SegmentID(len(segments) + 1),
+			From:    b,
+			To:      a,
+			Shape:   geo.NewPolyline([]geo.XY{nodes[b].Pos, nodes[a].Pos}),
+			Class:   road.ClassLocal,
+			FreeKmh: cfg.Road.LocalKmh,
+		}
+		fwd.Reverse = rev.ID
+		rev.Reverse = fwd.ID
+		segments = append(segments, fwd, rev)
+	}
+	island := func(offX, offY float64) []road.NodeID {
+		ids := make([]road.NodeID, stopsPerIsland)
+		for i := 0; i < stopsPerIsland; i++ {
+			id := road.NodeID(len(nodes))
+			nodes = append(nodes, road.Node{ID: id, Pos: geo.XY{X: offX + float64(i)*spacingM, Y: offY}})
+			ids[i] = id
+		}
+		for i := 0; i+1 < stopsPerIsland; i++ {
+			addPair(ids[i], ids[i+1])
+		}
+		return ids
+	}
+	west := island(0, 0)
+	east := island(eastOffsetX, eastOffsetY)
+
+	net := road.NewNetwork(nodes, segments)
+	bl := transit.NewBuilder(net)
+	if err := bl.AddRoute("W1", "west line", west, 600); err != nil {
+		return nil, fmt.Errorf("sim: twin city: %w", err)
+	}
+	if err := bl.AddRoute("E1", "east line", east, 600); err != nil {
+		return nil, fmt.Errorf("sim: twin city: %w", err)
+	}
+	db := bl.Build()
+
+	cells, err := cellular.NewDeployment(net.BBox(), cfg.Cells)
+	if err != nil {
+		return nil, fmt.Errorf("sim: twin city cellular: %w", err)
+	}
+	field, err := NewField(net, cfg.Field)
+	if err != nil {
+		return nil, fmt.Errorf("sim: twin city field: %w", err)
+	}
+	demand, err := NewDemand(db, cfg.Demand)
+	if err != nil {
+		return nil, fmt.Errorf("sim: twin city demand: %w", err)
+	}
+	return &World{Cfg: cfg, Net: net, Transit: db, Cells: cells, Field: field, Demand: demand}, nil
 }

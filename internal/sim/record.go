@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+
+	"busprobe/internal/phone"
+	"busprobe/internal/probe"
+)
+
+// TripRecorder implements phone.Uploader by recording concluded trips
+// instead of processing them, capturing the exact upload stream a
+// campaign would hand a backend — including any fault-injected
+// duplicates and reorderings, since the campaign's injector sits between
+// the phones and the uploader.
+type TripRecorder struct {
+	Trips []probe.Trip
+}
+
+var _ phone.Uploader = (*TripRecorder)(nil)
+
+// Upload implements phone.Uploader.
+func (r *TripRecorder) Upload(trip probe.Trip) error {
+	r.Trips = append(r.Trips, trip)
+	return nil
+}
+
+// RecordTrips runs a campaign against a recorder and returns the upload
+// stream in arrival order. Replaying the stream into any backend —
+// monolithic or sharded — reproduces the campaign's ingestion exactly,
+// which is how the shard-equivalence tests compare deployments on
+// identical inputs.
+func RecordTrips(w *World, cfg CampaignConfig) ([]probe.Trip, CampaignStats, error) {
+	rec := &TripRecorder{}
+	camp, err := NewCampaign(w, cfg, rec, nil)
+	if err != nil {
+		return nil, CampaignStats{}, err
+	}
+	stats, err := camp.Run()
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(rec.Trips) == 0 {
+		return nil, stats, fmt.Errorf("sim: campaign concluded no trips")
+	}
+	return rec.Trips, stats, nil
+}

@@ -1,0 +1,23 @@
+// Command busprobe-vet runs the repository's custom analyzer suite:
+// determinism (nowallclock), canonical paper constants (paperconst),
+// lock discipline (lockorder), and persistence-path error handling
+// (errcheckio). See DESIGN.md §6e for the enforced invariants and the
+// //lint:allow escape-hatch convention.
+//
+// Two ways to run it:
+//
+//	go run ./cmd/busprobe-vet ./...            # standalone, fast
+//	go build -o bin/busprobe-vet ./cmd/busprobe-vet
+//	go vet -vettool=bin/busprobe-vet ./...     # the CI path
+package main
+
+import (
+	"os"
+
+	"busprobe/internal/lint"
+	"busprobe/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(lint.Suite()))
+}

@@ -39,7 +39,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := audio.WriteWAV(f, pcm, synth.SampleRate); err != nil {
-			f.Close()
+			f.Close() //lint:allow errcheckio best-effort cleanup; the write error below is fatal anyway
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,72 @@
+// Package clock is the sanctioned home of wall-clock access. The
+// backend's headline guarantee — byte-identical /v1/traffic across
+// monolith vs. N shards and under dup/reorder/delay faults — requires
+// that no deterministic path reads the wall clock or the global RNG.
+// The busprobe-vet nowallclock analyzer enforces the rule repo-wide:
+// time.Now and time.Since are forbidden everywhere except this package
+// and sites annotated //lint:allow nowallclock <reason>. Code that
+// needs durations (per-stage latency metrics, benchmarks) takes a
+// Clock; production passes Wall, tests pass a Fake and get exact,
+// reproducible timings.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts "what time is it" so callers can be run against the
+// wall clock in production and a deterministic source in tests.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// Wall reads the real wall clock. Use it at entry points (main, HTTP
+// handlers, genuine benchmarks); inject it, don't call time.Now.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time {
+	return time.Now() //lint:allow nowallclock the one sanctioned wall-clock read
+}
+
+// Since returns the elapsed time between c.Now() and t, replacing the
+// forbidden argless-now time.Since.
+func Since(c Clock, t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Fake is a deterministic clock for tests: it starts at a fixed
+// instant and advances by a fixed step on every Now call, so code
+// timing an interval with two reads observes exactly one step per
+// interval regardless of host speed or scheduling. Safe for concurrent
+// use (stage hooks run from many goroutines).
+type Fake struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFake returns a Fake starting at start that advances by step per
+// Now call. A zero step freezes the clock.
+func NewFake(start time.Time, step time.Duration) *Fake {
+	return &Fake{now: start, step: step}
+}
+
+// Now implements Clock: it returns the current fake instant and then
+// advances it by the configured step.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.now
+	f.now = f.now.Add(f.step)
+	return t
+}
+
+// Advance moves the fake clock forward by d without consuming a step.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}

@@ -1,0 +1,66 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallAdvances(t *testing.T) {
+	var c Clock = Wall{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestFakeStepsPerRead(t *testing.T) {
+	start := time.Date(2015, 6, 29, 9, 0, 0, 0, time.UTC) // ICDCS'15
+	f := NewFake(start, time.Millisecond)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("first read = %v, want %v", got, start)
+	}
+	if got := f.Now(); !got.Equal(start.Add(time.Millisecond)) {
+		t.Fatalf("second read = %v, want start+1ms", got)
+	}
+	if d := Since(f, start); d != 2*time.Millisecond {
+		t.Fatalf("Since = %v, want 2ms", d)
+	}
+}
+
+func TestFakeZeroStepFreezes(t *testing.T) {
+	start := time.Unix(0, 0)
+	f := NewFake(start, 0)
+	for i := 0; i < 3; i++ {
+		if got := f.Now(); !got.Equal(start) {
+			t.Fatalf("read %d = %v, want frozen %v", i, got, start)
+		}
+	}
+	f.Advance(time.Second)
+	if got := f.Now(); !got.Equal(start.Add(time.Second)) {
+		t.Fatalf("after Advance = %v, want start+1s", got)
+	}
+}
+
+func TestFakeConcurrentReadsAreDistinct(t *testing.T) {
+	f := NewFake(time.Unix(0, 0), time.Nanosecond)
+	const n = 64
+	var wg sync.WaitGroup
+	got := make([]time.Time, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = f.Now()
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, n)
+	for _, ts := range got {
+		if seen[ts.UnixNano()] {
+			t.Fatalf("duplicate fake timestamp %v", ts)
+		}
+		seen[ts.UnixNano()] = true
+	}
+}

@@ -3,6 +3,7 @@ package fingerprint
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -99,12 +100,10 @@ func (db *DB) SaveFile(path string) error {
 	}
 	bw := bufio.NewWriter(f)
 	if _, err := db.WriteTo(bw); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("fingerprint: %w", err)
+		return errors.Join(fmt.Errorf("fingerprint: %w", err), f.Close())
 	}
 	return f.Close()
 }

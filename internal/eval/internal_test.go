@@ -4,7 +4,9 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
+	"busprobe/internal/clock"
 	"busprobe/internal/core/cluster"
 	"busprobe/internal/stats"
 	"busprobe/internal/transit"
@@ -95,6 +97,28 @@ func TestPearson(t *testing.T) {
 	}
 	if r := pearson(x, x[:2]); r != 0 {
 		t.Errorf("mismatched corr = %v", r)
+	}
+}
+
+// TestGoertzelVsFFTFakeClock pins the §IV-D timing report exactly: the
+// Fake clock steps once per read, so each measured loop spans exactly
+// one step and the per-iteration nanoseconds are fully determined.
+func TestGoertzelVsFFTFakeClock(t *testing.T) {
+	const step = time.Millisecond
+	const iters = 10
+	rep, err := goertzelVsFFT(iters, clock.NewFake(time.Unix(0, 0), step))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNs := float64(step.Nanoseconds()) / iters
+	if got := rep.Metrics["goertzel_ns"]; got != wantNs {
+		t.Errorf("goertzel_ns = %v, want %v", got, wantNs)
+	}
+	if got := rep.Metrics["fft_ns"]; got != wantNs {
+		t.Errorf("fft_ns = %v, want %v", got, wantNs)
+	}
+	if got := rep.Metrics["speedup"]; got != 1 {
+		t.Errorf("speedup = %v, want exactly 1 under the stepping clock", got)
 	}
 }
 

@@ -2,9 +2,9 @@ package eval
 
 import (
 	"fmt"
-	"time"
 
 	"busprobe/internal/audio"
+	"busprobe/internal/clock"
 	"busprobe/internal/phone"
 	"busprobe/internal/stats"
 )
@@ -51,7 +51,15 @@ func TableIIIPower(seed uint64) (Report, error) {
 // baseline, measured on this machine, alongside the modeled power
 // figures. The paper's claim: Goertzel's O(K_g·N·M) beats FFT's
 // O(K_f·N·log N) when M < log N, and saves ~6 mW of app power.
+//
+// Timing goes through the injected clock: the wall clock is the one
+// production caller's choice, and tests pass a clock.Fake to pin the
+// measured nanoseconds exactly.
 func GoertzelVsFFT(iters int) (Report, error) {
+	return goertzelVsFFT(iters, clock.Wall{})
+}
+
+func goertzelVsFFT(iters int, clk clock.Clock) (Report, error) {
 	if iters <= 0 {
 		return Report{}, fmt.Errorf("eval: non-positive iteration count")
 	}
@@ -62,16 +70,16 @@ func GoertzelVsFFT(iters int) (Report, error) {
 	}
 	targets := audio.SingaporeBeep.FreqsHz
 
-	start := time.Now()
+	start := clk.Now()
 	var sink float64
 	for i := 0; i < iters; i++ {
 		for _, p := range audio.GoertzelBank(frame, sampleRate, targets) {
 			sink += p
 		}
 	}
-	goertzelNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	goertzelNs := float64(clock.Since(clk, start).Nanoseconds()) / float64(iters)
 
-	start = time.Now()
+	start = clk.Now()
 	for i := 0; i < iters; i++ {
 		ps, err := audio.FFTBinPower(frame, sampleRate, targets)
 		if err != nil {
@@ -79,7 +87,7 @@ func GoertzelVsFFT(iters int) (Report, error) {
 		}
 		sink += ps[0]
 	}
-	fftNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	fftNs := float64(clock.Since(clk, start).Nanoseconds()) / float64(iters)
 	_ = sink
 
 	ratio := fftNs / goertzelNs

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix starts an escape-hatch comment. The convention is
+//
+//	//lint:allow <analyzer> <justification>
+//
+// on the offending line or on the line immediately above it. The
+// justification is mandatory: an allow comment without one does not
+// suppress anything, so every exemption in the tree explains itself.
+const allowPrefix = "lint:allow"
+
+// allowIndex maps a source line to the analyzer names allowed there.
+type allowIndex map[int]map[string]bool
+
+// Allowed reports whether a //lint:allow comment for the named
+// analyzer covers pos (same line or the line above).
+func (p *Pass) Allowed(pos token.Pos, name string) bool {
+	file := p.fileOf(pos)
+	if file == nil {
+		return false
+	}
+	if p.allow == nil {
+		p.allow = make(map[*ast.File]allowIndex)
+	}
+	idx, ok := p.allow[file]
+	if !ok {
+		idx = buildAllowIndex(p.Fset, file)
+		p.allow[file] = idx
+	}
+	line := p.Fset.Position(pos).Line
+	return idx[line][name] || idx[line-1][name]
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func buildAllowIndex(fset *token.FileSet, f *ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+			// fields[0] is the analyzer name; a justification after it
+			// is mandatory for the allow to take effect.
+			if len(fields) < 2 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if idx[line] == nil {
+				idx[line] = make(map[string]bool)
+			}
+			idx[line][fields[0]] = true
+		}
+	}
+	return idx
+}

@@ -1,0 +1,139 @@
+// Package analysis is a dependency-free mirror of the
+// golang.org/x/tools/go/analysis API subset that busprobe-vet needs.
+// The build environment vendors no third-party modules, so the real
+// x/tools framework is unavailable; this package reproduces its
+// Analyzer/Pass/Diagnostic contract over the standard library's go/ast
+// and go/token alone. Analyzers written against it are drop-in
+// portable to the upstream API — swapping the import path is the whole
+// migration — which is deliberate: the analyzer code is the asset, the
+// harness is scaffolding.
+//
+// The suite's analyzers are purely syntactic (they need import tables
+// and statement structure, not type information), so a Pass carries
+// parsed files and position data only. That keeps the driver fast and
+// lets the same Pass be built three ways: from the standalone package
+// walker, from a `go vet -vettool` unit-check config, and from
+// analysistest fixtures.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow comments. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's help text: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+	// Run applies the analyzer to one package worth of files,
+	// reporting findings through pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Path is the package's import path ("busprobe/internal/sim").
+	// Test-variant suffixes (" [pkg.test]") are stripped by the
+	// drivers before the pass runs.
+	Path string
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+
+	allow map[*ast.File]allowIndex
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos, tagged with the
+// analyzer's name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several analyzers exempt tests (fixtures explore off-canon
+// constants; tests drop errors deliberately).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ImportAliases returns the file's mapping from local name to import
+// path for every import, resolving aliases. Unnamed imports map from
+// the path's last element, which is the convention for every package
+// the suite cares about ("time", "math/rand" → "rand"). Dot and blank
+// imports are returned under "." and "_".
+func ImportAliases(f *ast.File) map[string]string {
+	out := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// CalleeName splits a call's function expression into a qualifier and
+// a name: "x.F(...)" yields ("x", "F") when x is a plain identifier,
+// and "F(...)" yields ("", "F"). Calls through more complex expressions
+// ("a.b.F(...)", "f()(…)") yield ("", "") for the qualifier cases the
+// analyzers key on package identifiers.
+func CalleeName(call *ast.CallExpr) (qual, name string) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return "", fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			return x.Name, fn.Sel.Name
+		}
+		return "", fn.Sel.Name
+	}
+	return "", ""
+}
+
+// ExprString renders a small expression (lock receivers, channel
+// operands) for diagnostics. It covers the identifier/selector shapes
+// that appear as mutex receivers; anything else renders as "?".
+func ExprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return ExprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(x.X)
+	case *ast.StarExpr:
+		return "*" + ExprString(x.X)
+	case *ast.CallExpr:
+		return ExprString(x.Fun) + "()"
+	case *ast.IndexExpr:
+		return ExprString(x.X) + "[...]"
+	}
+	return "?"
+}

@@ -1,0 +1,213 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the dependency-free
+// framework in internal/lint/analysis.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. A line that should
+// trigger a diagnostic carries a trailing comment of the form
+//
+//	// want "regexp"            one expected diagnostic
+//	// want "re1" "re2"         several diagnostics on the same line
+//	// want `backquoted too`
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched by a diagnostic — unexpected and missing findings are
+// both test failures, so a fixture proves the analyzer fires AND that
+// its clean lines stay clean.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// TestData returns the absolute path of the lint suite's shared
+// testdata directory (internal/lint/testdata), resolved relative to
+// this source file so analyzer tests in sibling packages all share one
+// fixture tree.
+func TestData() string {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	// …/internal/lint/analysistest/analysistest.go → …/internal/lint/testdata
+	return filepath.Join(filepath.Dir(filepath.Dir(thisFile)), "testdata")
+}
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run applies the analyzer to each fixture package and diffs its
+// diagnostics against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+	}
+}
+
+func runOne(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", pkg, err)
+		}
+		files = append(files, f)
+		ws, err := collectWants(fset, f)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		wants = append(wants, ws...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: fixture package %s has no Go files", pkg, dir)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Path:     pkg,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if !claim(wants, filepath.Base(posn.Filename), posn.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				pkg, filepath.Base(posn.Filename), posn.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q",
+				pkg, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches the message.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want comments of one file.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+			pats, err := splitPatterns(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want: %v", posn.Filename, posn.Line, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", posn.Filename, posn.Line, p, err)
+				}
+				out = append(out, &expectation{
+					file: filepath.Base(posn.Filename),
+					line: posn.Line,
+					re:   re,
+					raw:  p,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns tokenizes `"re1" "re2"` / backquoted pattern lists.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted pattern")
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern")
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("pattern must be quoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty pattern list")
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+// Package driver runs the busprobe-vet analyzer suite two ways:
+//
+//   - Standalone: `busprobe-vet ./...` walks the module, parses each
+//     package, and prints findings — no build cache, no toolchain
+//     handshake, fast enough to run on every save.
+//   - As a vet tool: `go vet -vettool=$(which busprobe-vet) ./...`
+//     speaks the go command's unit-checker protocol (the -V=full
+//     handshake, the -flags query, and per-package vet.cfg files);
+//     see unitchecker.go. This is the CI path: go vet handles package
+//     graph walking and caching.
+//
+// Both paths build the same analysis.Pass per package, so a finding is
+// identical whichever way the suite runs.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// Finding is one diagnostic with its position resolved.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the file:line:col style editors jump
+// on.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// stderrln prints one diagnostic line. All of the driver's output goes
+// through here: a CLI has no channel to report a failed stderr write
+// on, so the error is discarded in exactly one place.
+func stderrln(args ...any) {
+	fmt.Fprintln(os.Stderr, args...) //lint:allow errcheckio a CLI cannot report a failed stderr write anywhere
+}
+
+// Main is the busprobe-vet entry point. It returns the process exit
+// code: 0 clean, 1 findings (standalone), 2 findings (vet protocol),
+// 3 usage or load errors.
+func Main(analyzers []*analysis.Analyzer) int {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-V=full", a == "--V=full":
+			printVersion()
+			return 0
+		case a == "-flags", a == "--flags":
+			// No analyzer flags: the suite is configuration-free by
+			// design (invariants are not tunable per invocation).
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(analyzers, args[0])
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		stderrln("busprobe-vet:", err)
+		return 3
+	}
+	findings, err := AnalyzePatterns(analyzers, wd, patterns)
+	if err != nil {
+		stderrln("busprobe-vet:", err)
+		return 3
+	}
+	for _, f := range findings {
+		stderrln(f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// AnalyzePatterns loads the packages matching the ./...-style patterns
+// relative to dir and runs every analyzer over each, returning
+// position-sorted findings. It resolves import paths against the
+// enclosing module's go.mod, so analyzer package exemptions
+// ("busprobe/internal/clock", the defining packages of paperconst)
+// behave exactly as they do under go vet.
+func AnalyzePatterns(analyzers []*analysis.Analyzer, dir string, patterns []string) ([]Finding, error) {
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := matchPackageDirs(root, dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkgDir := range dirs {
+		rel, err := filepath.Rel(root, pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		fs, err := analyzeDir(analyzers, pkgDir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// analyzeDir parses one package directory (tests included — analyzers
+// exempt _test.go themselves where appropriate) and runs the suite.
+func analyzeDir(analyzers []*analysis.Analyzer, dir, importPath string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, e.Name()), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return runAnalyzers(analyzers, fset, files, importPath)
+}
+
+// runAnalyzers applies each analyzer to one parsed package.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, importPath string) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Path:     importPath,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Position: fset.Position(d.Pos),
+					Analyzer: d.Category,
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, importPath, err)
+		}
+	}
+	return findings, nil
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod and returns the
+// root directory and module path.
+func moduleRoot(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// matchPackageDirs expands ./...-style patterns into package
+// directories, skipping testdata, vendor, and hidden trees exactly as
+// the go tool does.
+func matchPackageDirs(root, cwd string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, pat)
+		}
+		info, err := os.Stat(base)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory under %s", pat, root)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

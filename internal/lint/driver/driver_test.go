@@ -1,0 +1,159 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"busprobe/internal/lint/analysis"
+	"busprobe/internal/lint/errcheckio"
+	"busprobe/internal/lint/lockorder"
+	"busprobe/internal/lint/nowallclock"
+	"busprobe/internal/lint/paperconst"
+)
+
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nowallclock.Analyzer,
+		paperconst.Analyzer,
+		lockorder.Analyzer,
+		errcheckio.Analyzer,
+	}
+}
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := moduleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRepoIsClean is the acceptance gate in test form: the full suite
+// over the whole module must report nothing. A failure here lists the
+// exact findings a CI `go vet -vettool` run would fail on.
+func TestRepoIsClean(t *testing.T) {
+	root := repoRoot(t)
+	findings, err := AnalyzePatterns(suite(), root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestAnalyzePatternsFindsPlantedViolation proves the standalone path
+// actually runs the analyzers: a scratch module with a time.Now call
+// must produce exactly one nowallclock finding.
+func TestAnalyzePatternsFindsPlantedViolation(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "pkg", "p.go"), `package pkg
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`)
+	findings, err := AnalyzePatterns(suite(), dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one", findings)
+	}
+	if f := findings[0]; f.Analyzer != "nowallclock" || !strings.Contains(f.Message, "time.Now") {
+		t.Fatalf("unexpected finding: %s", f)
+	}
+}
+
+// TestUnitcheckProtocol drives the vet.cfg path the way the go command
+// does: the tool must write the facts file, print findings, strip the
+// "pkg [pkg.test]" import-path variant, and honor VetxOnly.
+func TestUnitcheckProtocol(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	writeFile(t, src, `package pkg
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`)
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := filepath.Join(dir, "vet.cfg")
+	writeFile(t, cfg, `{
+  "ID": "scratch/pkg",
+  "Dir": "`+dir+`",
+  "ImportPath": "scratch/pkg [scratch/pkg.test]",
+  "GoFiles": ["p.go"],
+  "VetxOutput": "`+vetx+`"
+}`)
+
+	if code := unitcheck(suite(), cfg); code != 2 {
+		t.Fatalf("unitcheck exit = %d, want 2 (findings)", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+
+	// VetxOnly skips analysis entirely but still writes the output.
+	if err := os.Remove(vetx); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, cfg, `{
+  "ID": "scratch/pkg",
+  "Dir": "`+dir+`",
+  "ImportPath": "scratch/pkg",
+  "GoFiles": ["p.go"],
+  "VetxOnly": true,
+  "VetxOutput": "`+vetx+`"
+}`)
+	if code := unitcheck(suite(), cfg); code != 0 {
+		t.Fatalf("VetxOnly exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written on VetxOnly pass: %v", err)
+	}
+}
+
+// TestUnitcheckExemptImportPathVariant proves the test-variant suffix
+// is stripped before package exemptions apply: the clock package's own
+// test binary must not be flagged for reading the wall clock.
+func TestUnitcheckExemptImportPathVariant(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "clock.go"), `package clock
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`)
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := filepath.Join(dir, "vet.cfg")
+	writeFile(t, cfg, `{
+  "ID": "busprobe/internal/clock",
+  "Dir": "`+dir+`",
+  "ImportPath": "busprobe/internal/clock [busprobe/internal/clock.test]",
+  "GoFiles": ["clock.go"],
+  "VetxOutput": "`+vetx+`"
+}`)
+	if code := unitcheck(suite(), cfg); code != 0 {
+		t.Fatalf("exit = %d, want 0 (clock package is exempt)", code)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

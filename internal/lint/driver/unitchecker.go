@@ -1,0 +1,149 @@
+// The go command's external vet-tool protocol, reimplemented over the
+// standard library (the canonical implementation lives in
+// golang.org/x/tools/go/analysis/unitchecker, which this build
+// environment cannot vendor).
+//
+// `go vet -vettool=<binary> ./...` drives the tool in three steps:
+//
+//  1. `<binary> -V=full` — a content-addressed version line that the
+//     build cache keys vet results on.
+//  2. `<binary> -flags` — a JSON description of supported flags (the
+//     suite has none, so it prints []).
+//  3. `<binary> <objdir>/vet.cfg` once per package — a JSON config
+//     naming the package's Go files; the tool analyzes them, writes
+//     the facts file the config asks for, prints diagnostics to
+//     stderr, and exits 2 when it found anything.
+//
+// The suite's analyzers are purely syntactic and exchange no facts
+// across packages, so the facts output is an empty placeholder; it
+// must still be written, because the go command treats a missing
+// output as a tool failure.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// vetConfig mirrors the fields of the go command's vet.cfg that the
+// suite consumes (the full config also carries type-checking inputs —
+// ImportMap, PackageFile, Standard — which syntactic analyzers do not
+// need).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs one vet.cfg invocation and returns the exit code.
+func unitcheck(analyzers []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		stderrln("busprobe-vet:", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		stderrln(fmt.Sprintf("busprobe-vet: parse %s: %v", cfgPath, err))
+		return 3
+	}
+
+	// The facts file must exist even when empty (or when analysis is
+	// skipped): the go command records it as the action's output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			stderrln("busprobe-vet:", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: the go command only wants facts, and the
+		// suite has none.
+		return 0
+	}
+
+	// The test variant of a package is named "pkg [pkg.test]"; the
+	// analyzers' package exemptions key on the plain import path.
+	importPath := cfg.ImportPath
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			stderrln("busprobe-vet:", err)
+			return 3
+		}
+		files = append(files, f)
+	}
+	findings, err := runAnalyzers(analyzers, fset, files, importPath)
+	if err != nil {
+		stderrln("busprobe-vet:", err)
+		return 3
+	}
+	for _, f := range findings {
+		stderrln(f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion answers the -V=full handshake. The line must have the
+// shape "<name> version <semver-or-devel> … buildID=<content-id>"; the
+// go command hashes it into the build-cache key for vet results, so
+// the content ID is a digest of the tool binary itself — edit an
+// analyzer, rebuild, and previously cached "clean" verdicts are
+// invalidated automatically.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	name = strings.TrimSuffix(name, ".exe")
+	fmt.Printf("%s version devel buildID=%s\n", name, selfDigest())
+}
+
+// selfDigest hashes the running executable.
+func selfDigest() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}

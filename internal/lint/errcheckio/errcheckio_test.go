@@ -1,0 +1,15 @@
+package errcheckio_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/errcheckio"
+)
+
+// TestErrCheckIOFixture proves the analyzer flags silently and
+// blank-discarded I/O errors and accepts handled, deferred, and
+// buffer-bound writes.
+func TestErrCheckIOFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errcheckio.Analyzer, "errcheckio_a")
+}

@@ -1,0 +1,26 @@
+// Package lint assembles the busprobe-vet analyzer suite: the custom
+// go/analysis-style checks that enforce the repository's determinism,
+// lock-discipline, and paper-constant invariants. cmd/busprobe-vet
+// runs the suite under `go vet -vettool` in CI; internal/lint/driver
+// also runs it standalone (`go run ./cmd/busprobe-vet ./...`), and the
+// suite-over-repo test in the driver package keeps the tree clean
+// between CI runs.
+package lint
+
+import (
+	"busprobe/internal/lint/analysis"
+	"busprobe/internal/lint/errcheckio"
+	"busprobe/internal/lint/lockorder"
+	"busprobe/internal/lint/nowallclock"
+	"busprobe/internal/lint/paperconst"
+)
+
+// Suite returns the busprobe-vet analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nowallclock.Analyzer,
+		paperconst.Analyzer,
+		lockorder.Analyzer,
+		errcheckio.Analyzer,
+	}
+}

@@ -1,0 +1,245 @@
+// Package lockorder enforces the backend's lock discipline: a mutex
+// must never be held across a channel send/receive, a select, a hook
+// invocation, or the acquisition of a second backend lock. The PR 1
+// dedupMu/statsMu split and the PR 2/3 admission gates rely on exactly
+// this — a lock held across a channel operation deadlocks under load
+// shedding, and a hook fired under a lock re-enters user code with
+// backend state frozen.
+//
+// The check is a conservative syntactic walk of each function body: it
+// tracks x.Lock()/x.RLock() statements until the matching
+// x.Unlock()/x.RUnlock() (a deferred unlock holds to function end) and
+// flags, while any lock is held:
+//
+//   - channel sends (ch <- v) and receives (<-ch)
+//   - select statements
+//   - calls through fields or variables named like hooks ("hook",
+//     "Hook", "onX" callbacks)
+//   - a Lock/RLock on a *different* receiver (nested backend locks)
+//
+// Function literals are skipped (goroutine bodies run after the
+// critical section), and branches are scanned with a copy of the held
+// set, so a conditional early-unlock never leaks state between
+// branches. Intentional nesting is annotated
+// //lint:allow lockorder <reason>.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flag mutexes held across channel operations, hook " +
+		"invocations, or a second lock acquisition",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			scanStmts(pass, fn.Body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+// lockCall decomposes a statement of the form x.Lock()/x.Unlock()
+// (and RLock/RUnlock) into the receiver's rendering and the method.
+func lockCall(stmt ast.Stmt) (recv, method string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return analysis.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// scanStmts walks one statement list in order, maintaining the set of
+// held locks (receiver rendering → Lock position). Nested blocks and
+// control-flow bodies are scanned with a copy of the set: a branch
+// that unlocks cannot release the lock for the code after the branch,
+// which keeps the check conservative without flow analysis.
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		if recv, method, ok := lockCall(stmt); ok {
+			switch method {
+			case "Lock", "RLock":
+				if len(held) > 0 && !pass.Allowed(stmt.Pos(), "lockorder") {
+					for other := range held {
+						if other != recv {
+							pass.Reportf(stmt.Pos(),
+								"%s.%s acquired while %s is still held; release one lock before taking the other (or annotate //lint:allow lockorder <reason>)",
+								recv, method, other)
+							break
+						}
+					}
+				}
+				held[recv] = stmt.Pos()
+				continue
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+				continue
+			}
+		}
+		if _, ok := stmt.(*ast.DeferStmt); ok {
+			// defer x.Unlock() keeps the lock held to function end —
+			// leave it in the set. Other defers run after the critical
+			// section; don't scan their bodies as held-lock code.
+			continue
+		}
+		if len(held) > 0 {
+			checkHeld(pass, stmt, held)
+		}
+		scanNested(pass, stmt, held)
+	}
+}
+
+// scanNested recurses into compound statements with a copy of the
+// held-lock set.
+func scanNested(pass *analysis.Pass, stmt ast.Stmt, held map[string]token.Pos) {
+	recurse := func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		scanStmts(pass, body.List, copyHeld(held))
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		scanStmts(pass, s.List, copyHeld(held))
+	case *ast.IfStmt:
+		recurse(s.Body)
+		if s.Else != nil {
+			scanNested(pass, s.Else, held)
+		}
+	case *ast.ForStmt:
+		recurse(s.Body)
+	case *ast.RangeStmt:
+		recurse(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		scanNested(pass, s.Stmt, held)
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// checkHeld inspects one statement executed under a held lock for the
+// forbidden operations. Function literals are not descended into —
+// their bodies run later, typically on another goroutine.
+func checkHeld(pass *analysis.Pass, stmt ast.Stmt, held map[string]token.Pos) {
+	lock := anyLock(held)
+	switch stmt.(type) {
+	case *ast.SelectStmt:
+		if !pass.Allowed(stmt.Pos(), "lockorder") {
+			pass.Reportf(stmt.Pos(),
+				"select while holding %s; a blocked case freezes every other holder (or annotate //lint:allow lockorder <reason>)", lock)
+		}
+		return
+	case *ast.GoStmt:
+		return // the spawned body runs outside the critical section
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.SelectStmt, *ast.BlockStmt:
+			// Blocks/selects are visited as statements by scanNested;
+			// function literals run later.
+			return false
+		case *ast.SendStmt:
+			if !pass.Allowed(x.Pos(), "lockorder") {
+				pass.Reportf(x.Pos(),
+					"channel send on %s while holding %s; sends can block indefinitely under a lock (or annotate //lint:allow lockorder <reason>)",
+					analysis.ExprString(x.Chan), lock)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !pass.Allowed(x.Pos(), "lockorder") {
+				pass.Reportf(x.Pos(),
+					"channel receive from %s while holding %s; receives can block indefinitely under a lock (or annotate //lint:allow lockorder <reason>)",
+					analysis.ExprString(x.X), lock)
+			}
+		case *ast.CallExpr:
+			if name := hookCallee(x); name != "" && !pass.Allowed(x.Pos(), "lockorder") {
+				pass.Reportf(x.Pos(),
+					"hook %s invoked while holding %s; hooks re-enter user code and must run outside critical sections (or annotate //lint:allow lockorder <reason>)",
+					name, lock)
+			}
+		}
+		return true
+	})
+}
+
+// hookCallee reports the rendering of a call through a hook-shaped
+// callee: an identifier or field whose name is "hook"/"Hook", ends in
+// "Hook", or is an "onX" callback.
+func hookCallee(call *ast.CallExpr) string {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return ""
+	}
+	lower := strings.ToLower(name)
+	if lower == "hook" || strings.HasSuffix(lower, "hook") ||
+		(strings.HasPrefix(name, "on") && len(name) > 2 && name[2] >= 'A' && name[2] <= 'Z') {
+		return analysis.ExprString(call.Fun)
+	}
+	return ""
+}
+
+// anyLock returns one held lock's rendering for diagnostics.
+func anyLock(held map[string]token.Pos) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/lockorder"
+)
+
+// TestLockOrderFixture proves the analyzer flags channel operations,
+// hook invocations, and nested acquisitions under a held mutex, and
+// accepts the released / goroutine-detached / justified variants.
+func TestLockOrderFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "lockorder_a")
+}

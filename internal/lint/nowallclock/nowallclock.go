@@ -1,0 +1,107 @@
+// Package nowallclock forbids wall-clock and global-RNG reads outside
+// the sanctioned clock package: determinism is the backend's headline
+// guarantee (byte-identical /v1/traffic across monolith vs. N shards
+// and under dup/reorder/delay faults), and a single stray time.Now or
+// math/rand call in a deterministic path silently breaks it.
+//
+// Flagged:
+//   - time.Now(...) and time.Since(...) — Since reads the wall clock
+//     implicitly. Inject a busprobe/internal/clock.Clock instead.
+//   - package-level math/rand and math/rand/v2 calls (rand.Intn,
+//     rand.Float64, rand.Shuffle, …), which draw from the shared
+//     global source. Use stats.RNG streams forked from the campaign
+//     seed instead. Constructing an explicit generator (rand.New,
+//     rand.NewSource, …) is not flagged.
+//   - dot-imports of "time" or "math/rand", which would let the
+//     forbidden calls hide as bare identifiers.
+//
+// busprobe/internal/clock is exempt — it is the one sanctioned home of
+// time.Now. Entry points that genuinely need boot timestamps annotate
+// the call site with //lint:allow nowallclock <reason>.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// Analyzer is the nowallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since and global math/rand in favor of " +
+		"the injected clock and seeded stats.RNG streams",
+	Run: run,
+}
+
+// exemptPkgs may read the wall clock: the clock package is its
+// sanctioned home.
+var exemptPkgs = map[string]bool{
+	"busprobe/internal/clock": true,
+}
+
+// timeFuncs are the forbidden wall-clock reads in package time.
+var timeFuncs = map[string]bool{"Now": true, "Since": true}
+
+// randConstructors are the math/rand names that build an explicit,
+// seedable generator rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 additions.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if exemptPkgs[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		imports := analysis.ImportAliases(f)
+		checkDotImports(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			qual, name := analysis.CalleeName(call)
+			if qual == "" {
+				return true
+			}
+			switch imports[qual] {
+			case "time":
+				if timeFuncs[name] && !pass.Allowed(call.Pos(), "nowallclock") {
+					pass.Reportf(call.Pos(),
+						"wall clock: %s.%s in deterministic code; inject a busprobe/internal/clock.Clock (or annotate //lint:allow nowallclock <reason>)",
+						qual, name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] && !pass.Allowed(call.Pos(), "nowallclock") {
+					pass.Reportf(call.Pos(),
+						"global math/rand: %s.%s draws from the shared global source; fork a stats.RNG stream from the campaign seed (or annotate //lint:allow nowallclock <reason>)",
+						qual, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDotImports flags `import . "time"` and friends, which would let
+// the forbidden calls appear as bare Now()/Intn() and evade the
+// qualifier-based check above.
+func checkDotImports(pass *analysis.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		if imp.Name == nil || imp.Name.Name != "." {
+			continue
+		}
+		switch imp.Path.Value {
+		case `"time"`, `"math/rand"`, `"math/rand/v2"`:
+			if !pass.Allowed(imp.Pos(), "nowallclock") {
+				pass.Reportf(imp.Pos(),
+					"dot-import of %s hides wall-clock/global-rand calls from the nowallclock check",
+					imp.Path.Value)
+			}
+		}
+	}
+}

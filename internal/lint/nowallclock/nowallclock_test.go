@@ -1,0 +1,15 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/nowallclock"
+)
+
+// TestNoWallClockFixture proves the analyzer fires on wall-clock and
+// global-rand reads (and stays quiet on seeded generators and
+// justified allows) against the shared fixture tree.
+func TestNoWallClockFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nowallclock.Analyzer, "nowallclock_a")
+}

@@ -1,0 +1,15 @@
+package paperconst_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/paperconst"
+)
+
+// TestPaperConstFixture proves the cross-package case: a consumer
+// package re-stating γ/s₀/t₀/ε/b/T literals is flagged, while named
+// defaults, test files, and justified allows stay clean.
+func TestPaperConstFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), paperconst.Analyzer, "paperconst_a")
+}

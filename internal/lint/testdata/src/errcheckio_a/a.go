@@ -1,0 +1,52 @@
+// Package errcheckio_a is the failing fixture for the errcheckio
+// analyzer: silently and blank-discarded errors from Close/Flush/
+// Sync/Encode and from fmt.Fprint* onto real writers are flagged;
+// handled errors, deferred closes, and local-buffer rendering are not.
+package errcheckio_a
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type journal struct {
+	f *os.File
+}
+
+func drops(j *journal, enc *json.Encoder, w *os.File) {
+	j.f.Close()           // want `dropped error from j\.f\.Close on an I/O path`
+	enc.Encode(1)         // want `dropped error from enc\.Encode on an I/O path`
+	j.f.Sync()            // want `dropped error from j\.f\.Sync on an I/O path`
+	fmt.Fprintln(w, "ok") // want `dropped error from fmt\.Fprintln`
+}
+
+func blanks(f *os.File, w *os.File) {
+	_ = f.Close()                      // want `discarded error from f\.Close on an I/O path`
+	_ = json.NewEncoder(w).Encode(nil) // want `discarded error from json\.NewEncoder\(\)\.Encode on an I/O path`
+}
+
+// handled, deferred, and buffer-bound writes are all clean.
+func clean(f *os.File) (string, error) {
+	defer f.Close() // deferred close on a read path is idiomatic
+	var b strings.Builder
+	fmt.Fprintf(&b, "rows=%d\n", 3) // &buf writes cannot fail
+	if err := f.Sync(); err != nil {
+		return "", err
+	}
+	return b.String(), f.Close()
+}
+
+// nested proves drops inside function literals passed as call
+// arguments (the HTTP handler-registration shape) are still seen.
+func nested(register func(string, func(*os.File)), w *os.File) {
+	register("/healthz", func(f *os.File) {
+		fmt.Fprintln(f, "ok") // want `dropped error from fmt\.Fprintln`
+	})
+}
+
+// justified documents an intentional discard.
+func justified(w *os.File) {
+	_ = w.Close() //lint:allow errcheckio best-effort cleanup on the error path; the primary error is already being returned
+}

@@ -1,0 +1,76 @@
+// Package lockorder_a is the failing fixture for the lockorder
+// analyzer: channel operations, hook invocations, and nested lock
+// acquisitions under a held mutex are flagged; the same operations
+// after release — or spawned onto another goroutine — are not.
+package lockorder_a
+
+import "sync"
+
+type backend struct {
+	mu      sync.Mutex
+	statsMu sync.Mutex
+	gate    chan struct{}
+	hook    func(string, int)
+}
+
+func (b *backend) sendWhileLocked() {
+	b.mu.Lock()
+	b.gate <- struct{}{} // want `channel send on b\.gate while holding b\.mu`
+	b.mu.Unlock()
+}
+
+func (b *backend) recvWhileDeferLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.gate // want `channel receive from b\.gate while holding b\.mu`
+}
+
+func (b *backend) selectWhileLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select while holding b\.mu`
+	case b.gate <- struct{}{}:
+	default:
+	}
+}
+
+func (b *backend) hookWhileLocked(n int) {
+	b.mu.Lock()
+	b.hook("stage", n) // want `hook b\.hook invoked while holding b\.mu`
+	b.mu.Unlock()
+}
+
+func (b *backend) nestedLocks() {
+	b.mu.Lock()
+	b.statsMu.Lock() // want `b\.statsMu\.Lock acquired while b\.mu is still held`
+	b.statsMu.Unlock()
+	b.mu.Unlock()
+}
+
+// afterRelease shows the same operations are clean once the lock is
+// dropped — the scan tracks Unlock.
+func (b *backend) afterRelease(n int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.gate <- struct{}{}
+	b.hook("stage", n)
+	b.statsMu.Lock()
+	b.statsMu.Unlock()
+}
+
+// detached spawns the channel work onto another goroutine, which runs
+// outside the critical section.
+func (b *backend) detached() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() { b.gate <- struct{}{} }()
+}
+
+// justified documents an intentional nesting.
+func (b *backend) justified() {
+	b.mu.Lock()
+	//lint:allow lockorder statsMu is strictly ordered after mu repo-wide; see DESIGN.md §6e
+	b.statsMu.Lock()
+	b.statsMu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,45 @@
+// Package nowallclock_a is the failing fixture for the nowallclock
+// analyzer: wall-clock reads, implicit-now durations, and global
+// math/rand draws must all be flagged, while explicit generators and
+// justified //lint:allow sites stay clean.
+package nowallclock_a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func deadline() time.Time {
+	return time.Now() // want `wall clock: time\.Now`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `wall clock: time\.Since`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `global math/rand: rand\.Float64`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand: rand\.Shuffle`
+}
+
+// seeded constructs an explicit generator — not a global draw, so it
+// is not flagged (the generator is seedable and deterministic).
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// bootstamp is an allowlisted entry point: the justified annotation
+// suppresses the diagnostic.
+func bootstamp() time.Time {
+	return time.Now() //lint:allow nowallclock process boot timestamp for the banner, never in a deterministic path
+}
+
+// unjustified shows that an allow comment without a reason does not
+// suppress — every escape hatch must explain itself.
+func unjustified() time.Time {
+	//lint:allow nowallclock
+	return time.Now() // want `wall clock: time\.Now`
+}

@@ -1,0 +1,14 @@
+// Test files sweep off-canon constants deliberately (epsilon
+// sensitivity, gamma ablations) and are exempt from paperconst — no
+// line here may produce a diagnostic.
+package paperconst_a
+
+import "busprobe/internal/core/cluster"
+
+func sweep() []cluster.Params {
+	return []cluster.Params{
+		cluster.Params{S0: 7, T0: 30, Epsilon: 0.2},
+		cluster.Params{S0: 7, T0: 30, Epsilon: 0.6},
+		cluster.Params{S0: 7, T0: 30, Epsilon: 1.0},
+	}
+}

@@ -210,10 +210,10 @@ func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, er
 	return &Backend{
 		gate:      gate,
 		admission: stage.Metrics{Stage: "admission"},
-		cfg:     cfg,
-		transit: tdb,
-		fpdb:    fpdb,
-		est:     est,
+		cfg:       cfg,
+		transit:   tdb,
+		fpdb:      fpdb,
+		est:       est,
 		pipe: stage.New(fpdb, tdb, est, stage.Config{
 			Cluster:     cfg.Cluster,
 			MinSpeedKmh: cfg.MinSpeedKmh,

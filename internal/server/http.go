@@ -117,7 +117,7 @@ func uploadRow(tripID string, res ProcessedTrip, err error) UploadResponseJSON {
 func Handler(b API) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintln(w, "ok") //lint:allow errcheckio a failed liveness write means the prober is gone; there is no one left to tell
 	})
 	mux.HandleFunc("/v1/trips", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -324,5 +324,8 @@ func sortRows(rows []SegmentEstimateJSON) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	// The status line is already on the wire; an encode failure here
+	// means the client disconnected mid-body, and the server has no
+	// channel left to report it on.
+	_ = json.NewEncoder(w).Encode(v) //lint:allow errcheckio headers already sent; nothing can be done about a mid-body disconnect
 }

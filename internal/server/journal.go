@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -46,15 +47,12 @@ func (j *Journal) Append(trip probe.Trip) error {
 	return nil
 }
 
-// Close flushes and closes the underlying file.
+// Close flushes and closes the underlying file. A flush failure does
+// not skip the close, and neither error is dropped.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.w.Flush(); err != nil {
-		j.f.Close()
-		return err
-	}
-	return j.f.Close()
+	return errors.Join(j.w.Flush(), j.f.Close())
 }
 
 // TripProcessor ingests one trip; both *Backend and *Coordinator

@@ -92,7 +92,7 @@ func TestBuildFingerprintDBCoversAllStops(t *testing.T) {
 
 func TestBackendValidation(t *testing.T) {
 	w := testWorld(t)
-	fpdb, err := fingerprint.NewDB(fingerprint.DefaultScoring(), 2)
+	fpdb, err := fingerprint.NewDB(fingerprint.DefaultScoring(), fingerprint.DefaultGamma)
 	if err != nil {
 		t.Fatal(err)
 	}

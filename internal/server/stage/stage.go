@@ -12,6 +12,8 @@ package stage
 import (
 	"sync/atomic"
 	"time"
+
+	"busprobe/internal/clock"
 )
 
 // Metrics is a point-in-time snapshot of one stage's counters.
@@ -44,17 +46,32 @@ type Stage interface {
 // instrument carries a stage's identity and counters; every concrete
 // stage embeds one. The counters are atomics so concurrent stage runs
 // never block each other — or a Metrics reader — on a lock. Durations
-// are observability only and never feed back into results, so reading
-// the wall clock here does not break run reproducibility.
+// are read through an injected clock.Clock (wall by default), so tests
+// pin per-stage DurationNs exactly and production metrics cost one
+// interface call.
 type instrument struct {
 	name string
 	hook Hook
+	clk  clock.Clock // nil means wall clock
 
 	runs       atomic.Int64
 	itemsIn    atomic.Int64
 	itemsOut   atomic.Int64
 	dropped    atomic.Int64
 	durationNs atomic.Int64
+}
+
+// SetClock overrides the clock used for duration metrics. Tests inject
+// a clock.Fake to make per-stage DurationNs deterministic; a nil or
+// unset clock reads wall time.
+func (i *instrument) SetClock(c clock.Clock) { i.clk = c }
+
+// now reads the stage's clock.
+func (i *instrument) now() time.Time {
+	if i.clk != nil {
+		return i.clk.Now()
+	}
+	return clock.Wall{}.Now()
 }
 
 // Name implements Stage.
@@ -106,7 +123,7 @@ func Merge(groups ...[]Metrics) []Metrics {
 // observe folds one completed run into the counters and fires the
 // hook, if any.
 func (i *instrument) observe(in, out, dropped int, start time.Time) {
-	d := time.Since(start)
+	d := i.now().Sub(start)
 	i.runs.Add(1)
 	i.itemsIn.Add(int64(in))
 	i.itemsOut.Add(int64(out))

@@ -1,7 +1,7 @@
 package stage
 
 import (
-	"time"
+	"busprobe/internal/clock"
 
 	"busprobe/internal/core/cluster"
 	"busprobe/internal/core/fingerprint"
@@ -40,7 +40,7 @@ func NewMatcher(db *fingerprint.DB, hook Hook) *Matcher {
 
 // Run matches every sample, keeping those that clear γ.
 func (m *Matcher) Run(in MatchInput) MatchOutput {
-	start := time.Now()
+	start := m.now()
 	var elems []cluster.Element
 	for _, s := range in.Samples {
 		mt, ok := m.db.Match(s.Fingerprint())
@@ -78,7 +78,7 @@ func NewClusterer(params cluster.Params, hook Hook) *Clusterer {
 
 // Run co-clusters the elements.
 func (c *Clusterer) Run(in ClusterInput) (ClusterOutput, error) {
-	start := time.Now()
+	start := c.now()
 	clusters, err := cluster.Sequence(in.Elements, c.params)
 	if err != nil {
 		c.observe(len(in.Elements), 0, 0, start)
@@ -113,7 +113,7 @@ func NewMapper(tdb *transit.DB, hook Hook) *Mapper {
 
 // Run resolves the cluster sequence to stop visits.
 func (m *Mapper) Run(in MapInput) (MapOutput, error) {
-	start := time.Now()
+	start := m.now()
 	res, err := tripmap.Resolve(in.Clusters, m.transit)
 	if err != nil {
 		m.observe(len(in.Clusters), 0, 0, start)
@@ -160,7 +160,7 @@ func NewExtractor(tdb *transit.DB, minSpeedKmh, maxSpeedKmh float64, hook Hook) 
 
 // Run converts the visit sequence into per-leg traffic observations.
 func (e *Extractor) Run(in ExtractInput) ExtractOutput {
-	start := time.Now()
+	start := e.now()
 	out := e.extract(in.Visits)
 	e.observe(len(in.Visits), len(out.Observations), out.Discarded, start)
 	return out
@@ -308,7 +308,7 @@ func NewEstimatorStage(est *traffic.Estimator, hook Hook) *Estimator {
 // Run folds the observations into the estimator; individually invalid
 // observations are dropped, never failing the trip.
 func (e *Estimator) Run(in EstimateInput) EstimateOutput {
-	start := time.Now()
+	start := e.now()
 	var out EstimateOutput
 	for _, o := range in.Observations {
 		if err := e.est.AddObservation(o); err != nil {
@@ -339,18 +339,29 @@ type Config struct {
 	MinSpeedKmh, MaxSpeedKmh float64
 	// Hook, when non-nil, observes every stage run.
 	Hook Hook
+	// Clock, when non-nil, replaces the wall clock behind per-stage
+	// duration metrics; tests pass a clock.Fake for determinism.
+	Clock clock.Clock
 }
 
 // New assembles a pipeline over the fingerprint database, transit
 // database, and traffic estimator.
 func New(fpdb *fingerprint.DB, tdb *transit.DB, est *traffic.Estimator, cfg Config) *Pipeline {
-	return &Pipeline{
+	p := &Pipeline{
 		Match:    NewMatcher(fpdb, cfg.Hook),
 		Cluster:  NewClusterer(cfg.Cluster, cfg.Hook),
 		Map:      NewMapper(tdb, cfg.Hook),
 		Extract:  NewExtractor(tdb, cfg.MinSpeedKmh, cfg.MaxSpeedKmh, cfg.Hook),
 		Estimate: NewEstimatorStage(est, cfg.Hook),
 	}
+	if cfg.Clock != nil {
+		p.Match.SetClock(cfg.Clock)
+		p.Cluster.SetClock(cfg.Clock)
+		p.Map.SetClock(cfg.Clock)
+		p.Extract.SetClock(cfg.Clock)
+		p.Estimate.SetClock(cfg.Clock)
+	}
+	return p
 }
 
 // Stages lists the components in pipeline order.

@@ -8,10 +8,13 @@ package busprobe
 // deployment built lazily on first use.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
+	"busprobe/internal/clock"
 	"busprobe/internal/eval"
+	"busprobe/internal/obs"
 	"busprobe/internal/probe"
 	"busprobe/internal/sim"
 )
@@ -49,7 +52,7 @@ func benchCampaign(b *testing.B) *eval.CampaignRun {
 		cfg.Participants = 22
 		cfg.IntensiveFromDay = 0
 		cfg.IntensiveTripsPerDay = 6
-		benchRunVal, benchRunErr = eval.RunCampaign(l, cfg, 300)
+		benchRunVal, benchRunErr = eval.RunCampaign(context.Background(), l, cfg, 300)
 	})
 	if benchRunErr != nil {
 		b.Fatal(benchRunErr)
@@ -324,7 +327,7 @@ func benchTrips(b *testing.B) []probe.Trip {
 		cfg.Participants = 22
 		cfg.IntensiveFromDay = 0
 		cfg.IntensiveTripsPerDay = 6
-		benchTripsVal, benchTripsErr = eval.CollectTrips(l, cfg)
+		benchTripsVal, benchTripsErr = eval.CollectTrips(context.Background(), l, cfg)
 	})
 	if benchTripsErr != nil {
 		b.Fatal(benchTripsErr)
@@ -335,8 +338,22 @@ func benchTrips(b *testing.B) []probe.Trip {
 // benchIngest replays the recorded corpus into a fresh backend each
 // iteration: workers == 1 uses the serial ProcessTrip loop, workers == 0
 // the concurrent batch path at GOMAXPROCS. Run with -cpu 1,4 to see the
-// batch path scale.
-func benchIngest(b *testing.B, workers int) {
+// batch path scale. With withObs, the backend registers into a live
+// observability core and every trip emits its stage spans — the pair of
+// results bounds the instrumentation overhead (budget: <= 5%, recorded
+// in BENCH_obs.json).
+func benchIngest(b *testing.B, workers int, withObs bool) {
+	l := benchLab(b)
+	savedObs := l.Cfg.Obs
+	defer func() { l.Cfg.Obs = savedObs }()
+	l.Cfg.Obs = nil
+	if withObs {
+		l.Cfg.Obs = obs.NewCore(clock.Wall{})
+	}
+	benchIngestRaw(b, workers)
+}
+
+func benchIngestRaw(b *testing.B, workers int) {
 	trips := benchTrips(b)
 	l := benchLab(b)
 	b.ResetTimer()
@@ -349,12 +366,12 @@ func benchIngest(b *testing.B, workers int) {
 		b.StartTimer()
 		if workers == 1 {
 			for _, trip := range trips {
-				if _, err := back.ProcessTrip(trip); err != nil {
+				if _, err := back.ProcessTrip(context.Background(), trip); err != nil {
 					b.Fatal(err)
 				}
 			}
 		} else {
-			for _, r := range back.ProcessTrips(trips, workers) {
+			for _, r := range back.ProcessTrips(context.Background(), trips, workers) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -364,9 +381,15 @@ func benchIngest(b *testing.B, workers int) {
 	b.ReportMetric(float64(len(trips))*float64(b.N)/b.Elapsed().Seconds(), "trips/s")
 }
 
-func BenchmarkIngestSerial(b *testing.B) { benchIngest(b, 1) }
+func BenchmarkIngestSerial(b *testing.B) { benchIngest(b, 1, false) }
 
-func BenchmarkIngestBatch(b *testing.B) { benchIngest(b, 0) }
+func BenchmarkIngestBatch(b *testing.B) { benchIngest(b, 0, false) }
+
+func BenchmarkIngestBatchObs(b *testing.B) { benchIngest(b, 0, true) }
+
+// BenchmarkIngestSerialObs measures the serial path with spans + metrics
+// live, the worst case for per-trip instrumentation cost.
+func BenchmarkIngestSerialObs(b *testing.B) { benchIngest(b, 1, true) }
 
 // BenchmarkEndToEndDay measures a full system day: city, survey,
 // campaign, pipeline, estimation.
@@ -381,7 +404,7 @@ func BenchmarkEndToEndDay(b *testing.B) {
 		cfg := sim.DefaultCampaignConfig()
 		cfg.Days = 1
 		cfg.IntensiveFromDay = 0
-		if _, err := sys.RunCampaign(cfg); err != nil {
+		if _, err := sys.RunCampaign(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 		if len(sys.Traffic()) == 0 {

@@ -20,6 +20,7 @@
 package busprobe
 
 import (
+	"context"
 	"fmt"
 
 	"busprobe/internal/core/traffic"
@@ -95,21 +96,21 @@ func (s *System) Lab() *eval.Lab { return s.lab }
 // system's backend, returning the campaign statistics. Set
 // cfg.UploadBatchSize > 1 to deliver trips through the backend's
 // concurrent batch-ingest path.
-func (s *System) RunCampaign(cfg sim.CampaignConfig) (sim.CampaignStats, error) {
+func (s *System) RunCampaign(ctx context.Context, cfg sim.CampaignConfig) (sim.CampaignStats, error) {
 	camp, err := sim.NewCampaign(s.lab.World, cfg, s.back, nil)
 	if err != nil {
 		return sim.CampaignStats{}, err
 	}
 	camp.MinuteHook = func(tS float64) { s.back.Advance(tS) }
-	return camp.Run()
+	return camp.Run(ctx)
 }
 
 // IngestBatch feeds pre-recorded trips through the backend's
 // concurrent batch-ingest pipeline (workers <= 0 uses the backend's
 // configured parallelism), returning the per-trip outcomes in input
 // order.
-func (s *System) IngestBatch(trips []probe.Trip, workers int) []server.TripResult {
-	return s.back.ProcessTrips(trips, workers)
+func (s *System) IngestBatch(ctx context.Context, trips []probe.Trip, workers int) []server.TripResult {
+	return s.back.ProcessTrips(ctx, trips, workers)
 }
 
 // StageMetrics snapshots the backend pipeline's per-stage

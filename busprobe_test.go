@@ -1,6 +1,7 @@
 package busprobe
 
 import (
+	"context"
 	"testing"
 
 	"busprobe/internal/sim"
@@ -39,7 +40,7 @@ func TestEndToEndFacade(t *testing.T) {
 	cfg.Participants = 8
 	cfg.SparseTripsPerDay = 4
 	cfg.IntensiveFromDay = 99
-	st, err := sys.RunCampaign(cfg)
+	st, err := sys.RunCampaign(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

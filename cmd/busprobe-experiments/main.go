@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -110,7 +111,7 @@ func run(quick bool, seed uint64, days int) error {
 		campCfg.Participants = 14
 	}
 	fmt.Printf("(running %d-day campaign with %d participants...)\n\n", campCfg.Days, campCfg.Participants)
-	campaign, err := eval.RunCampaign(lab, campCfg, 300)
+	campaign, err := eval.RunCampaign(context.Background(), lab, campCfg, 300)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 //	busprobe-server [-addr :8080] [-seed 1] [-survey-runs 4]
 //	                [-shards N] [-ingest-workers N]
 //	                [-max-inflight-batches N] [-request-timeout SECONDS]
+//	                [-pprof] [-drain-timeout SECONDS]
 //
 // Endpoints:
 //
@@ -19,16 +20,29 @@
 //	GET  /v1/pipeline              per-stage instrumentation
 //	GET  /v1/shards                per-shard footprint and counters
 //	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/pprof/             live profiling (with -pprof)
+//
+// On SIGTERM or SIGINT the server stops accepting connections and
+// drains in-flight requests for up to -drain-timeout seconds before
+// exiting 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"busprobe/internal/clock"
 	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/obs"
 	"busprobe/internal/server"
 	"busprobe/internal/sim"
 )
@@ -46,18 +60,25 @@ func main() {
 	ingestWorkers := flag.Int("ingest-workers", 0, "batch-ingest parallelism (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight-batches", 0, "admission gate: concurrent batch ingests before shedding with 429 (0 = unbounded)")
 	reqTimeout := flag.Float64("request-timeout", 0, "per-request handling budget in seconds (0 = none)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drainTimeout := flag.Float64("drain-timeout", 10, "seconds to drain in-flight requests on SIGTERM before forcing exit")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *surveyRuns, *shards, *fpdbPath, *journalPath, *ingestWorkers, *maxInflight, *reqTimeout); err != nil {
+	if err := run(*addr, *seed, *surveyRuns, *shards, *fpdbPath, *journalPath, *ingestWorkers, *maxInflight, *reqTimeout, *pprofOn, *drainTimeout); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath string, ingestWorkers, maxInflight int, reqTimeoutS float64) error {
+func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath string, ingestWorkers, maxInflight int, reqTimeoutS float64, pprofOn bool, drainTimeoutS float64) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
+	// Root context: canceled on SIGTERM/SIGINT so journal replay and
+	// in-flight ingestion observe shutdown, not just the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	core := obs.NewCore(clock.Wall{})
 	worldCfg := sim.DefaultWorldConfig()
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
@@ -68,6 +89,7 @@ func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath
 	cfg.IngestWorkers = ingestWorkers
 	cfg.MaxInflightBatches = maxInflight
 	cfg.RequestTimeoutS = reqTimeoutS
+	cfg.Obs = core
 	fpdb, err := loadOrSurvey(world, cfg, surveyRuns, seed, fpdbPath)
 	if err != nil {
 		return err
@@ -87,7 +109,7 @@ func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath
 			if _, statErr := os.Stat(p); statErr != nil {
 				continue
 			}
-			r, s, err := server.ReplayJournal(p, coord)
+			r, s, err := server.ReplayJournal(ctx, p, coord)
 			if err != nil {
 				return err
 			}
@@ -118,8 +140,31 @@ func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath
 				st.Shard, st.Routes, st.Stops, st.Segments)
 		}
 	}
-	fmt.Printf("listening on %s\n", addr)
-	return http.ListenAndServe(addr, server.Handler(coord))
+	if pprofOn {
+		fmt.Println("pprof: serving /debug/pprof/")
+	}
+	handler := server.NewHandler(coord, server.HandlerConfig{Obs: core, Pprof: pprofOn})
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s\n", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight trips finish, bound
+	// the wait so a wedged handler cannot block shutdown forever.
+	fmt.Println("shutting down: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(drainTimeoutS*float64(time.Second)))
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("shutdown complete")
+	return nil
 }
 
 // journalPaths names each shard's journal file: the bare path for a

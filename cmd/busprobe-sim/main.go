@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -98,7 +99,7 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 		if err != nil {
 			return err
 		}
-		if !client.Healthy() {
+		if !client.Healthy(context.Background()) {
 			return fmt.Errorf("backend at %s is not healthy", serverURL)
 		}
 		uploader = client
@@ -128,7 +129,7 @@ func run(days, participants int, tripsPerDay float64, seed uint64, serverURL str
 
 	fmt.Printf("running %d-day campaign: %d participants, %.1f trips/day each...\n",
 		days, participants, tripsPerDay)
-	st, err := camp.Run()
+	st, err := camp.Run(context.Background())
 	if err != nil {
 		return err
 	}

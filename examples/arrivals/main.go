@@ -8,6 +8,8 @@
 package main
 
 import (
+	"busprobe/internal/clock"
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +28,7 @@ func main() {
 	camp.Days = 1
 	camp.IntensiveFromDay = 0
 	fmt.Println("collecting one day of rider data...")
-	if _, err := sys.RunCampaign(camp); err != nil {
+	if _, err := sys.RunCampaign(context.Background(), camp); err != nil {
 		log.Fatal(err)
 	}
 	backend := sys.Backend()
@@ -47,11 +49,11 @@ func main() {
 			log.Fatal(err)
 		}
 		last := preds[len(preds)-1]
-		fmt.Printf("\nroute %s departing stop 0 at %s:\n", rt.ID, sim.ClockTime(departS))
+		fmt.Printf("\nroute %s departing stop 0 at %s:\n", rt.ID, clock.Stamp(departS))
 		for i, p := range preds {
 			if i < 3 || i == len(preds)-1 {
 				fmt.Printf("  stop %2d: ETA %s (%.0f%% of drive time from live data)\n",
-					p.StopIdx, sim.ClockTime(p.ArriveS), 100*p.CoveredFrac)
+					p.StopIdx, clock.Stamp(p.ArriveS), 100*p.CoveredFrac)
 			} else if i == 3 {
 				fmt.Printf("  ...\n")
 			}

@@ -7,18 +7,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"time"
 
+	"busprobe/internal/clock"
 	"busprobe/internal/server"
 	"busprobe/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// City + fingerprint survey.
 	worldCfg := sim.DefaultWorldConfig()
@@ -56,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !client.Healthy() {
+	if !client.Healthy(ctx) {
 		log.Fatal("backend unhealthy")
 	}
 
@@ -75,26 +78,26 @@ func main() {
 		backend.Advance(tS)
 		if tS-lastPoll >= 1800 {
 			lastPoll = tS
-			rows, err := client.Traffic()
+			rows, err := client.Traffic(ctx)
 			if err != nil {
 				log.Print(err)
 				return
 			}
-			st, err := client.Stats()
+			st, err := client.Stats(ctx)
 			if err != nil {
 				log.Print(err)
 				return
 			}
 			fmt.Printf("%s  trips=%3d  mapped-visits=%4d  estimated-segments=%3d\n",
-				sim.ClockTime(tS), st.TripsReceived, st.VisitsMapped, len(rows))
+				clock.Stamp(tS), st.TripsReceived, st.VisitsMapped, len(rows))
 		}
 	}
 	fmt.Println("running one simulated day of uploads over HTTP...")
-	if _, err := camp.Run(); err != nil {
+	if _, err := camp.Run(ctx); err != nil {
 		log.Fatal(err)
 	}
 
-	rows, err := client.Traffic()
+	rows, err := client.Traffic(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -32,7 +33,7 @@ func main() {
 	camp := sim.DefaultCampaignConfig()
 	camp.Days = 1
 	camp.IntensiveFromDay = 0
-	st, err := sys.RunCampaign(camp)
+	st, err := sys.RunCampaign(context.Background(), camp)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"busprobe/internal/clock"
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +39,7 @@ func main() {
 	camp.Days = 1
 	camp.IntensiveFromDay = 0
 	fmt.Println("running one intensive participation day...")
-	run, err := eval.RunCampaign(lab, camp, 300)
+	run, err := eval.RunCampaign(context.Background(), lab, camp, 300)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func main() {
 			log.Fatal("no snapshots captured")
 		}
 		fmt.Printf("estimated traffic at %s  (# <20, x <30, + <40, - <50, . >=50 km/h)\n",
-			sim.ClockTime(snap.TimeS))
+			clock.Stamp(snap.TimeS))
 		render(lab.World.Net, snap)
 	}
 }

@@ -1,24 +1,22 @@
-// Package sim is the city simulator substituting for the paper's
-// physical deployment: a time-varying ground-truth traffic field over the
-// road network, buses driving their routes and dwelling at stops, a rider
-// demand model producing IC-card beeps, participant phones riding along,
-// and the taxi-AVL "official traffic" feed used as the evaluation
-// comparator (the paper's LTA data from >1,000 taxis).
-//
-// Everything runs on a virtual clock (seconds since campaign start) and
-// is deterministic given the configuration seed.
-package sim
+package clock
 
 import (
 	"fmt"
 	"math"
 )
 
+// Virtual-time helpers for the simulated deployment. The simulator, the
+// evaluation harness, and the examples all run on one virtual clock —
+// float64 seconds since campaign start — and these helpers are its
+// single home (they used to live in internal/sim, which left the repo
+// with two clock vocabularies).
+
 // Time constants of the virtual clock.
 const (
 	// DayS is one simulated day in seconds.
 	DayS = 86400.0
-	// ServiceStartS is when buses start running (06:00).
+	// ServiceStartS is when the simulated city's buses start running
+	// (06:00).
 	ServiceStartS = 6 * 3600.0
 	// ServiceEndS is when bus service ends (23:00).
 	ServiceEndS = 23 * 3600.0
@@ -46,8 +44,8 @@ func InServiceHours(t float64) bool {
 	return tod >= ServiceStartS && tod < ServiceEndS
 }
 
-// ClockTime renders an absolute time as "d2 08:30" for reports.
-func ClockTime(t float64) string {
+// Stamp renders an absolute virtual time as "d2 08:30" for reports.
+func Stamp(t float64) string {
 	tod := TimeOfDayS(t)
 	return fmt.Sprintf("d%d %02d:%02d", DayIndex(t), int(tod/3600), int(tod/60)%60)
 }

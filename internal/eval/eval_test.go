@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -42,7 +43,7 @@ func campaignRun(t *testing.T) *CampaignRun {
 		cfg.SparseTripsPerDay = 6
 		cfg.IntensiveFromDay = 0
 		cfg.IntensiveTripsPerDay = 6
-		runVal, runErr = RunCampaign(l, cfg, 300)
+		runVal, runErr = RunCampaign(context.Background(), l, cfg, 300)
 	})
 	if runErr != nil {
 		t.Fatal(runErr)

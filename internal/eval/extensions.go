@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"busprobe/internal/clock"
 	"fmt"
 	"math"
 
@@ -8,7 +9,6 @@ import (
 	"busprobe/internal/core/region"
 	"busprobe/internal/core/traffic"
 	"busprobe/internal/road"
-	"busprobe/internal/sim"
 	"busprobe/internal/stats"
 	"busprobe/internal/transit"
 )
@@ -19,7 +19,7 @@ import (
 // segments; accuracy is measured against the ground-truth field and
 // compared with a global-mean baseline.
 func ExtRegionInference(l *Lab, run *CampaignRun, day int) (Report, error) {
-	at := float64(day)*sim.DayS + 17.5*3600
+	at := float64(day)*clock.DayS + 17.5*3600
 	snap, ok := run.SnapshotNear(at)
 	if !ok {
 		return Report{}, fmt.Errorf("eval: no snapshots")
@@ -99,7 +99,7 @@ func ExtArrivalPrediction(l *Lab, run *CampaignRun, day int, seed uint64) (Repor
 	for _, rt := range l.World.Transit.Routes() {
 		for _, hour := range []float64{8.5, 12.5, 18.0} {
 			rush := hour != 12.5
-			departS := float64(day)*sim.DayS + hour*3600
+			departS := float64(day)*clock.DayS + hour*3600
 			actual, err := simulateActualRun(l, rt, departS, rng)
 			if err != nil {
 				return Report{}, err

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"busprobe/internal/clock"
+	"context"
 	"fmt"
 	"math"
 
@@ -50,13 +52,13 @@ func FaultSweep(l *Lab, base sim.CampaignConfig, dropRates []float64) (Report, [
 			cfg.Faults.Seed = cfg.Seed ^ 0xfa5
 		}
 		cfg.UploadRetry = phone.DefaultRetryConfig(cfg.Seed ^ 0x7e7)
-		run, err := RunCampaign(l, cfg, 0)
+		run, err := RunCampaign(context.Background(), l, cfg, 0)
 		if err != nil {
 			return Report{}, nil, err
 		}
 		// Settle the estimator past the campaign's last window so every
 		// delivered observation is folded before the map is read.
-		run.Backend.Advance(float64(cfg.Days) * sim.DayS)
+		run.Backend.Advance(float64(cfg.Days) * clock.DayS)
 
 		bs := run.Backend.Stats()
 		pt := FaultSweepPoint{DropRate: rate}
@@ -90,7 +92,7 @@ func FaultSweep(l *Lab, base sim.CampaignConfig, dropRates []float64) (Report, [
 				bare.Faults.Seed = bare.Seed ^ 0xfa5
 			}
 			bare.UploadRetry = phone.RetryConfig{}
-			bareRun, err := RunCampaign(l, bare, 0)
+			bareRun, err := RunCampaign(context.Background(), l, bare, 0)
 			if err != nil {
 				return Report{}, nil, err
 			}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"busprobe/internal/clock"
 	"fmt"
 	"math"
 	"sort"
@@ -61,8 +62,8 @@ func Fig10SegmentSeries(l *Lab, run *CampaignRun, day int) (Report, error) {
 	}
 	indicator := NewGoogleIndicator(l.World.Field)
 
-	start := float64(day)*sim.DayS + 9.5*3600
-	end := float64(day)*sim.DayS + 19.5*3600
+	start := float64(day)*clock.DayS + 9.5*3600
+	end := float64(day)*clock.DayS + 19.5*3600
 
 	// The paper picked two well-probed corridors; rank segments by how
 	// many of the day's snapshots carry a fresh estimate for them.
@@ -98,7 +99,7 @@ func Fig10SegmentSeries(l *Lab, run *CampaignRun, day int) (Report, error) {
 	// pattern to follow (rush vs midday ground-truth contrast), like
 	// the paper's hand-picked corridors: score = freshness x contrast.
 	contrast := func(sid road.SegmentID) float64 {
-		day0 := float64(day) * sim.DayS
+		day0 := float64(day) * clock.DayS
 		rush := l.World.Field.CarKmh(sid, day0+8.5*3600)
 		mid := l.World.Field.CarKmh(sid, day0+13*3600)
 		if mid <= rush {
@@ -175,7 +176,7 @@ func Fig10SegmentSeries(l *Lab, run *CampaignRun, day int) (Report, error) {
 				corrVT = append(corrVT, vt)
 			}
 			if int(t)%1800 == 0 { // print every 30 min to keep the table readable
-				tbl.addRow(sim.ClockTime(t), vaStr, fmt.Sprintf("%.1f", vt), lv.String())
+				tbl.addRow(clock.Stamp(t), vaStr, fmt.Sprintf("%.1f", vt), lv.String())
 			}
 		}
 		series = append(series, ss)

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"busprobe/internal/clock"
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +32,7 @@ type CampaignRun struct {
 
 // RunCampaign executes a campaign against a fresh backend, capturing a
 // traffic-map snapshot every snapshotEveryS seconds of simulated time.
-func RunCampaign(l *Lab, cfg sim.CampaignConfig, snapshotEveryS float64) (*CampaignRun, error) {
+func RunCampaign(ctx context.Context, l *Lab, cfg sim.CampaignConfig, snapshotEveryS float64) (*CampaignRun, error) {
 	b, err := l.NewBackend()
 	if err != nil {
 		return nil, err
@@ -51,7 +53,7 @@ func RunCampaign(l *Lab, cfg sim.CampaignConfig, snapshotEveryS float64) (*Campa
 			lastSnap = tS
 		}
 	}
-	st, err := camp.Run()
+	st, err := camp.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -85,11 +87,11 @@ func (r *CampaignRun) nearestSnapshot(tS float64) (TrafficSnapshot, bool) {
 // >50% of roads from only 8 routes), and the morning-vs-evening speed
 // contrast (the paper's region is slower at 08:30).
 func Fig9TrafficMap(l *Lab, day int, run *CampaignRun) (Report, error) {
-	morning, ok := run.nearestSnapshot(float64(day)*sim.DayS + 8.5*3600)
+	morning, ok := run.nearestSnapshot(float64(day)*clock.DayS + 8.5*3600)
 	if !ok {
 		return Report{}, fmt.Errorf("eval: no snapshots captured")
 	}
-	evening, _ := run.nearestSnapshot(float64(day)*sim.DayS + 17*3600)
+	evening, _ := run.nearestSnapshot(float64(day)*clock.DayS + 17*3600)
 
 	// freshS bounds how old an estimate may be to describe "now"; the
 	// rendered map keeps older values, but the morning/evening contrast

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,8 +14,8 @@ import (
 // processed (sim.RecordTrips), returning every concluded trip in upload
 // order — the raw corpus the ingest benchmarks replay through the
 // serial, batched, and sharded backend paths.
-func CollectTrips(l *Lab, cfg sim.CampaignConfig) ([]probe.Trip, error) {
-	trips, _, err := sim.RecordTrips(l.World, cfg)
+func CollectTrips(ctx context.Context, l *Lab, cfg sim.CampaignConfig) ([]probe.Trip, error) {
+	trips, _, err := sim.RecordTrips(ctx, l.World, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: %w", err)
 	}
@@ -26,20 +27,20 @@ func CollectTrips(l *Lab, cfg sim.CampaignConfig) ([]probe.Trip, error) {
 // the concurrent batch-ingest path, whose results are identical to the
 // serial replay (the fold order is preserved). The backend's clock is
 // advanced past the last sample so the estimates are queryable.
-func (l *Lab) ReplayTrips(trips []probe.Trip, workers int) (*server.Backend, error) {
+func (l *Lab) ReplayTrips(ctx context.Context, trips []probe.Trip, workers int) (*server.Backend, error) {
 	b, err := l.NewBackend()
 	if err != nil {
 		return nil, err
 	}
 	if workers <= 1 {
 		for _, trip := range trips {
-			if _, err := b.ProcessTrip(trip); err != nil {
+			if _, err := b.ProcessTrip(ctx, trip); err != nil {
 				return nil, err
 			}
 		}
 		return b, nil
 	}
-	for i, res := range b.ProcessTrips(trips, workers) {
+	for i, res := range b.ProcessTrips(ctx, trips, workers) {
 		if res.Err != nil {
 			return nil, fmt.Errorf("eval: batch replay trip %d (%s): %w", i, trips[i].ID, res.Err)
 		}
@@ -54,13 +55,13 @@ func (l *Lab) ReplayTrips(trips []probe.Trip, workers int) (*server.Backend, err
 // would be; any other rejection aborts. The merged traffic map matches
 // ReplayTrips over the deduplicated corpus once both clocks advance
 // past the last sample.
-func (l *Lab) ReplayTripsSharded(trips []probe.Trip, shards int) (*server.Coordinator, error) {
+func (l *Lab) ReplayTripsSharded(ctx context.Context, trips []probe.Trip, shards int) (*server.Coordinator, error) {
 	c, err := l.NewCoordinator(shards)
 	if err != nil {
 		return nil, err
 	}
 	for _, trip := range trips {
-		if _, err := c.ProcessTrip(trip); err != nil && !errors.Is(err, server.ErrDuplicateTrip) {
+		if _, err := c.ProcessTrip(ctx, trip); err != nil && !errors.Is(err, server.ErrDuplicateTrip) {
 			return nil, err
 		}
 	}

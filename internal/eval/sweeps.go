@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,7 +29,7 @@ func ExtParticipationSweep(l *Lab, participants []int, seed uint64) (Report, err
 		cfg.IntensiveFromDay = 0
 		cfg.IntensiveTripsPerDay = 5
 		cfg.Seed = seed ^ uint64(n)*0x9e37
-		run, err := RunCampaign(l, cfg, 300)
+		run, err := RunCampaign(context.Background(), l, cfg, 300)
 		if err != nil {
 			return Report{}, err
 		}

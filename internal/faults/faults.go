@@ -14,6 +14,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -148,25 +149,25 @@ func NewInjector(cfg Config, next phone.Uploader) (*Injector, error) {
 // Upload offers one trip to the fault model. A dropped offer returns
 // ErrDropped; a held (reordered or delayed) offer returns nil — the
 // network accepted the bytes, delivery just hasn't happened yet.
-func (in *Injector) Upload(t probe.Trip) error {
+func (in *Injector) Upload(ctx context.Context, t probe.Trip) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.offerLocked(t)
+	return in.offerLocked(ctx, t)
 }
 
 // UploadBatch offers each trip independently; errs[i] is trip i's
 // outcome under the same semantics as Upload.
-func (in *Injector) UploadBatch(trips []probe.Trip) []error {
+func (in *Injector) UploadBatch(ctx context.Context, trips []probe.Trip) []error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	errs := make([]error, len(trips))
 	for i, t := range trips {
-		errs[i] = in.offerLocked(t)
+		errs[i] = in.offerLocked(ctx, t)
 	}
 	return errs
 }
 
-func (in *Injector) offerLocked(t probe.Trip) error {
+func (in *Injector) offerLocked(ctx context.Context, t probe.Trip) error {
 	in.seq++
 	in.stats.Offered++
 
@@ -183,7 +184,7 @@ func (in *Injector) offerLocked(t probe.Trip) error {
 	}
 	if in.cfg.DropRate > 0 && rng.Bool(in.cfg.DropRate) {
 		in.stats.Dropped++
-		in.releaseLocked()
+		in.releaseLocked(ctx)
 		return ErrDropped
 	}
 	dup := in.cfg.DupRate > 0 && rng.Bool(in.cfg.DupRate)
@@ -197,22 +198,22 @@ func (in *Injector) offerLocked(t probe.Trip) error {
 		after := in.seq + 1 + rng.Intn(in.cfg.ReorderDepth)
 		in.queue = append(in.queue, held{trip: t, releaseAfter: after})
 	default:
-		err = in.deliverLocked(t, false)
+		err = in.deliverLocked(ctx, t, false)
 	}
 	if dup {
 		in.stats.Duplicated++
-		_ = in.deliverLocked(t, true)
+		_ = in.deliverLocked(ctx, t, true)
 	}
-	in.releaseLocked()
+	in.releaseLocked(ctx)
 	return err
 }
 
 // releaseLocked delivers every reordered trip whose hold has expired.
-func (in *Injector) releaseLocked() {
+func (in *Injector) releaseLocked(ctx context.Context) {
 	kept := in.queue[:0]
 	for _, h := range in.queue {
 		if h.releaseAfter > 0 && in.seq >= h.releaseAfter {
-			_ = in.deliverLocked(h.trip, true)
+			_ = in.deliverLocked(ctx, h.trip, true)
 		} else {
 			kept = append(kept, h)
 		}
@@ -223,9 +224,9 @@ func (in *Injector) releaseLocked() {
 // deliverLocked hands a trip to the wrapped uploader and returns its
 // outcome. async deliveries (duplicates, released holds) have no caller
 // to report to, so their non-duplicate rejections are counted instead.
-func (in *Injector) deliverLocked(t probe.Trip, async bool) error {
+func (in *Injector) deliverLocked(ctx context.Context, t probe.Trip, async bool) error {
 	in.stats.Delivered++
-	err := in.next.Upload(t)
+	err := in.next.Upload(ctx, t)
 	if err != nil && async && !errors.Is(err, probe.ErrDuplicateTrip) {
 		in.stats.AsyncFailures++
 	}
@@ -234,11 +235,11 @@ func (in *Injector) deliverLocked(t probe.Trip, async bool) error {
 
 // Flush delivers every held trip (end of campaign: the offline phones
 // come back). Call it before reading final backend state.
-func (in *Injector) Flush() {
+func (in *Injector) Flush(ctx context.Context) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for _, h := range in.queue {
-		_ = in.deliverLocked(h.trip, true)
+		_ = in.deliverLocked(ctx, h.trip, true)
 	}
 	in.queue = in.queue[:0]
 }

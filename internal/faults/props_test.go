@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -18,7 +19,7 @@ type sink struct {
 	errs  map[string]error
 }
 
-func (s *sink) Upload(t probe.Trip) error {
+func (s *sink) Upload(_ context.Context, t probe.Trip) error {
 	s.trips = append(s.trips, t)
 	if s.errs != nil {
 		return s.errs[t.ID]
@@ -57,11 +58,11 @@ func TestInjectorZeroRatesIsPassthroughProperty(t *testing.T) {
 			return false
 		}
 		for _, tr := range trips {
-			if in.Upload(tr) != nil {
+			if in.Upload(context.Background(), tr) != nil {
 				return false
 			}
 		}
-		in.Flush()
+		in.Flush(context.Background())
 		st := in.Stats()
 		if st.Offered != len(trips) || st.Delivered != len(trips) ||
 			st.Dropped+st.Duplicated+st.Reordered+st.Delayed+st.Corrupted != 0 {
@@ -84,11 +85,11 @@ func TestInjectorDropRateOneDeliversNothingProperty(t *testing.T) {
 			return false
 		}
 		for _, tr := range trips {
-			if !errors.Is(in.Upload(tr), ErrDropped) {
+			if !errors.Is(in.Upload(context.Background(), tr), ErrDropped) {
 				return false
 			}
 		}
-		in.Flush()
+		in.Flush(context.Background())
 		st := in.Stats()
 		return len(s.trips) == 0 && st.Delivered == 0 && st.Dropped == len(trips)
 	}
@@ -116,8 +117,8 @@ func TestInjectorConservationProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		in.UploadBatch(trips)
-		in.Flush()
+		in.UploadBatch(context.Background(), trips)
+		in.Flush(context.Background())
 		st := in.Stats()
 		if in.Pending() != 0 {
 			return false
@@ -152,11 +153,11 @@ func TestInjectorDeterministicForSeedProperty(t *testing.T) {
 			return false
 		}
 		for _, tr := range trips {
-			in1.Upload(tr)
-			in2.Upload(tr)
+			in1.Upload(context.Background(), tr)
+			in2.Upload(context.Background(), tr)
 		}
-		in1.Flush()
-		in2.Flush()
+		in1.Flush(context.Background())
+		in2.Flush(context.Background())
 		return in1.Stats() == in2.Stats() && reflect.DeepEqual(s1.trips, s2.trips)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -175,7 +176,7 @@ func TestInjectorRetryDrawsFreshDecision(t *testing.T) {
 	trip := genTrips(stats.NewRNG(9), 1)[0]
 	delivered := false
 	for attempt := 0; attempt < 64; attempt++ {
-		if in.Upload(trip) == nil {
+		if in.Upload(context.Background(), trip) == nil {
 			delivered = true
 			break
 		}
@@ -199,7 +200,7 @@ func TestInjectorCorruptionPreservesOriginal(t *testing.T) {
 	trip := genTrips(stats.NewRNG(4), 1)[0]
 	want := make([]probe.Sample, len(trip.Samples))
 	copy(want, trip.Samples)
-	if err := in.Upload(trip); err != nil {
+	if err := in.Upload(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(trip.Samples, want) {
@@ -223,8 +224,8 @@ func TestInjectorAsyncFailureCounting(t *testing.T) {
 	}
 	trips := genTrips(stats.NewRNG(5), 2)
 	trips[0].ID, trips[1].ID = "bad", "dup"
-	in.Upload(trips[0])
-	in.Upload(trips[1])
+	in.Upload(context.Background(), trips[0])
+	in.Upload(context.Background(), trips[1])
 	st := in.Stats()
 	if st.Duplicated != 2 {
 		t.Fatalf("stats = %+v", st)

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default upper bounds (seconds) for stage and
+// request latency histograms: log-spaced from 1 µs to 10 s, matching
+// the pipeline's sub-millisecond stage times while still resolving slow
+// HTTP requests. The +Inf overflow bucket is implicit.
+var LatencyBuckets = []float64{
+	0.000001, 0.00001, 0.0001, 0.001, 0.01, 0.1, 1, 10,
+}
+
+// Histogram is a fixed-bucket histogram. Observations are two atomic
+// adds (bucket count, sum), so the hot path never takes a lock and
+// concurrent observers never serialize.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, excluding +Inf
+	counts []atomic.Int64
+	// sum accumulates float64 bits under CAS; total count lives in the
+	// dedicated counter so Snapshot never has to sum the buckets twice.
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds; the +Inf overflow bucket is added implicitly. A nil or empty
+// bounds slice uses LatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v; past the last bound,
+	// the overflow bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts has one entry per bound plus the trailing +Inf overflow
+// bucket; entries are per-bucket (non-cumulative).
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's counters. Concurrent observers may
+// land between the reads, so the snapshot is only guaranteed coherent
+// once writers are quiescent — the same contract as stage.Metrics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation inside the target bucket, the same
+// estimate Prometheus's histogram_quantile gives:
+//
+//   - An empty histogram returns NaN.
+//   - q <= 0 returns the lower edge of the first occupied bucket
+//     (0 for the first bucket, its lower bound otherwise).
+//   - If the target lands in the +Inf overflow bucket, the largest
+//     finite bound is returned (there is no upper edge to interpolate
+//     toward).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			// Overflow bucket: clamp to the largest finite bound.
+			if i >= len(s.Bounds) {
+				if len(s.Bounds) == 0 {
+					return math.NaN()
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			within := rank - float64(cum)
+			if within <= 0 {
+				return lower
+			}
+			return lower + (upper-lower)*(within/float64(c))
+		}
+		cum += c
+	}
+	// Unreachable when Count matches the bucket sum; be safe anyway.
+	if len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

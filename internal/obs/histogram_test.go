@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketSelection(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	// Exactly on a bound lands in that bound's bucket (le semantics).
+	h.Observe(1)
+	// Strictly inside a bucket.
+	h.Observe(5)
+	// On the last finite bound.
+	h.Observe(100)
+	// Past every bound: overflow bucket.
+	h.Observe(1e9)
+	// Below the first bound.
+	h.Observe(0.5)
+
+	s := h.Snapshot()
+	// le=1 gets {1, 0.5}; le=10 gets {5}; le=100 gets {100}; +Inf gets {1e9}.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if got := s.Sum; math.Abs(got-(1+5+100+1e9+0.5)) > 1e-6 {
+		t.Errorf("sum = %g", got)
+	}
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if len(s.Bounds) != len(LatencyBuckets) {
+		t.Fatalf("bounds = %v, want LatencyBuckets", s.Bounds)
+	}
+	if len(s.Counts) != len(LatencyBuckets)+1 {
+		t.Fatalf("counts = %d cells, want %d", len(s.Counts), len(LatencyBuckets)+1)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if q := h.Snapshot().Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram quantile = %g, want NaN", q)
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(3)
+	s := h.Snapshot()
+	// Every quantile of a single sample interpolates within its bucket
+	// (2, 4]; the result must stay inside that bucket.
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < 2 || v > 4 {
+			t.Errorf("Quantile(%g) = %g, want within (2, 4]", q, v)
+		}
+	}
+	if v := s.Quantile(1); v != 4 {
+		t.Errorf("Quantile(1) = %g, want upper bound 4", v)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(50)
+	h.Observe(60)
+	// All mass in +Inf: clamp to the largest finite bound.
+	if v := h.Snapshot().Quantile(0.5); v != 2 {
+		t.Errorf("overflow quantile = %g, want 2", v)
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	s := h.Snapshot()
+	if v := s.Quantile(-3); v != s.Quantile(0) {
+		t.Errorf("Quantile(-3) = %g, want Quantile(0) = %g", v, s.Quantile(0))
+	}
+	if v := s.Quantile(7); v != s.Quantile(1) {
+		t.Errorf("Quantile(7) = %g, want Quantile(1) = %g", v, s.Quantile(1))
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	// Ten samples in (10, 20]: the median interpolates to the bucket
+	// midpoint exactly, like Prometheus histogram_quantile.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if v := h.Snapshot().Quantile(0.5); math.Abs(v-15) > 1e-9 {
+		t.Errorf("median = %g, want 15 (linear interpolation)", v)
+	}
+}
+
+func TestHistogramUnsortedBoundsSorted(t *testing.T) {
+	h := NewHistogram([]float64{100, 1, 10})
+	s := h.Snapshot()
+	for i := 1; i < len(s.Bounds); i++ {
+		if s.Bounds[i-1] >= s.Bounds[i] {
+			t.Fatalf("bounds not ascending: %v", s.Bounds)
+		}
+	}
+}

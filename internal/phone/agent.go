@@ -7,6 +7,7 @@
 package phone
 
 import (
+	"context"
 	"fmt"
 
 	"busprobe/internal/accel"
@@ -22,9 +23,11 @@ type Scanner interface {
 }
 
 // Uploader receives concluded trips; the backend server (or an HTTP
-// client) implements it.
+// client) implements it. The context bounds the delivery: it carries
+// the request's trace ID and cancels any blocking work (retry backoff,
+// network round trips) when the caller gives up.
 type Uploader interface {
-	Upload(trip probe.Trip) error
+	Upload(ctx context.Context, trip probe.Trip) error
 }
 
 // BatchUploader ingests many trips in one call. Backends that can
@@ -32,7 +35,7 @@ type Uploader interface {
 // endpoint) implement it alongside Uploader; errs[i] reports trip i's
 // outcome.
 type BatchUploader interface {
-	UploadBatch(trips []probe.Trip) []error
+	UploadBatch(ctx context.Context, trips []probe.Trip) []error
 }
 
 // DefaultIdleTimeoutS is the trip-conclusion timeout: the phone ends the
@@ -111,30 +114,30 @@ func (a *Agent) OnBeep(timeS float64) {
 }
 
 // Tick advances the agent's clock, concluding and uploading the open
-// trip once the idle timeout elapses.
-func (a *Agent) Tick(nowS float64) {
+// trip once the idle timeout elapses. The context bounds the upload.
+func (a *Agent) Tick(ctx context.Context, nowS float64) {
 	if a.current != nil && nowS-a.lastBeepS >= a.cfg.IdleTimeoutS {
-		a.conclude()
+		a.conclude(ctx)
 	}
 }
 
 // Flush force-concludes any open trip (end of campaign / app shutdown).
-func (a *Agent) Flush() {
+func (a *Agent) Flush(ctx context.Context) {
 	if a.current != nil {
-		a.conclude()
+		a.conclude(ctx)
 	}
 }
 
 // conclude uploads the open trip and resets the recorder. Upload errors
 // are retained for UploadErr; the agent drops the trip, as the real app
 // does when its buffer cannot reach the server.
-func (a *Agent) conclude() {
+func (a *Agent) conclude(ctx context.Context) {
 	trip := a.current
 	a.current = nil
 	if len(trip.Samples) == 0 {
 		return
 	}
-	if err := a.uploader.Upload(*trip); err != nil {
+	if err := a.uploader.Upload(ctx, *trip); err != nil {
 		a.uploadErr = err
 	}
 }

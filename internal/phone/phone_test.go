@@ -1,6 +1,7 @@
 package phone
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -24,7 +25,7 @@ type sink struct {
 	err   error
 }
 
-func (s *sink) Upload(t probe.Trip) error {
+func (s *sink) Upload(_ context.Context, t probe.Trip) error {
 	if s.err != nil {
 		return s.err
 	}
@@ -69,11 +70,11 @@ func TestTripLifecycle(t *testing.T) {
 	}
 	a.OnBeep(160)
 	a.OnBeep(220)
-	a.Tick(300) // still within idle timeout
+	a.Tick(context.Background(), 300) // still within idle timeout
 	if !a.Recording() {
 		t.Fatal("trip closed too early")
 	}
-	a.Tick(220 + DefaultIdleTimeoutS)
+	a.Tick(context.Background(), 220+DefaultIdleTimeoutS)
 	if a.Recording() {
 		t.Fatal("trip should have concluded")
 	}
@@ -96,9 +97,9 @@ func TestSeparateTripsGetDistinctIDs(t *testing.T) {
 	up := &sink{}
 	a := newAgent(t, up)
 	a.OnBeep(100)
-	a.Tick(100 + DefaultIdleTimeoutS)
+	a.Tick(context.Background(), 100+DefaultIdleTimeoutS)
 	a.OnBeep(5000)
-	a.Tick(5000 + DefaultIdleTimeoutS)
+	a.Tick(context.Background(), 5000+DefaultIdleTimeoutS)
 	if len(up.trips) != 2 {
 		t.Fatalf("trips = %d", len(up.trips))
 	}
@@ -124,7 +125,7 @@ func TestTrainModeFiltersBeeps(t *testing.T) {
 	// Train beeps do not extend an open trip either.
 	a.SetMobilityMode(accel.ModeTrain)
 	a.OnBeep(300)
-	a.Flush()
+	a.Flush(context.Background())
 	if len(up.trips) != 1 || len(up.trips[0].Samples) != 1 {
 		t.Fatalf("trips = %+v", up.trips)
 	}
@@ -148,11 +149,11 @@ func TestFlushUploadsOpenTrip(t *testing.T) {
 	up := &sink{}
 	a := newAgent(t, up)
 	a.OnBeep(10)
-	a.Flush()
+	a.Flush(context.Background())
 	if len(up.trips) != 1 {
 		t.Fatalf("trips = %d", len(up.trips))
 	}
-	a.Flush() // idempotent
+	a.Flush(context.Background()) // idempotent
 	if len(up.trips) != 1 {
 		t.Error("double flush re-uploaded")
 	}
@@ -162,7 +163,7 @@ func TestUploadErrorRetained(t *testing.T) {
 	up := &sink{err: errors.New("backend down")}
 	a := newAgent(t, up)
 	a.OnBeep(10)
-	a.Flush()
+	a.Flush(context.Background())
 	if a.UploadErr() == nil {
 		t.Error("upload error lost")
 	}

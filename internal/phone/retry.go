@@ -1,6 +1,7 @@
 package phone
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -131,16 +132,18 @@ type RetryUploader struct {
 	cfg     RetryConfig
 	next    Uploader
 	backoff Backoff
-	// sleep waits between attempts; tests and the simulator inject a
-	// recorder so no wall-clock time passes.
-	sleep func(delayS float64)
+	// sleep waits between attempts, returning early with ctx.Err() when
+	// the context is canceled mid-backoff; tests and the simulator
+	// inject a recorder so no wall-clock time passes.
+	sleep func(ctx context.Context, delayS float64) error
 	spool []probe.Trip
 	stats RetryStats
 }
 
-// NewRetryUploader wraps next with the policy. A nil sleep uses
-// time.Sleep.
-func NewRetryUploader(cfg RetryConfig, next Uploader, sleep func(delayS float64)) (*RetryUploader, error) {
+// NewRetryUploader wraps next with the policy. A nil sleep uses a
+// timer racing the context, so a canceled upload stops waiting
+// mid-backoff instead of sleeping out the schedule.
+func NewRetryUploader(cfg RetryConfig, next Uploader, sleep func(ctx context.Context, delayS float64) error) (*RetryUploader, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,8 +151,15 @@ func NewRetryUploader(cfg RetryConfig, next Uploader, sleep func(delayS float64)
 		return nil, fmt.Errorf("phone: nil uploader")
 	}
 	if sleep == nil {
-		sleep = func(delayS float64) {
-			time.Sleep(time.Duration(delayS * float64(time.Second)))
+		sleep = func(ctx context.Context, delayS float64) error {
+			timer := time.NewTimer(time.Duration(delayS * float64(time.Second)))
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 	}
 	return &RetryUploader{cfg: cfg, next: next, backoff: NewBackoff(cfg), sleep: sleep}, nil
@@ -159,13 +169,17 @@ func NewRetryUploader(cfg RetryConfig, next Uploader, sleep func(delayS float64)
 // duplicate) it also drains the spool. A trip that exhausts its
 // attempts is spooled (when enabled) and the last transient error is
 // returned, so callers still observe the failure.
-func (r *RetryUploader) Upload(t probe.Trip) error {
-	err := r.attempt(t)
+func (r *RetryUploader) Upload(ctx context.Context, t probe.Trip) error {
+	err := r.attempt(ctx, t)
 	switch {
 	case err == nil:
-		r.drainSpool()
+		r.drainSpool(ctx)
 		return nil
 	case errors.Is(err, probe.ErrInvalidTrip):
+		return err
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller gave up, the network did not fail: surface
+		// ctx.Err() without parking the trip.
 		return err
 	default:
 		if r.cfg.SpoolSize > 0 {
@@ -181,24 +195,31 @@ func (r *RetryUploader) Upload(t probe.Trip) error {
 }
 
 // UploadBatch applies the per-trip policy to each trip.
-func (r *RetryUploader) UploadBatch(trips []probe.Trip) []error {
+func (r *RetryUploader) UploadBatch(ctx context.Context, trips []probe.Trip) []error {
 	errs := make([]error, len(trips))
 	for i, t := range trips {
-		errs[i] = r.Upload(t)
+		errs[i] = r.Upload(ctx, t)
 	}
 	return errs
 }
 
-// attempt runs the per-offer retry loop.
-func (r *RetryUploader) attempt(t probe.Trip) error {
+// attempt runs the per-offer retry loop. A context canceled before or
+// during a backoff wait aborts immediately with ctx.Err(); the trip is
+// not spooled (the caller chose to stop, the network did not fail).
+func (r *RetryUploader) attempt(ctx context.Context, t probe.Trip) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var err error
 	for i := 0; i < r.cfg.MaxAttempts; i++ {
 		if i > 0 {
-			r.sleep(r.backoff.DelayS(i - 1))
+			if serr := r.sleep(ctx, r.backoff.DelayS(i-1)); serr != nil {
+				return serr
+			}
 			r.stats.Retries++
 		}
 		r.stats.Attempts++
-		err = r.next.Upload(t)
+		err = r.next.Upload(ctx, t)
 		if err == nil {
 			return nil
 		}
@@ -217,10 +238,10 @@ func (r *RetryUploader) attempt(t probe.Trip) error {
 // drainSpool retries parked trips oldest-first, stopping at the first
 // trip that transiently fails again (the network just broke again; the
 // rest stay parked). Invalid spooled trips are discarded.
-func (r *RetryUploader) drainSpool() {
+func (r *RetryUploader) drainSpool(ctx context.Context) {
 	for len(r.spool) > 0 {
 		t := r.spool[0]
-		err := r.attempt(t)
+		err := r.attempt(ctx, t)
 		if err != nil && !errors.Is(err, probe.ErrInvalidTrip) {
 			return
 		}
@@ -232,8 +253,8 @@ func (r *RetryUploader) drainSpool() {
 }
 
 // FlushSpool makes one final drain pass (end of campaign).
-func (r *RetryUploader) FlushSpool() {
-	r.drainSpool()
+func (r *RetryUploader) FlushSpool(ctx context.Context) {
+	r.drainSpool(ctx)
 }
 
 // SpoolLen reports how many trips are parked.

@@ -1,6 +1,7 @@
 package phone
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -16,7 +17,7 @@ type scriptedUploader struct {
 	trips  []probe.Trip
 }
 
-func (s *scriptedUploader) Upload(t probe.Trip) error {
+func (s *scriptedUploader) Upload(_ context.Context, t probe.Trip) error {
 	s.trips = append(s.trips, t)
 	var err error
 	if s.calls < len(s.script) {
@@ -78,11 +79,11 @@ func TestBackoffCapAndNegativeAttempt(t *testing.T) {
 func TestRetryTransientThenSuccess(t *testing.T) {
 	s := &scriptedUploader{script: []error{errNetwork, errNetwork, nil}}
 	var delays []float64
-	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(d float64) { delays = append(delays, d) })
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(_ context.Context, d float64) error { delays = append(delays, d); return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Upload(tripN(0)); err != nil {
+	if err := r.Upload(context.Background(), tripN(0)); err != nil {
 		t.Fatalf("upload after transient failures: %v", err)
 	}
 	if s.calls != 3 {
@@ -99,11 +100,11 @@ func TestRetryTransientThenSuccess(t *testing.T) {
 
 func TestRetryDuplicateIsSuccess(t *testing.T) {
 	s := &scriptedUploader{script: []error{fmt.Errorf("server: %w", probe.ErrDuplicateTrip)}}
-	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(float64) {})
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(context.Context, float64) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Upload(tripN(0)); err != nil {
+	if err := r.Upload(context.Background(), tripN(0)); err != nil {
 		t.Fatalf("duplicate rejection surfaced as error: %v", err)
 	}
 	if s.calls != 1 {
@@ -116,11 +117,11 @@ func TestRetryDuplicateIsSuccess(t *testing.T) {
 
 func TestRetryInvalidIsPermanent(t *testing.T) {
 	s := &scriptedUploader{script: []error{fmt.Errorf("server: %w", probe.ErrInvalidTrip)}}
-	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(float64) {})
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(context.Context, float64) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Upload(tripN(0)); !errors.Is(err, probe.ErrInvalidTrip) {
+	if err := r.Upload(context.Background(), tripN(0)); !errors.Is(err, probe.ErrInvalidTrip) {
 		t.Fatalf("invalid trip error = %v", err)
 	}
 	if s.calls != 1 {
@@ -138,17 +139,17 @@ func TestRetrySpoolRecovery(t *testing.T) {
 	cfg := DefaultRetryConfig(7)
 	cfg.MaxAttempts = 2
 	s := &scriptedUploader{script: []error{errNetwork, errNetwork}} // then all nil
-	r, err := NewRetryUploader(cfg, s, func(float64) {})
+	r, err := NewRetryUploader(cfg, s, func(context.Context, float64) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Upload(tripN(0)); !errors.Is(err, errNetwork) {
+	if err := r.Upload(context.Background(), tripN(0)); !errors.Is(err, errNetwork) {
 		t.Fatalf("exhausted upload error = %v", err)
 	}
 	if r.SpoolLen() != 1 {
 		t.Fatalf("spool len = %d, want 1", r.SpoolLen())
 	}
-	if err := r.Upload(tripN(1)); err != nil {
+	if err := r.Upload(context.Background(), tripN(1)); err != nil {
 		t.Fatal(err)
 	}
 	if r.SpoolLen() != 0 {
@@ -174,12 +175,12 @@ func TestRetrySpoolBoundEvictsOldest(t *testing.T) {
 	for i := range fail {
 		fail[i] = errNetwork
 	}
-	r, err := NewRetryUploader(cfg, &scriptedUploader{script: fail}, func(float64) {})
+	r, err := NewRetryUploader(cfg, &scriptedUploader{script: fail}, func(context.Context, float64) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		_ = r.Upload(tripN(i))
+		_ = r.Upload(context.Background(), tripN(i))
 	}
 	if r.SpoolLen() != 2 {
 		t.Fatalf("spool len = %d, want bound 2", r.SpoolLen())
@@ -191,7 +192,7 @@ func TestRetrySpoolBoundEvictsOldest(t *testing.T) {
 	// FlushSpool against a now-healthy sink recovers the two newest.
 	ok := &scriptedUploader{}
 	r.next = ok
-	r.FlushSpool()
+	r.FlushSpool(context.Background())
 	if r.SpoolLen() != 0 || len(ok.trips) != 2 {
 		t.Fatalf("flush delivered %d, spool %d", len(ok.trips), r.SpoolLen())
 	}
@@ -204,14 +205,14 @@ func TestRetryDrainStopsAtTransientFailure(t *testing.T) {
 	cfg := DefaultRetryConfig(7)
 	cfg.MaxAttempts = 1
 	s := &scriptedUploader{script: []error{errNetwork, errNetwork, nil, nil, errNetwork}}
-	r, err := NewRetryUploader(cfg, s, func(float64) {})
+	r, err := NewRetryUploader(cfg, s, func(context.Context, float64) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = r.Upload(tripN(0)) // spooled
-	_ = r.Upload(tripN(1)) // spooled
+	_ = r.Upload(context.Background(), tripN(0)) // spooled
+	_ = r.Upload(context.Background(), tripN(1)) // spooled
 	// Success; drain recovers trip 0, then trip 1 fails again and stays.
-	if err := r.Upload(tripN(2)); err != nil {
+	if err := r.Upload(context.Background(), tripN(2)); err != nil {
 		t.Fatal(err)
 	}
 	if r.SpoolLen() != 1 {
@@ -239,5 +240,82 @@ func TestRetryConfigValidate(t *testing.T) {
 	}
 	if _, err := NewRetryUploader(DefaultRetryConfig(1), nil, nil); err == nil {
 		t.Error("nil uploader accepted")
+	}
+}
+
+// TestUploadCancelMidBackoff is the regression test for the
+// uncancellable-backoff bug: canceling the context while the uploader
+// waits out a retry delay must abort the wait immediately, return
+// ctx.Err(), stop attempting, and leave the trip unspooled (the caller
+// gave up; the network did not fail).
+func TestUploadCancelMidBackoff(t *testing.T) {
+	s := &scriptedUploader{script: []error{errNetwork, errNetwork, errNetwork, errNetwork}}
+	ctx, cancel := context.WithCancel(context.Background())
+	var slept []float64
+	sleep := func(ctx context.Context, d float64) error {
+		slept = append(slept, d)
+		cancel() // the user aborts while the backoff timer is pending
+		return ctx.Err()
+	}
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = r.Upload(ctx, tripN(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Upload after mid-backoff cancel = %v, want context.Canceled", err)
+	}
+	if len(slept) != 1 {
+		t.Errorf("backoff waits = %d, want exactly 1 (abort on first cancel)", len(slept))
+	}
+	if s.calls != 1 {
+		t.Errorf("delivery attempts = %d, want 1 (no attempts after cancel)", s.calls)
+	}
+	if r.SpoolLen() != 0 {
+		t.Errorf("spool = %d trips; a canceled upload must not be parked", r.SpoolLen())
+	}
+	if st := r.Stats(); st.Retries != 0 || st.Spooled != 0 {
+		t.Errorf("stats after cancel = %+v", st)
+	}
+}
+
+// TestUploadCanceledBeforeStart: an already-dead context short-circuits
+// before the first delivery attempt.
+func TestUploadCanceledBeforeStart(t *testing.T) {
+	s := &scriptedUploader{}
+	r, err := NewRetryUploader(DefaultRetryConfig(7), s, func(context.Context, float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.Upload(ctx, tripN(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Upload on dead context = %v, want context.Canceled", err)
+	}
+	if s.calls != 0 {
+		t.Errorf("delivery attempts = %d, want 0", s.calls)
+	}
+	if r.SpoolLen() != 0 {
+		t.Errorf("spool = %d, want 0", r.SpoolLen())
+	}
+}
+
+// TestDefaultSleepHonorsCancel exercises the real timer-based sleep: a
+// canceled context must cut a long backoff short.
+func TestDefaultSleepHonorsCancel(t *testing.T) {
+	cfg := DefaultRetryConfig(7)
+	cfg.BaseDelayS = 3600 // an hour: the test only passes if cancel wins
+	s := &scriptedUploader{script: []error{errNetwork, errNetwork}}
+	r, err := NewRetryUploader(cfg, s, nil) // nil = the production sleep
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Upload(ctx, tripN(3)) }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Upload = %v, want context.Canceled", err)
 	}
 }

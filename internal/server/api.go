@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+
 	"busprobe/internal/core/arrival"
 	"busprobe/internal/core/region"
 	"busprobe/internal/core/traffic"
@@ -15,11 +17,12 @@ import (
 // route through ProcessTrip / IngestBatch; reads are merged views that a
 // Coordinator fans in across its shards.
 type API interface {
-	// ProcessTrip ingests one trip (validate, dedup, journal, pipeline).
-	ProcessTrip(trip probe.Trip) (ProcessedTrip, error)
+	// ProcessTrip ingests one trip (validate, dedup, journal,
+	// pipeline). The context bounds admission and carries the trace.
+	ProcessTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error)
 	// IngestBatch ingests a batch behind the admission gate; shed trips
 	// fail with ErrOverloaded.
-	IngestBatch(trips []probe.Trip) []TripResult
+	IngestBatch(ctx context.Context, trips []probe.Trip) []TripResult
 	// Stats returns the aggregated work counters.
 	Stats() Stats
 	// StageMetrics returns the per-stage instrumentation, aggregated

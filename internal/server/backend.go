@@ -8,8 +8,11 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"busprobe/internal/obs"
 
 	"busprobe/internal/core/cluster"
 	"busprobe/internal/core/fingerprint"
@@ -63,6 +66,13 @@ type Config struct {
 	// RequestTimeoutS bounds each HTTP request's handling time; slow
 	// requests get 503. 0 disables the per-request timeout.
 	RequestTimeoutS float64
+	// Obs, when non-nil, is the unified observability core: backend
+	// counters and per-stage durations register into its metrics
+	// registry, and every stage run of a traced trip emits a span. Nil
+	// disables observability at zero cost. A standalone Backend
+	// registers itself as shard "0"; a Coordinator re-registers each
+	// shard under its own label instead.
+	Obs *obs.Core
 	// StageHook, when non-nil, observes every pipeline stage run
 	// (counters + duration). It must be safe for concurrent use.
 	StageHook stage.Hook
@@ -179,6 +189,12 @@ type Backend struct {
 	// into the city-wide map exactly once. Nil folds locally. Set before
 	// any ingestion; read-only afterwards.
 	obsRoute func(traffic.Observation) *stage.Estimator
+
+	// obsCore / obsShard are set by RegisterObs (before any ingestion,
+	// read-only afterwards): the observability core this backend reports
+	// into and the shard label its series carry.
+	obsCore  *obs.Core
+	obsShard string
 }
 
 // NewBackend assembles a backend over the transit database and the
@@ -207,7 +223,7 @@ func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, er
 	if cfg.MaxInflightBatches > 0 {
 		gate = make(chan struct{}, cfg.MaxInflightBatches)
 	}
-	return &Backend{
+	b := &Backend{
 		gate:      gate,
 		admission: stage.Metrics{Stage: "admission"},
 		cfg:       cfg,
@@ -221,7 +237,11 @@ func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, er
 			Hook:        cfg.StageHook,
 		}),
 		seen: make(map[string]bool),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		b.RegisterObs(cfg.Obs, "0")
+	}
+	return b, nil
 }
 
 // Config returns the backend configuration.
@@ -292,8 +312,8 @@ func (b *Backend) Stats() Stats {
 }
 
 // Upload implements phone.Uploader: validate, deduplicate, process.
-func (b *Backend) Upload(trip probe.Trip) error {
-	_, err := b.ProcessTrip(trip)
+func (b *Backend) Upload(ctx context.Context, trip probe.Trip) error {
+	_, err := b.ProcessTrip(ctx, trip)
 	return err
 }
 
@@ -301,21 +321,41 @@ func (b *Backend) Upload(trip probe.Trip) error {
 // its observations into the traffic estimator. It is a thin
 // composition over the pipeline phases: admission (validate, dedup,
 // journal), the CPU-bound stage computation, and the ordered fold
-// (estimation + counters).
-func (b *Backend) ProcessTrip(trip probe.Trip) (ProcessedTrip, error) {
-	if err := b.admit(trip); err != nil {
+// (estimation + counters). The context bounds admission and carries
+// the trip's trace: when observability is on, a trip arriving without
+// a trace ID gets its deterministic one (obs.TripTrace), and the whole
+// run is bracketed by a "trip" span after the per-stage spans.
+func (b *Backend) ProcessTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error) {
+	ctx = b.tripCtx(ctx, trip)
+	span := b.startSpan()
+	if err := b.admit(ctx, trip); err != nil {
 		return ProcessedTrip{}, err
 	}
-	w := b.compute(trip)
-	b.fold(&w)
+	w := b.compute(ctx, trip)
+	b.fold(ctx, &w)
+	b.endSpan(ctx, span, "trip", obs.Attr{Key: "trip", Value: trip.ID})
 	return w.out, w.err
+}
+
+// tripCtx guarantees a traced context for one trip when observability
+// is on; with it off, the context passes through untouched.
+func (b *Backend) tripCtx(ctx context.Context, trip probe.Trip) context.Context {
+	if b.obsCore == nil {
+		return ctx
+	}
+	return obs.EnsureTrip(ctx, trip.ID)
 }
 
 // admit validates, deduplicates, and journals one upload. It takes
 // only the dedup lock, so admission never contends with stats readers
 // or estimator queries. Rejection counters are applied in a single
 // critical section, keeping Stats() trip-atomic.
-func (b *Backend) admit(trip probe.Trip) error {
+func (b *Backend) admit(ctx context.Context, trip probe.Trip) error {
+	if err := ctx.Err(); err != nil {
+		// The caller is gone; do not take the trip (it was never
+		// acknowledged, so the phone's retry layer still owns it).
+		return err
+	}
 	if err := trip.Validate(); err != nil {
 		b.statsMu.Lock()
 		b.stats.TripsReceived++
@@ -341,7 +381,7 @@ func (b *Backend) admit(trip probe.Trip) error {
 	// fails the upload so the client retries rather than silently
 	// losing durability.
 	if journal != nil {
-		if err := journal.Append(trip); err != nil {
+		if err := journal.Append(ctx, trip); err != nil {
 			return err
 		}
 	}
@@ -363,13 +403,13 @@ type tripWork struct {
 // backend-wide mutable state except the fingerprint DB (internally
 // synchronized, and written only on the opt-in online-update path), so
 // any number of computes may run concurrently.
-func (b *Backend) compute(trip probe.Trip) tripWork {
+func (b *Backend) compute(ctx context.Context, trip probe.Trip) tripWork {
 	w := tripWork{out: ProcessedTrip{TripID: trip.ID, Samples: len(trip.Samples)}}
 	w.delta.TripsReceived = 1
 	w.delta.SamplesReceived = len(trip.Samples)
 
 	// Stage 1: per-sample matching with the γ filter.
-	m := b.pipe.Match.Run(stage.MatchInput{Samples: trip.Samples})
+	m := b.pipe.Match.Run(ctx, stage.MatchInput{Samples: trip.Samples})
 	w.out.Matched = len(m.Elements)
 	w.delta.SamplesMatched = len(m.Elements)
 	w.delta.SamplesDiscarded = m.Discarded
@@ -378,7 +418,7 @@ func (b *Backend) compute(trip probe.Trip) tripWork {
 	}
 
 	// Stage 2: per-bus-stop clustering.
-	cl, err := b.pipe.Cluster.Run(stage.ClusterInput{Elements: m.Elements})
+	cl, err := b.pipe.Cluster.Run(ctx, stage.ClusterInput{Elements: m.Elements})
 	if err != nil {
 		w.err = err
 		return w
@@ -386,7 +426,7 @@ func (b *Backend) compute(trip probe.Trip) tripWork {
 	w.out.Clusters = len(cl.Clusters)
 
 	// Stage 3: per-trip ML mapping under route constraints.
-	mp, err := b.pipe.Map.Run(stage.MapInput{Clusters: cl.Clusters})
+	mp, err := b.pipe.Map.Run(ctx, stage.MapInput{Clusters: cl.Clusters})
 	if err != nil {
 		w.err = err
 		return w
@@ -402,7 +442,7 @@ func (b *Backend) compute(trip probe.Trip) tripWork {
 	}
 
 	// Stage 4: leg travel times → traffic observations.
-	ex := b.pipe.Extract.Run(stage.ExtractInput{Visits: mp.Visits})
+	ex := b.pipe.Extract.Run(ctx, stage.ExtractInput{Visits: mp.Visits})
 	w.obs = ex.Observations
 	w.obsDiscarded = ex.Discarded
 	w.delta.Clusters = len(cl.Clusters)
@@ -414,11 +454,11 @@ func (b *Backend) compute(trip probe.Trip) tripWork {
 // updates), then the whole trip's counters in a single critical
 // section. The batch path calls fold in input order, so batch results
 // are identical to serial ingestion.
-func (b *Backend) fold(w *tripWork) {
+func (b *Backend) fold(ctx context.Context, w *tripWork) {
 	if w.err == nil {
 		var folded, discarded int
 		if b.obsRoute == nil {
-			est := b.pipe.Estimate.Run(stage.EstimateInput{Observations: w.obs})
+			est := b.pipe.Estimate.Run(ctx, stage.EstimateInput{Observations: w.obs})
 			folded, discarded = est.Folded, est.Discarded
 		} else {
 			// Sharded scatter: group the trip's observations by owning
@@ -438,7 +478,7 @@ func (b *Backend) fold(w *tripWork) {
 				byTarget[t] = append(byTarget[t], o)
 			}
 			for _, t := range targets {
-				est := t.Run(stage.EstimateInput{Observations: byTarget[t]})
+				est := t.Run(ctx, stage.EstimateInput{Observations: byTarget[t]})
 				folded += est.Folded
 				discarded += est.Discarded
 			}

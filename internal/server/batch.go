@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -28,7 +29,7 @@ var _ phone.BatchUploader = (*Backend)(nil)
 // input order. When OnlineUpdate is enabled the batch degrades to the
 // serial path, because later trips' matching must observe earlier
 // trips' fingerprint refreshes.
-func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
+func (b *Backend) ProcessTrips(ctx context.Context, trips []probe.Trip, workers int) []TripResult {
 	res := make([]TripResult, len(trips))
 	if len(trips) == 0 {
 		return res
@@ -44,10 +45,18 @@ func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
 	}
 	if b.cfg.OnlineUpdate || workers == 1 {
 		for i, trip := range trips {
-			out, err := b.ProcessTrip(trip)
+			out, err := b.ProcessTrip(ctx, trip)
 			res[i] = TripResult{Trip: out, Err: err}
 		}
 		return res
+	}
+
+	// Per-trip contexts are derived once and reused across the three
+	// phases: with observability on, each derivation allocates (trace ID
+	// string + context node), and the phases would otherwise repeat it.
+	tripCtxs := make([]context.Context, len(trips))
+	for i := range trips {
+		tripCtxs[i] = b.tripCtx(ctx, trips[i])
 	}
 
 	// Phase 1 — ordered admission: validate, dedup, journal. Duplicate
@@ -55,7 +64,7 @@ func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
 	// (first occurrence wins).
 	admitted := make([]bool, len(trips))
 	for i := range trips {
-		if err := b.admit(trips[i]); err != nil {
+		if err := b.admit(tripCtxs[i], trips[i]); err != nil {
 			res[i].Err = err
 			continue
 		}
@@ -71,7 +80,7 @@ func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				work[i] = b.compute(trips[i])
+				work[i] = b.compute(tripCtxs[i], trips[i])
 			}
 		}()
 	}
@@ -90,7 +99,7 @@ func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
 		if !admitted[i] {
 			continue
 		}
-		b.fold(&work[i])
+		b.fold(tripCtxs[i], &work[i])
 		res[i] = TripResult{Trip: work[i].out, Err: work[i].err}
 	}
 	return res
@@ -100,7 +109,7 @@ func (b *Backend) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
 // the admission gate first (a shed batch fails every trip with
 // ErrOverloaded, exactly as the HTTP endpoint answers 429), then runs
 // through ProcessTrips with the configured parallelism.
-func (b *Backend) IngestBatch(trips []probe.Trip) []TripResult {
+func (b *Backend) IngestBatch(ctx context.Context, trips []probe.Trip) []TripResult {
 	release, ok := b.AdmitBatch(len(trips))
 	if !ok {
 		res := make([]TripResult, len(trips))
@@ -110,13 +119,13 @@ func (b *Backend) IngestBatch(trips []probe.Trip) []TripResult {
 		return res
 	}
 	defer release()
-	return b.ProcessTrips(trips, 0)
+	return b.ProcessTrips(ctx, trips, 0)
 }
 
 // UploadBatch implements phone.BatchUploader over IngestBatch.
-func (b *Backend) UploadBatch(trips []probe.Trip) []error {
+func (b *Backend) UploadBatch(ctx context.Context, trips []probe.Trip) []error {
 	errs := make([]error, len(trips))
-	for i, r := range b.IngestBatch(trips) {
+	for i, r := range b.IngestBatch(ctx, trips) {
 		errs[i] = r.Err
 	}
 	return errs

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,12 +36,12 @@ func TestBatchIngestMatchesSerial(t *testing.T) {
 	serial := testBackend(t, w)
 	var serialRes []TripResult
 	for _, trip := range trips {
-		out, err := serial.ProcessTrip(trip)
+		out, err := serial.ProcessTrip(context.Background(), trip)
 		serialRes = append(serialRes, TripResult{Trip: out, Err: err})
 	}
 
 	batched := testBackend(t, w)
-	batchRes := batched.ProcessTrips(trips, 4)
+	batchRes := batched.ProcessTrips(context.Background(), trips, 4)
 
 	if len(batchRes) != len(serialRes) {
 		t.Fatalf("result count %d != %d", len(batchRes), len(serialRes))
@@ -67,7 +68,7 @@ func TestBatchIngestRejections(t *testing.T) {
 	b := testBackend(t, w)
 	good, _ := rideTrip(t, w, 0, 0, 4, "batch-good")
 	prior, _ := rideTrip(t, w, 0, 0, 4, "batch-prior")
-	if _, err := b.ProcessTrip(prior); err != nil {
+	if _, err := b.ProcessTrip(context.Background(), prior); err != nil {
 		t.Fatal(err)
 	}
 	batch := []probe.Trip{
@@ -76,7 +77,7 @@ func TestBatchIngestRejections(t *testing.T) {
 		good,  // duplicate within the batch; first occurrence wins
 		prior, // duplicate of an earlier serial ingest
 	}
-	res := b.ProcessTrips(batch, 4)
+	res := b.ProcessTrips(context.Background(), batch, 4)
 	if res[0].Err != nil {
 		t.Errorf("good trip rejected: %v", res[0].Err)
 	}
@@ -116,12 +117,12 @@ func TestBatchIngestOnlineUpdateFallsBackToSerial(t *testing.T) {
 	trips := batchCorpus(t, w, 6)
 	serial := mk()
 	for _, trip := range trips {
-		if _, err := serial.ProcessTrip(trip); err != nil {
+		if _, err := serial.ProcessTrip(context.Background(), trip); err != nil {
 			t.Fatal(err)
 		}
 	}
 	batched := mk()
-	for i, r := range batched.ProcessTrips(trips, 4) {
+	for i, r := range batched.ProcessTrips(context.Background(), trips, 4) {
 		if r.Err != nil {
 			t.Fatalf("trip %d: %v", i, r.Err)
 		}
@@ -135,7 +136,7 @@ func TestUploadBatchErrorAlignment(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	good, _ := rideTrip(t, w, 0, 0, 4, "ub-good")
-	errs := b.UploadBatch([]probe.Trip{good, {}})
+	errs := b.UploadBatch(context.Background(), []probe.Trip{good, {}})
 	if len(errs) != 2 {
 		t.Fatalf("errs = %d", len(errs))
 	}
@@ -159,7 +160,7 @@ func TestHTTPUploadStatusCodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	trip, _ := rideTrip(t, w, 0, 0, 4, "http-dup")
-	if err := client.Upload(trip); err != nil {
+	if err := client.Upload(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	post := func(tr probe.Trip) int {
@@ -194,7 +195,7 @@ func TestHTTPBatchEndpoint(t *testing.T) {
 	}
 	trips := batchCorpus(t, w, 5)
 	trips = append(trips, probe.Trip{}) // one invalid straggler
-	out, err := client.UploadTrips(trips)
+	out, err := client.UploadTrips(context.Background(), trips)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,13 +218,13 @@ func TestHTTPBatchEndpoint(t *testing.T) {
 	}
 	// The batch uploader interface over HTTP reports per-row errors,
 	// classified with the server sentinels via the row code.
-	errs := client.UploadBatch(trips[:1])
+	errs := client.UploadBatch(context.Background(), trips[:1])
 	if !errors.Is(errs[0], ErrDuplicateTrip) {
 		t.Errorf("re-upload over batch endpoint = %v, want ErrDuplicateTrip", errs[0])
 	}
 	// Pipeline metrics are served and ordered, with the admission gate
 	// appended as a pseudo-stage.
-	ms, err := client.PipelineMetrics()
+	ms, err := client.PipelineMetrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestCampaignBatchedUploads(t *testing.T) {
 			t.Fatal(err)
 		}
 		camp.MinuteHook = func(tS float64) { b.Advance(tS) }
-		st, err := camp.Run()
+		st, err := camp.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -282,13 +283,13 @@ func TestCampaignBatchedUploads(t *testing.T) {
 func TestProcessTripsEmptyAndWorkerClamp(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
-	if res := b.ProcessTrips(nil, 4); len(res) != 0 {
+	if res := b.ProcessTrips(context.Background(), nil, 4); len(res) != 0 {
 		t.Errorf("nil batch returned %d results", len(res))
 	}
 	// More workers than trips must clamp, not deadlock.
 	trips := batchCorpus(t, w, 2)
 	done := make(chan []TripResult, 1)
-	go func() { done <- b.ProcessTrips(trips, 64) }()
+	go func() { done <- b.ProcessTrips(context.Background(), trips, 64) }()
 	select {
 	case res := <-done:
 		for i, r := range res {

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"busprobe/internal/clock"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -34,11 +36,11 @@ func runChaosCampaign(t *testing.T, w *sim.World, fcfg faults.Config, retry phon
 		t.Fatal(err)
 	}
 	camp.MinuteHook = func(tS float64) { b.Advance(tS) }
-	st, err := camp.Run()
+	st, err := camp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b.Advance(float64(cfg.Days) * sim.DayS)
+	b.Advance(float64(cfg.Days) * clock.DayS)
 	return camp, st, b
 }
 
@@ -174,7 +176,7 @@ func TestBatchSheddingUnderLoad(t *testing.T) {
 		t.Fatal("could not acquire the admission slot")
 	}
 	trips := batchCorpus(t, w, 3)
-	if _, err := client.UploadTrips(trips); !errors.Is(err, ErrOverloaded) {
+	if _, err := client.UploadTrips(context.Background(), trips); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("saturated upload error = %v, want ErrOverloaded", err)
 	}
 	// The phone-side classification sees the same sentinel chain.
@@ -192,7 +194,7 @@ func TestBatchSheddingUnderLoad(t *testing.T) {
 	}
 
 	release()
-	out, err := client.UploadTrips(trips)
+	out, err := client.UploadTrips(context.Background(), trips)
 	if err != nil {
 		t.Fatalf("post-release upload: %v", err)
 	}
@@ -232,7 +234,7 @@ func TestBatchSheddingConcurrent(t *testing.T) {
 				codes <- 0
 				return
 			}
-			if _, err := client.UploadTrips(trips); errors.Is(err, ErrOverloaded) {
+			if _, err := client.UploadTrips(context.Background(), trips); errors.Is(err, ErrOverloaded) {
 				codes <- http.StatusTooManyRequests
 			} else if err != nil {
 				codes <- 0
@@ -298,8 +300,8 @@ func TestClientStalledBackendTimesOut(t *testing.T) {
 	var upErr error
 	go func() {
 		defer close(done)
-		healthy = c.Healthy()
-		upErr = c.Upload(probe.Trip{ID: "stall", DeviceID: "d"})
+		healthy = c.Healthy(context.Background())
+		upErr = c.Upload(context.Background(), probe.Trip{ID: "stall", DeviceID: "d"})
 	}()
 	select {
 	case <-done:
@@ -320,7 +322,7 @@ func TestRequestTimeoutHandler(t *testing.T) {
 	w := testWorld(t)
 	cfg := DefaultConfig()
 	cfg.RequestTimeoutS = 0.05
-	cfg.StageHook = func(stage string, in, out, dropped int, d time.Duration) {
+	cfg.StageHook = func(_ context.Context, stage string, in, out, dropped int, d time.Duration) {
 		if stage == "match" {
 			time.Sleep(300 * time.Millisecond)
 		}

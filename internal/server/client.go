@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"busprobe/internal/obs"
 	"busprobe/internal/phone"
 	"busprobe/internal/probe"
 	"busprobe/internal/server/stage"
@@ -61,14 +63,30 @@ func statusErr(status int) error {
 	}
 }
 
+// post sends a JSON body with the request context; a trace ID in the
+// context rides the X-Busprobe-Trace header, so server-side spans join
+// the caller's trace across the network hop.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tr := obs.TraceID(ctx); tr != "" {
+		req.Header.Set(obs.TraceHeader, tr)
+	}
+	return c.http.Do(req)
+}
+
 // Upload posts one trip. Rejections carry the server sentinels: 409 →
-// ErrDuplicateTrip, 400 → ErrInvalidTrip, 429 → ErrOverloaded.
-func (c *Client) Upload(trip probe.Trip) error {
+// ErrDuplicateTrip, 400 → ErrInvalidTrip, 429 → ErrOverloaded. The
+// context cancels the round trip and propagates the caller's trace.
+func (c *Client) Upload(ctx context.Context, trip probe.Trip) error {
 	body, err := json.Marshal(&trip)
 	if err != nil {
 		return fmt.Errorf("server: encode trip: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/v1/trips", "application/json", bytes.NewReader(body))
+	resp, err := c.post(ctx, "/v1/trips", body)
 	if err != nil {
 		return fmt.Errorf("server: upload: %w", err)
 	}
@@ -85,13 +103,13 @@ func (c *Client) Upload(trip probe.Trip) error {
 
 // UploadTrips posts a batch of trips through the server's concurrent
 // ingest endpoint, returning the per-trip outcomes in input order.
-func (c *Client) UploadTrips(trips []probe.Trip) (BatchUploadResponseJSON, error) {
+func (c *Client) UploadTrips(ctx context.Context, trips []probe.Trip) (BatchUploadResponseJSON, error) {
 	var out BatchUploadResponseJSON
 	body, err := json.Marshal(trips)
 	if err != nil {
 		return out, fmt.Errorf("server: encode batch: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/v1/trips/batch", "application/json", bytes.NewReader(body))
+	resp, err := c.post(ctx, "/v1/trips/batch", body)
 	if err != nil {
 		return out, fmt.Errorf("server: batch upload: %w", err)
 	}
@@ -112,9 +130,9 @@ func (c *Client) UploadTrips(trips []probe.Trip) (BatchUploadResponseJSON, error
 
 // UploadBatch implements phone.BatchUploader over UploadTrips: errs[i]
 // reports trip i's outcome.
-func (c *Client) UploadBatch(trips []probe.Trip) []error {
+func (c *Client) UploadBatch(ctx context.Context, trips []probe.Trip) []error {
 	errs := make([]error, len(trips))
-	out, err := c.UploadTrips(trips)
+	out, err := c.UploadTrips(ctx, trips)
 	if err != nil || len(out.Results) != len(trips) {
 		if err == nil {
 			err = fmt.Errorf("server: batch upload: %d results for %d trips", len(out.Results), len(trips))
@@ -144,61 +162,65 @@ func (c *Client) UploadBatch(trips []probe.Trip) []error {
 
 // PipelineMetrics fetches the backend's per-stage instrumentation
 // counters.
-func (c *Client) PipelineMetrics() ([]stage.Metrics, error) {
+func (c *Client) PipelineMetrics(ctx context.Context) ([]stage.Metrics, error) {
 	var out []stage.Metrics
-	if err := c.getJSON("/v1/pipeline", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/pipeline", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Traffic fetches the full traffic-map snapshot.
-func (c *Client) Traffic() ([]SegmentEstimateJSON, error) {
+func (c *Client) Traffic(ctx context.Context) ([]SegmentEstimateJSON, error) {
 	var out []SegmentEstimateJSON
-	if err := c.getJSON("/v1/traffic", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/traffic", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Stats fetches the backend counters.
-func (c *Client) Stats() (Stats, error) {
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
-	err := c.getJSON("/v1/stats", &out)
+	err := c.getJSON(ctx, "/v1/stats", &out)
 	return out, err
 }
 
 // Shards fetches the per-shard footprint and counters (one row for a
 // monolithic backend).
-func (c *Client) Shards() ([]ShardStatus, error) {
+func (c *Client) Shards(ctx context.Context) ([]ShardStatus, error) {
 	var out []ShardStatus
-	if err := c.getJSON("/v1/shards", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/shards", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Region fetches the inferred regional congestion summary.
-func (c *Client) Region() (RegionJSON, error) {
+func (c *Client) Region(ctx context.Context) (RegionJSON, error) {
 	var out RegionJSON
-	err := c.getJSON("/v1/region", &out)
+	err := c.getJSON(ctx, "/v1/region", &out)
 	return out, err
 }
 
 // Arrivals fetches downstream ETAs for a bus departing stop index
 // fromIdx of a route at departS.
-func (c *Client) Arrivals(route string, fromIdx int, departS float64) ([]ArrivalJSON, error) {
+func (c *Client) Arrivals(ctx context.Context, route string, fromIdx int, departS float64) ([]ArrivalJSON, error) {
 	var out []ArrivalJSON
 	path := fmt.Sprintf("/v1/arrivals?route=%s&stop=%d&depart=%g", route, fromIdx, departS)
-	if err := c.getJSON(path, &out); err != nil {
+	if err := c.getJSON(ctx, path, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Healthy reports whether the backend answers its liveness probe.
-func (c *Client) Healthy() bool {
-	resp, err := c.http.Get(c.baseURL + "/healthz")
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return false
 	}
@@ -206,8 +228,12 @@ func (c *Client) Healthy() bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-func (c *Client) getJSON(path string, v any) error {
-	resp, err := c.http.Get(c.baseURL + path)
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("server: GET %s: %w", path, err)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("server: GET %s: %w", path, err)
 	}

@@ -1,8 +1,12 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
+
+	"busprobe/internal/obs"
 
 	"busprobe/internal/core/arrival"
 	"busprobe/internal/core/fingerprint"
@@ -64,13 +68,22 @@ func NewCoordinator(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB, shards in
 		return nil, err
 	}
 	c := &Coordinator{cfg: cfg, tdb: tdb, fpdb: fpdb, part: part}
+	// Shards are built without the observability core (NewBackend would
+	// self-register every one as shard "0") and registered explicitly
+	// under their own labels below.
+	shardCfg := cfg
+	shardCfg.Obs = nil
 	for i := 0; i < shards; i++ {
-		b, err := NewBackend(cfg, tdb, fpdb)
+		b, err := NewBackend(shardCfg, tdb, fpdb)
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Obs != nil {
+			b.RegisterObs(cfg.Obs, strconv.Itoa(i))
+		}
 		c.shards = append(c.shards, b)
 	}
+	c.registerObs(cfg.Obs)
 	// Installed after every shard exists: the scatter can target any
 	// peer's estimate stage.
 	for _, b := range c.shards {
@@ -124,13 +137,13 @@ func (c *Coordinator) ShardFor(trip probe.Trip) int {
 }
 
 // ProcessTrip routes one trip to its home shard and ingests it there.
-func (c *Coordinator) ProcessTrip(trip probe.Trip) (ProcessedTrip, error) {
-	return c.shards[c.ShardFor(trip)].ProcessTrip(trip)
+func (c *Coordinator) ProcessTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error) {
+	return c.shards[c.ShardFor(trip)].ProcessTrip(ctx, trip)
 }
 
 // Upload implements phone.Uploader.
-func (c *Coordinator) Upload(trip probe.Trip) error {
-	_, err := c.ProcessTrip(trip)
+func (c *Coordinator) Upload(ctx context.Context, trip probe.Trip) error {
+	_, err := c.ProcessTrip(ctx, trip)
 	return err
 }
 
@@ -173,10 +186,11 @@ func (c *Coordinator) runSharded(trips []probe.Trip, run func(sh int, sub []prob
 }
 
 // ProcessTrips ingests a batch without admission gating, fanning
-// sub-batches to their home shards.
-func (c *Coordinator) ProcessTrips(trips []probe.Trip, workers int) []TripResult {
+// sub-batches to their home shards. The context rides the scatter into
+// every shard's admission and stage runs.
+func (c *Coordinator) ProcessTrips(ctx context.Context, trips []probe.Trip, workers int) []TripResult {
 	return c.runSharded(trips, func(sh int, sub []probe.Trip) []TripResult {
-		return c.shards[sh].ProcessTrips(sub, workers)
+		return c.shards[sh].ProcessTrips(ctx, sub, workers)
 	})
 }
 
@@ -184,16 +198,16 @@ func (c *Coordinator) ProcessTrips(trips []probe.Trip, workers int) []TripResult
 // shard's sub-batch passes that shard's gate, so a saturated region
 // sheds its own trips (ErrOverloaded) while the rest of the city keeps
 // ingesting.
-func (c *Coordinator) IngestBatch(trips []probe.Trip) []TripResult {
+func (c *Coordinator) IngestBatch(ctx context.Context, trips []probe.Trip) []TripResult {
 	return c.runSharded(trips, func(sh int, sub []probe.Trip) []TripResult {
-		return c.shards[sh].IngestBatch(sub)
+		return c.shards[sh].IngestBatch(ctx, sub)
 	})
 }
 
 // UploadBatch implements phone.BatchUploader over IngestBatch.
-func (c *Coordinator) UploadBatch(trips []probe.Trip) []error {
+func (c *Coordinator) UploadBatch(ctx context.Context, trips []probe.Trip) []error {
 	errs := make([]error, len(trips))
-	for i, r := range c.IngestBatch(trips) {
+	for i, r := range c.IngestBatch(ctx, trips) {
 		errs[i] = r.Err
 	}
 	return errs
@@ -285,6 +299,28 @@ func (c *Coordinator) AttachJournals(js []*Journal) error {
 		b.AttachJournal(js[i])
 	}
 	return nil
+}
+
+// registerObs projects the coordinator's partition footprint into the
+// metrics registry: shard count plus per-shard route/stop/segment
+// gauges, labeled consistently with the per-shard stage series.
+func (c *Coordinator) registerObs(core *obs.Core) {
+	if core == nil {
+		return
+	}
+	reg := core.Registry
+	reg.GaugeFunc("busprobe_shards", "Region shards behind the coordinator.",
+		func() float64 { return float64(len(c.shards)) })
+	for i := range c.shards {
+		i := i
+		sl := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
+		reg.GaugeFunc("busprobe_shard_routes", "Routes owned by the shard.",
+			func() float64 { return float64(len(c.part.RoutesIn(i))) }, sl)
+		reg.GaugeFunc("busprobe_shard_stops", "Stops owned by the shard.",
+			func() float64 { return float64(c.part.StopsIn(i)) }, sl)
+		reg.GaugeFunc("busprobe_shard_segments", "Road segments owned by the shard.",
+			func() float64 { return float64(c.part.SegmentsIn(i)) }, sl)
+	}
 }
 
 // ShardStatuses reports each shard's partition footprint and counters.

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"busprobe/internal/clock"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -40,7 +42,7 @@ func twinCorpus(t *testing.T, w *sim.World, fcfg faults.Config) []probe.Trip {
 	cfg.Participants = 14
 	cfg.Seed = 11
 	cfg.Faults = fcfg
-	trips, _, err := sim.RecordTrips(w, cfg)
+	trips, _, err := sim.RecordTrips(context.Background(), w, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func twinCorpus(t *testing.T, w *sim.World, fcfg faults.Config) []probe.Trip {
 func replayInto(t *testing.T, sink TripProcessor, trips []probe.Trip) {
 	t.Helper()
 	for _, trip := range trips {
-		if _, err := sink.ProcessTrip(trip); err != nil && !errors.Is(err, ErrDuplicateTrip) {
+		if _, err := sink.ProcessTrip(context.Background(), trip); err != nil && !errors.Is(err, ErrDuplicateTrip) {
 			t.Fatal(err)
 		}
 	}
@@ -94,7 +96,7 @@ func TestShardEquivalence(t *testing.T) {
 			replayInto(t, one, trips)
 			replayInto(t, four, trips)
 			for _, api := range []API{mono, one, four} {
-				api.Advance(3 * sim.DayS)
+				api.Advance(3 * clock.DayS)
 			}
 
 			wantTraffic := trafficBytes(t, mono)
@@ -221,7 +223,7 @@ func TestPerShardShedding(t *testing.T) {
 	}
 
 	mixed := append(append([]probe.Trip{}, byShard[0][0]), byShard[1]...)
-	res := coord.IngestBatch(mixed)
+	res := coord.IngestBatch(context.Background(), mixed)
 	if !errors.Is(res[0].Err, ErrOverloaded) {
 		t.Errorf("saturated shard's trip: err = %v, want ErrOverloaded", res[0].Err)
 	}
@@ -299,7 +301,7 @@ func TestPerShardShedding(t *testing.T) {
 	}
 
 	// After release, the saturated shard ingests again.
-	res = coord.IngestBatch([]probe.Trip{byShard[0][3]})
+	res = coord.IngestBatch(context.Background(), []probe.Trip{byShard[0][3]})
 	if res[0].Err != nil {
 		t.Errorf("post-release ingest failed: %v", res[0].Err)
 	}
@@ -334,7 +336,7 @@ func TestCoordinatorJournalReplay(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	coord.Advance(3 * sim.DayS)
+	coord.Advance(3 * clock.DayS)
 	want := trafficBytes(t, coord)
 	if len(coord.Traffic()) == 0 {
 		t.Fatal("no estimates before restart")
@@ -346,7 +348,7 @@ func TestCoordinatorJournalReplay(t *testing.T) {
 	rebuilt := newTwinCoordinator(t, w, fpdb, 2)
 	var replayed, skipped int
 	for _, p := range paths {
-		r, s, err := ReplayJournal(p, rebuilt)
+		r, s, err := ReplayJournal(context.Background(), p, rebuilt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +358,7 @@ func TestCoordinatorJournalReplay(t *testing.T) {
 	if replayed == 0 || skipped != 0 {
 		t.Fatalf("replayed=%d skipped=%d", replayed, skipped)
 	}
-	rebuilt.Advance(3 * sim.DayS)
+	rebuilt.Advance(3 * clock.DayS)
 	if got := trafficBytes(t, rebuilt); !bytes.Equal(got, want) {
 		t.Error("rebuilt coordinator traffic differs")
 	}

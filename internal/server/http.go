@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"busprobe/internal/core/traffic"
+	"busprobe/internal/obs"
 	"busprobe/internal/probe"
 	"busprobe/internal/road"
 	"busprobe/internal/transit"
@@ -114,7 +116,58 @@ func uploadRow(tripID string, res ProcessedTrip, err error) UploadResponseJSON {
 //	GET  /v1/pipeline         per-stage instrumentation counters
 //	GET  /v1/shards           per-shard footprint and counters
 //	GET  /healthz             liveness
-func Handler(b API) http.Handler {
+func Handler(b API) http.Handler { return NewHandler(b, HandlerConfig{}) }
+
+// HandlerConfig extends the API handler with the observability
+// surfaces.
+type HandlerConfig struct {
+	// Obs, when non-nil, mounts the Prometheus exposition at
+	// GET /metrics and wraps the API in request counting + latency
+	// histograms (busprobe_http_*).
+	Obs *obs.Core
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// NewHandler returns the serving API plus the configured observability
+// endpoints. The per-request timeout wraps only the /v1 surface:
+// /metrics scrapes and pprof profiles have their own lifecycles (a
+// 30-second CPU profile is not a stuck request).
+func NewHandler(b API, hc HandlerConfig) http.Handler {
+	api := apiMux(b, hc.Obs)
+	var handler http.Handler = api
+	if s := b.Config().RequestTimeoutS; s > 0 {
+		handler = http.TimeoutHandler(api, time.Duration(s*float64(time.Second)), "request timed out")
+	}
+	if hc.Obs == nil && !hc.Pprof {
+		return handler
+	}
+	outer := http.NewServeMux()
+	outer.Handle("/", handler)
+	if hc.Obs != nil {
+		outer.Handle("/metrics", hc.Obs.Registry.Handler())
+	}
+	if hc.Pprof {
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return outer
+}
+
+// traceCtx lifts the trace header, if any, into the request context so
+// the pipeline's spans join the caller's trace.
+func traceCtx(r *http.Request) *http.Request {
+	if tr := r.Header.Get(obs.TraceHeader); tr != "" {
+		return r.WithContext(obs.WithTrace(r.Context(), tr))
+	}
+	return r
+}
+
+// apiMux builds the /v1 + /healthz surface.
+func apiMux(b API, core *obs.Core) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok") //lint:allow errcheckio a failed liveness write means the prober is gone; there is no one left to tell
@@ -130,7 +183,7 @@ func Handler(b API) http.Handler {
 			writeJSON(w, http.StatusBadRequest, UploadResponseJSON{Error: "malformed JSON: " + err.Error()})
 			return
 		}
-		res, err := b.ProcessTrip(trip)
+		res, err := b.ProcessTrip(r.Context(), trip)
 		if err != nil {
 			writeJSON(w, uploadStatus(err), uploadRow(trip.ID, res, err))
 			return
@@ -152,7 +205,7 @@ func Handler(b API) http.Handler {
 		// saturated region sheds only its own trips (per-row
 		// "overloaded" codes) while the rest of the batch ingests. Only
 		// a batch shed in full keeps the 429 + Retry-After answer.
-		results := b.IngestBatch(trips)
+		results := b.IngestBatch(r.Context(), trips)
 		shedAll := len(results) > 0
 		for _, res := range results {
 			if !errors.Is(res.Err, ErrOverloaded) {
@@ -274,13 +327,42 @@ func Handler(b API) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, rows)
 	})
-	// Per-request timeout: a handler stuck past the budget answers 503
-	// instead of pinning the connection (and the client's retry budget)
-	// indefinitely.
-	if s := b.Config().RequestTimeoutS; s > 0 {
-		return http.TimeoutHandler(mux, time.Duration(s*float64(time.Second)), "request timed out")
+	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(w, traceCtx(r))
+	})
+	if core != nil {
+		handler = obsMiddleware(core, handler)
 	}
-	return mux
+	return handler
+}
+
+// apiPaths are the endpoints the HTTP metrics label by; anything else
+// (404s, probes) collapses into "other" so label cardinality stays
+// bounded.
+var apiPaths = map[string]bool{
+	"/healthz": true, "/v1/trips": true, "/v1/trips/batch": true,
+	"/v1/pipeline": true, "/v1/traffic": true, "/v1/traffic/segment": true,
+	"/v1/stats": true, "/v1/shards": true, "/v1/region": true,
+	"/v1/routes": true, "/v1/arrivals": true,
+}
+
+// obsMiddleware counts requests and observes their latency per known
+// path on the core clock.
+func obsMiddleware(core *obs.Core, next http.Handler) http.Handler {
+	reg := core.Registry
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if !apiPaths[path] {
+			path = "other"
+		}
+		pl := obs.Label{Name: "path", Value: path}
+		start := core.Clock.Now()
+		next.ServeHTTP(w, r)
+		reg.Counter("busprobe_http_requests_total", "HTTP requests served, by path.", pl).Inc()
+		reg.Histogram("busprobe_http_request_duration_seconds",
+			"HTTP request latency, by path.", obs.LatencyBuckets, pl).
+			Observe(core.Clock.Now().Sub(start).Seconds())
+	})
 }
 
 // RegionJSON is the /v1/region response.

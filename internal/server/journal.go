@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,8 +34,13 @@ func OpenJournal(path string) (*Journal, error) {
 	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// Append writes one trip record. Safe for concurrent use.
-func (j *Journal) Append(trip probe.Trip) error {
+// Append writes one trip record. Safe for concurrent use. A canceled
+// context fails the append before anything reaches the buffer, so a
+// draining server never half-writes a record for a caller that left.
+func (j *Journal) Append(ctx context.Context, trip probe.Trip) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("server: journal append: %w", err)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	enc := json.NewEncoder(j.w)
@@ -59,7 +65,7 @@ func (j *Journal) Close() error {
 // qualify, so journal replay rebuilds monolithic and sharded
 // deployments through the same path.
 type TripProcessor interface {
-	ProcessTrip(trip probe.Trip) (ProcessedTrip, error)
+	ProcessTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error)
 }
 
 // ReplayJournal feeds every journaled trip through the sink's pipeline.
@@ -68,7 +74,7 @@ type TripProcessor interface {
 // replaying; malformed lines and pipeline rejections (duplicates,
 // invalid trips) are counted, not fatal. Only an unreadable file is an
 // error.
-func ReplayJournal(path string, sink TripProcessor) (replayed, skipped int, err error) {
+func ReplayJournal(ctx context.Context, path string, sink TripProcessor) (replayed, skipped int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("server: open journal: %w", err)
@@ -77,6 +83,9 @@ func ReplayJournal(path string, sink TripProcessor) (replayed, skipped int, err 
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 64*1024), maxUploadBytes)
 	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return replayed, skipped, fmt.Errorf("server: replay canceled: %w", err)
+		}
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -86,7 +95,7 @@ func ReplayJournal(path string, sink TripProcessor) (replayed, skipped int, err 
 			skipped++
 			continue
 		}
-		if _, err := sink.ProcessTrip(trip); err != nil {
+		if _, err := sink.ProcessTrip(ctx, trip); err != nil {
 			skipped++
 			continue
 		}
@@ -109,9 +118,9 @@ type JournaledUploader struct {
 var _ phone.Uploader = (*JournaledUploader)(nil)
 
 // Upload implements phone.Uploader.
-func (u *JournaledUploader) Upload(trip probe.Trip) error {
-	if err := u.Journal.Append(trip); err != nil {
+func (u *JournaledUploader) Upload(ctx context.Context, trip probe.Trip) error {
+	if err := u.Journal.Append(ctx, trip); err != nil {
 		return err
 	}
-	return u.Backend.Upload(trip)
+	return u.Backend.Upload(ctx, trip)
 }

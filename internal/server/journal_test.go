@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ func TestJournalAppendAndReplay(t *testing.T) {
 	up := &JournaledUploader{Journal: j, Backend: b1}
 	for k := 0; k < 4; k++ {
 		trip, _ := rideTrip(t, w, 0, 0, 6, fmt.Sprintf("journal-%d", k))
-		if err := up.Upload(trip); err != nil {
+		if err := up.Upload(context.Background(), trip); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -33,7 +34,7 @@ func TestJournalAppendAndReplay(t *testing.T) {
 
 	// "Restart": a fresh backend rebuilt purely from the journal.
 	b2 := testBackend(t, w)
-	replayed, skipped, err := ReplayJournal(path, b2)
+	replayed, skipped, err := ReplayJournal(context.Background(), path, b2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,10 +63,10 @@ func TestReplaySkipsDuplicatesAndGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	trip, _ := rideTrip(t, w, 0, 0, 4, "dup-journal")
-	if err := j.Append(trip); err != nil {
+	if err := j.Append(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Append(trip); err != nil { // duplicate record
+	if err := j.Append(context.Background(), trip); err != nil { // duplicate record
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -81,7 +82,7 @@ func TestReplaySkipsDuplicatesAndGarbage(t *testing.T) {
 	}
 	f.Close()
 
-	replayed, skipped, err := ReplayJournal(path, b)
+	replayed, skipped, err := ReplayJournal(context.Background(), path, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestReplaySkipsCorruptMiddleLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	first, _ := rideTrip(t, w, 0, 0, 5, "mid-1")
-	if err := j.Append(first); err != nil {
+	if err := j.Append(context.Background(), first); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -124,14 +125,14 @@ func TestReplaySkipsCorruptMiddleLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	last, _ := rideTrip(t, w, 1, 0, 5, "mid-2")
-	if err := j.Append(last); err != nil {
+	if err := j.Append(context.Background(), last); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	replayed, skipped, err := ReplayJournal(path, b1)
+	replayed, skipped, err := ReplayJournal(context.Background(), path, b1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestReplaySkipsCorruptMiddleLine(t *testing.T) {
 	if skipped != 1 {
 		t.Errorf("skipped = %d, want 1", skipped)
 	}
-	if _, err := b1.ProcessTrip(last); err == nil {
+	if _, err := b1.ProcessTrip(context.Background(), last); err == nil {
 		t.Error("trip after the corrupt line was not replayed")
 	}
 }
@@ -149,7 +150,7 @@ func TestReplaySkipsCorruptMiddleLine(t *testing.T) {
 func TestReplayMissingFile(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
-	if _, _, err := ReplayJournal(filepath.Join(t.TempDir(), "nope.jsonl"), b); err == nil {
+	if _, _, err := ReplayJournal(context.Background(), filepath.Join(t.TempDir(), "nope.jsonl"), b); err == nil {
 		t.Error("want error for missing journal")
 	}
 }
@@ -170,18 +171,18 @@ func TestAttachedJournalCapturesUploads(t *testing.T) {
 	}
 	b.AttachJournal(j)
 	trip, _ := rideTrip(t, w, 0, 0, 4, "attached-1")
-	if _, err := b.ProcessTrip(trip); err != nil {
+	if _, err := b.ProcessTrip(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	// Duplicates are rejected before journaling.
-	if _, err := b.ProcessTrip(trip); err == nil {
+	if _, err := b.ProcessTrip(context.Background(), trip); err == nil {
 		t.Fatal("duplicate accepted")
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 	b2 := testBackend(t, w)
-	replayed, skipped, err := ReplayJournal(path, b2)
+	replayed, skipped, err := ReplayJournal(context.Background(), path, b2)
 	if err != nil {
 		t.Fatal(err)
 	}

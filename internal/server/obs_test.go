@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"busprobe/internal/clock"
+	"busprobe/internal/faults"
+	"busprobe/internal/obs"
+)
+
+var obsEpoch = time.Date(2015, 6, 29, 0, 0, 0, 0, time.UTC)
+
+func fakeObsCore() *obs.Core {
+	return obs.NewCore(clock.NewFake(obsEpoch, time.Microsecond))
+}
+
+// TestTrafficByteIdenticalWithObs is the acceptance bar for the
+// observability layer: enabling it must not perturb the product. The
+// same corpus replayed through an instrumented and a bare deployment —
+// monolithic and 4-shard — must yield byte-identical /v1/traffic.
+func TestTrafficByteIdenticalWithObs(t *testing.T) {
+	w, fpdb := twinWorld(t)
+	trips := twinCorpus(t, w, faults.Config{})
+
+	bare, err := NewBackend(DefaultConfig(), w.Transit, fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsCfg := DefaultConfig()
+	obsCfg.Obs = fakeObsCore()
+	instrumented, err := NewBackend(obsCfg, w.Transit, fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fourBare := newTwinCoordinator(t, w, fpdb, 4)
+	fourObsCfg := DefaultConfig()
+	fourObsCfg.Obs = fakeObsCore()
+	fourObs, err := NewCoordinator(fourObsCfg, w.Transit, fpdb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, api := range []API{bare, instrumented, fourBare, fourObs} {
+		replayInto(t, api, trips)
+		api.Advance(3 * clock.DayS)
+	}
+
+	want := trafficBytes(t, bare)
+	if len(bare.Traffic()) == 0 {
+		t.Fatal("campaign produced no estimates; equivalence is vacuous")
+	}
+	if got := trafficBytes(t, instrumented); !bytes.Equal(got, want) {
+		t.Errorf("monolith /v1/traffic changed with observability enabled")
+	}
+	if got := trafficBytes(t, fourBare); !bytes.Equal(got, want) {
+		t.Errorf("bare 4-shard /v1/traffic differs from monolith")
+	}
+	if got := trafficBytes(t, fourObs); !bytes.Equal(got, want) {
+		t.Errorf("instrumented 4-shard /v1/traffic differs from monolith")
+	}
+
+	// The instrumentation must actually have fired.
+	if obsCfg.Obs.Tracer.Emitted() == 0 {
+		t.Error("monolith tracer emitted no spans")
+	}
+	if fourObsCfg.Obs.Tracer.Emitted() == 0 {
+		t.Error("sharded tracer emitted no spans")
+	}
+}
+
+// TestTripTraceReconstruction processes one clean trip and reconstructs
+// its path from the trace: every pipeline stage it crossed appears as a
+// span of the trip's deterministic trace, in execution order, tagged
+// with the owning shard.
+func TestTripTraceReconstruction(t *testing.T) {
+	w := testWorld(t)
+	fpdb, err := BuildFingerprintDB(w.Cells, w.Transit, 4, DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	core := fakeObsCore()
+	cfg.Obs = core
+	b, err := NewBackend(cfg, w.Transit, fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trip, _ := rideTrip(t, w, 0, 0, 5, "traced-1")
+	if _, err := b.ProcessTrip(context.Background(), trip); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := core.Tracer.Spans(obs.TripTrace("traced-1"))
+	if len(spans) == 0 {
+		t.Fatal("no spans for the trip trace")
+	}
+	var names []string
+	for i, sp := range spans {
+		if sp.Span != i {
+			t.Errorf("span %d has index %d; per-trace indices must be sequential", i, sp.Span)
+		}
+		names = append(names, sp.Name)
+		shard := ""
+		for _, a := range sp.Attrs {
+			if a.Key == "shard" {
+				shard = a.Value
+			}
+		}
+		if shard != "0" {
+			t.Errorf("span %q shard attr = %q, want \"0\"", sp.Name, shard)
+		}
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %q ends before it starts", sp.Name)
+		}
+	}
+	// The full Fig. 4 path, then the enclosing trip span last.
+	for _, want := range []string{"stage.match", "stage.cluster", "stage.map", "stage.extract", "stage.estimate", "trip"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("trace lacks %q span (have %v)", want, names)
+		}
+	}
+	if names[len(names)-1] != "trip" {
+		t.Errorf("last span = %q, want the enclosing \"trip\" span", names[len(names)-1])
+	}
+
+	// Stage order within the trace follows the pipeline.
+	idx := func(name string) int {
+		for i, n := range names {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(idx("stage.match") < idx("stage.cluster") && idx("stage.cluster") < idx("stage.map")) {
+		t.Errorf("stage spans out of pipeline order: %v", names)
+	}
+}
+
+// TestHTTPTraceHeaderJoinsSpans checks the wire contract: a caller
+// sending X-Busprobe-Trace sees the pipeline's spans under its own
+// trace ID instead of the trip-derived one.
+func TestHTTPTraceHeaderJoinsSpans(t *testing.T) {
+	w := testWorld(t)
+	fpdb, err := BuildFingerprintDB(w.Cells, w.Transit, 4, DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	core := fakeObsCore()
+	cfg.Obs = core
+	b, err := NewBackend(cfg, w.Transit, fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(b, HandlerConfig{Obs: core})
+
+	trip, _ := rideTrip(t, w, 0, 0, 5, "hdr-1")
+	body, err := json.Marshal(trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/trips", bytes.NewReader(body))
+	req.Header.Set(obs.TraceHeader, "req-abc")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("upload status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	if spans := core.Tracer.Spans("req-abc"); len(spans) == 0 {
+		t.Error("no spans joined the caller-provided trace")
+	}
+	if spans := core.Tracer.Spans(obs.TripTrace("hdr-1")); len(spans) != 0 {
+		t.Error("trip-derived trace used despite a caller-provided trace ID")
+	}
+}
+
+// TestMetricsEndpointExposition uploads through the instrumented
+// handler and checks the scrape: backend counters, stage histograms,
+// and HTTP series all expose, and repeated scrapes of a quiescent
+// backend are byte-stable under the fake clock.
+func TestMetricsEndpointExposition(t *testing.T) {
+	w := testWorld(t)
+	fpdb, err := BuildFingerprintDB(w.Cells, w.Transit, 4, DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	core := fakeObsCore()
+	cfg.Obs = core
+	b, err := NewBackend(cfg, w.Transit, fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(b, HandlerConfig{Obs: core})
+
+	trip, _ := rideTrip(t, w, 0, 0, 5, "scrape-1")
+	body, err := json.Marshal(trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/trips", bytes.NewReader(body)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("upload status = %d", rec.Code)
+	}
+
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/metrics status = %d", rec.Code)
+		}
+		return rec.Body.String()
+	}
+	got := scrape()
+	for _, want := range []string{
+		`busprobe_trips_received_total{shard="0"} 1`,
+		`busprobe_stage_runs_total{shard="0",stage="match"} 1`,
+		`busprobe_stage_duration_seconds_bucket{shard="0",stage="estimate",le="+Inf"}`,
+		`busprobe_stage_runs_total{shard="0",stage="admission"}`,
+		`busprobe_http_requests_total{path="/v1/trips"} 1`,
+		"# TYPE busprobe_stage_duration_seconds histogram",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape lacks %q", want)
+		}
+	}
+
+	// Quiescent backend, fake clock: /v1/stats projections and
+	// histograms must not drift between scrapes... except the HTTP
+	// series counting the scrapes themselves; mask those lines.
+	stable := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "busprobe_http_") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if a, b := stable(scrape()), stable(scrape()); a != b {
+		t.Errorf("quiescent scrapes differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPprofGate: the profiling surface only exists when asked for.
+func TestPprofGate(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+
+	on := NewHandler(b, HandlerConfig{Pprof: true})
+	rec := httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index with -pprof = %d, want 200", rec.Code)
+	}
+
+	off := NewHandler(b, HandlerConfig{})
+	rec = httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Errorf("pprof index without -pprof = %d, want non-200", rec.Code)
+	}
+}
+
+// TestProcessTripHonorsContext: a canceled request context must stop
+// admission before any state changes.
+func TestProcessTripHonorsContext(t *testing.T) {
+	w := testWorld(t)
+	b := testBackend(t, w)
+	trip, _ := rideTrip(t, w, 0, 0, 5, "ctx-1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.ProcessTrip(ctx, trip); err == nil {
+		t.Fatal("ProcessTrip accepted a trip on a canceled context")
+	}
+	if st := b.Stats(); st.TripsReceived != 0 {
+		t.Errorf("canceled upload still counted: %+v", st)
+	}
+	// The same trip must remain ingestible afterwards (no dedup residue).
+	if _, err := b.ProcessTrip(context.Background(), trip); err != nil {
+		t.Fatalf("trip poisoned by canceled attempt: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+
 	"busprobe/internal/cellular"
 	"busprobe/internal/core/traffic"
 	"busprobe/internal/core/tripmap"
@@ -21,8 +23,8 @@ type cellularFP = cellular.Fingerprint
 
 // observations runs the extraction stage: a mapped visit sequence
 // becomes per-leg traffic observations (§III-D).
-func (b *Backend) observations(visits []visit) (obs []traffic.Observation, discarded int) {
-	out := b.pipe.Extract.Run(stage.ExtractInput{Visits: visits})
+func (b *Backend) observations(ctx context.Context, visits []visit) (obs []traffic.Observation, discarded int) {
+	out := b.pipe.Extract.Run(ctx, stage.ExtractInput{Visits: visits})
 	return out.Observations, out.Discarded
 }
 

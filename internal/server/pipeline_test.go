@@ -1,6 +1,8 @@
 package server
 
 import (
+	"busprobe/internal/clock"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -13,7 +15,6 @@ import (
 	"busprobe/internal/core/tripmap"
 	"busprobe/internal/geo"
 	"busprobe/internal/probe"
-	"busprobe/internal/sim"
 	"busprobe/internal/transit"
 )
 
@@ -31,7 +32,7 @@ func TestObservationsAdjacentStops(t *testing.T) {
 		visitAt(rt.Stops[0], 100, 110),
 		visitAt(rt.Stops[1], 180, 195),
 	}
-	obs, discarded := b.observations(visits)
+	obs, discarded := b.observations(context.Background(), visits)
 	if discarded != 0 {
 		t.Errorf("discarded = %d", discarded)
 	}
@@ -64,7 +65,7 @@ func TestObservationsMergeSkippedStop(t *testing.T) {
 		visitAt(rt.Stops[1], 100, 110),
 		visitAt(rt.Stops[3], 250, 260), // stop 2 skipped
 	}
-	obs, discarded := b.observations(visits)
+	obs, discarded := b.observations(context.Background(), visits)
 	if discarded != 0 || len(obs) != 1 {
 		t.Fatalf("obs=%d discarded=%d", len(obs), discarded)
 	}
@@ -103,7 +104,7 @@ func TestObservationsDiscardImplausible(t *testing.T) {
 		}},
 	}
 	for _, c := range cases {
-		obs, discarded := b.observations(c.visits)
+		obs, discarded := b.observations(context.Background(), c.visits)
 		if len(obs) != 0 || discarded != 1 {
 			t.Errorf("%s: obs=%d discarded=%d", c.name, len(obs), discarded)
 		}
@@ -119,7 +120,7 @@ func TestObservationsRepeatedStopSkipped(t *testing.T) {
 		visitAt(rt.Stops[0], 130, 140), // same stop resolved twice
 		visitAt(rt.Stops[1], 210, 220),
 	}
-	obs, discarded := b.observations(visits)
+	obs, discarded := b.observations(context.Background(), visits)
 	if discarded != 0 {
 		t.Errorf("discarded = %d", discarded)
 	}
@@ -132,10 +133,10 @@ func TestObservationsEmptyAndSingle(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	rt := w.Transit.Routes()[0]
-	if obs, d := b.observations(nil); obs != nil || d != 0 {
+	if obs, d := b.observations(context.Background(), nil); obs != nil || d != 0 {
 		t.Error("nil visits should be empty")
 	}
-	if obs, d := b.observations([]tripmap.Visit{visitAt(rt.Stops[0], 1, 2)}); obs != nil || d != 0 {
+	if obs, d := b.observations(context.Background(), []tripmap.Visit{visitAt(rt.Stops[0], 1, 2)}); obs != nil || d != 0 {
 		t.Error("single visit should be empty")
 	}
 }
@@ -190,7 +191,7 @@ func TestBackendWithEmptyFingerprintDB(t *testing.T) {
 		t.Fatal(err)
 	}
 	trip, _ := rideTrip(t, w, 0, 0, 4, "empty-db-trip")
-	res, err := b.ProcessTrip(trip)
+	res, err := b.ProcessTrip(context.Background(), trip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestConcurrentUploads(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			trip, _ := rideTrip(t, w, i%2, 0, 5, fmt.Sprintf("conc-%d", i))
-			if err := b.Upload(trip); err != nil {
+			if err := b.Upload(context.Background(), trip); err != nil {
 				errs <- err
 			}
 		}(i)
@@ -231,7 +232,7 @@ func TestUploadReportsPipelineCounts(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	trip, truth := rideTrip(t, w, 0, 0, 5, "counted")
-	res, err := b.ProcessTrip(trip)
+	res, err := b.ProcessTrip(context.Background(), trip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestTripWithForeignSamples(t *testing.T) {
 			trip.Samples[i].Readings[j].Cell += 1 << 20
 		}
 	}
-	res, err := b.ProcessTrip(trip)
+	res, err := b.ProcessTrip(context.Background(), trip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestStatsStringableFields(t *testing.T) {
 	}
 }
 
-var _ = sim.DayS // keep the sim import for test-helper reuse
+var _ = clock.DayS // virtual-time helpers now live in internal/clock
 
 func TestOnlineDatabaseUpdate(t *testing.T) {
 	// Fig. 4's online path: with OnlineUpdate enabled, confidently
@@ -317,7 +318,7 @@ func TestOnlineDatabaseUpdate(t *testing.T) {
 	changed := false
 	for k := 0; k < 6; k++ {
 		trip, _ := rideTrip(t, w, 0, 0, rt.NumStops()-1, fmt.Sprintf("online-%d", k))
-		if _, err := b.ProcessTrip(trip); err != nil {
+		if _, err := b.ProcessTrip(context.Background(), trip); err != nil {
 			t.Fatal(err)
 		}
 		after, _ := fpdb.Get(stop)
@@ -331,7 +332,7 @@ func TestOnlineDatabaseUpdate(t *testing.T) {
 	}
 	// Whatever happened, the DB must still identify the stop.
 	trip, truth := rideTrip(t, w, 0, 0, rt.NumStops()-1, "online-verify")
-	res, err := b.ProcessTrip(trip)
+	res, err := b.ProcessTrip(context.Background(), trip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestOnlineUpdateDisabledLeavesDBUntouched(t *testing.T) {
 		before = append(before, fp)
 	}
 	trip, _ := rideTrip(t, w, 0, 0, rt.NumStops()-1, "no-update")
-	if _, err := b.ProcessTrip(trip); err != nil {
+	if _, err := b.ProcessTrip(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	for i, s := range rt.Stops {
@@ -372,7 +373,7 @@ func TestReconstructTrip(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	trip, _ := ridLongTrip(t, w)
-	res, err := b.ProcessTrip(trip)
+	res, err := b.ProcessTrip(context.Background(), trip)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"busprobe/internal/clock"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -110,7 +112,7 @@ func TestPipelineMapsCleanTrip(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	trip, truth := rideTrip(t, w, 0, 1, 6, "trip-clean")
-	res, err := b.ProcessTrip(trip)
+	res, err := b.ProcessTrip(context.Background(), trip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestTrafficSpeedPlausible(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	trip, _ := ridLongTrip(t, w)
-	if _, err := b.ProcessTrip(trip); err != nil {
+	if _, err := b.ProcessTrip(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	b.Advance(10 * 3600)
@@ -166,10 +168,10 @@ func TestDuplicateTripRejected(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	trip, _ := rideTrip(t, w, 0, 1, 4, "trip-dup")
-	if _, err := b.ProcessTrip(trip); err != nil {
+	if _, err := b.ProcessTrip(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.ProcessTrip(trip); err == nil {
+	if _, err := b.ProcessTrip(context.Background(), trip); err == nil {
 		t.Error("duplicate accepted")
 	}
 	if b.Stats().DuplicateTrips != 1 {
@@ -181,7 +183,7 @@ func TestInvalidTripRejected(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)
 	bad := probe.Trip{ID: "", Samples: nil}
-	if _, err := b.ProcessTrip(bad); err == nil {
+	if _, err := b.ProcessTrip(context.Background(), bad); err == nil {
 		t.Error("invalid trip accepted")
 	}
 	if b.Stats().TripsRejected != 1 {
@@ -204,7 +206,7 @@ func TestNoiseSamplesDiscarded(t *testing.T) {
 			},
 		})
 	}
-	res, err := b.ProcessTrip(trip)
+	res, err := b.ProcessTrip(context.Background(), trip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,10 +232,10 @@ func TestCampaignIntoBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := camp.Run(); err != nil {
+	if _, err := camp.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	b.Advance(sim.DayS)
+	b.Advance(clock.DayS)
 	st := b.Stats()
 	if st.TripsReceived == 0 || st.VisitsMapped == 0 {
 		t.Fatalf("backend saw nothing: %+v", st)
@@ -263,15 +265,15 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !client.Healthy() {
+	if !client.Healthy(context.Background()) {
 		t.Fatal("backend not healthy")
 	}
 	trip, _ := rideTrip(t, w, 0, 0, 5, "http-trip")
-	if err := client.Upload(trip); err != nil {
+	if err := client.Upload(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	b.Advance(10 * 3600)
-	rows, err := client.Traffic()
+	rows, err := client.Traffic(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +285,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 			t.Fatal("rows not sorted")
 		}
 	}
-	st, err := client.Stats()
+	st, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +293,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Errorf("stats over HTTP = %+v", st)
 	}
 	// Duplicate via HTTP is a 422.
-	if err := client.Upload(trip); err == nil {
+	if err := client.Upload(context.Background(), trip); err == nil {
 		t.Error("duplicate accepted over HTTP")
 	}
 }
@@ -350,11 +352,11 @@ func TestHTTPSegmentEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Upload(trip); err != nil {
+	if err := client.Upload(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	b.Advance(12 * 3600)
-	rows, err := client.Traffic()
+	rows, err := client.Traffic(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,10 +385,10 @@ func TestClientValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Healthy() {
+	if c.Healthy(context.Background()) {
 		t.Error("dead endpoint reported healthy")
 	}
-	if err := c.Upload(probe.Trip{ID: "x", Samples: []probe.Sample{{TimeS: 1, Readings: []cellular.Reading{{Cell: 1, RSS: -60}}}}}); err == nil {
+	if err := c.Upload(context.Background(), probe.Trip{ID: "x", Samples: []probe.Sample{{TimeS: 1, Readings: []cellular.Reading{{Cell: 1, RSS: -60}}}}}); err == nil {
 		t.Error("upload to dead endpoint succeeded")
 	}
 }
@@ -401,15 +403,15 @@ func TestHTTPRegionAndArrivals(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Before any estimates: region inference is unavailable (503).
-	if _, err := client.Region(); err == nil {
+	if _, err := client.Region(context.Background()); err == nil {
 		t.Error("region should fail with no estimates")
 	}
 	trip, _ := ridLongTrip(t, w)
-	if err := client.Upload(trip); err != nil {
+	if err := client.Upload(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	b.Advance(12 * 3600)
-	region, err := client.Region()
+	region, err := client.Region(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +423,7 @@ func TestHTTPRegionAndArrivals(t *testing.T) {
 	}
 
 	rt := w.Transit.Routes()[0]
-	preds, err := client.Arrivals(string(rt.ID), 0, 13*3600)
+	preds, err := client.Arrivals(context.Background(), string(rt.ID), 0, 13*3600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +474,7 @@ func TestHTTPRouteStatuses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Upload(trip); err != nil {
+	if err := client.Upload(context.Background(), trip); err != nil {
 		t.Fatal(err)
 	}
 	b.Advance(12 * 3600)

@@ -1,6 +1,7 @@
 package stage
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ func TestFixedClockMakesDurationsDeterministic(t *testing.T) {
 
 	const runs = 4
 	for i := 0; i < runs; i++ {
-		m.Run(MatchInput{Samples: []probe.Sample{sampleAt(float64(i))}})
+		m.Run(context.Background(), MatchInput{Samples: []probe.Sample{sampleAt(float64(i))}})
 	}
 	got := m.Metrics()
 	if want := int64(runs) * int64(step); got.DurationNs != want {
@@ -49,7 +50,7 @@ func TestPipelineClockConfigReachesEveryStage(t *testing.T) {
 		Cluster:     cluster.DefaultParams(),
 		MinSpeedKmh: 1,
 		MaxSpeedKmh: 100,
-		Hook: func(_ string, _, _, _ int, d time.Duration) {
+		Hook: func(_ context.Context, _ string, _, _, _ int, d time.Duration) {
 			mu.Lock()
 			hookDs = append(hookDs, d)
 			mu.Unlock()
@@ -57,15 +58,15 @@ func TestPipelineClockConfigReachesEveryStage(t *testing.T) {
 		Clock: clock.NewFake(time.Unix(0, 0), step),
 	})
 
-	p.Match.Run(MatchInput{})
-	if _, err := p.Cluster.Run(ClusterInput{}); err != nil {
+	p.Match.Run(context.Background(), MatchInput{})
+	if _, err := p.Cluster.Run(context.Background(), ClusterInput{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Map.Run(MapInput{}); err != nil {
+	if _, err := p.Map.Run(context.Background(), MapInput{}); err != nil {
 		t.Fatal(err)
 	}
-	p.Extract.Run(ExtractInput{})
-	p.Estimate.Run(EstimateInput{})
+	p.Extract.Run(context.Background(), ExtractInput{})
+	p.Estimate.Run(context.Background(), EstimateInput{})
 
 	for _, m := range p.Metrics() {
 		if m.DurationNs != int64(step) {

@@ -10,6 +10,7 @@
 package stage
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -29,10 +30,13 @@ type Metrics struct {
 // Duration returns the stage's cumulative run time.
 func (m Metrics) Duration() time.Duration { return time.Duration(m.DurationNs) }
 
-// Hook observes one completed stage run (counters + duration). Hooks
-// must be safe for concurrent use: the batch-ingest path runs stages
-// from many goroutines.
-type Hook func(stage string, itemsIn, itemsOut, dropped int, d time.Duration)
+// Hook observes one completed stage run (counters + duration). The
+// context is the run's request context — it carries the trip's trace
+// ID, which is how the observability layer turns stage runs into
+// spans. Hooks must be safe for concurrent use: the batch-ingest path
+// runs stages from many goroutines. Hooks must not block; they run on
+// the ingest hot path.
+type Hook func(ctx context.Context, stage string, itemsIn, itemsOut, dropped int, d time.Duration)
 
 // Stage is the common surface of every pipeline component.
 type Stage interface {
@@ -41,6 +45,13 @@ type Stage interface {
 	Name() string
 	// Metrics snapshots the stage's counters.
 	Metrics() Metrics
+	// SetHook replaces the stage's run hook (before any ingestion).
+	SetHook(h Hook)
+	// CurrentHook returns the installed hook, so layers chain instead
+	// of displacing each other.
+	CurrentHook() Hook
+	// SetClock overrides the clock behind duration metrics.
+	SetClock(c clock.Clock)
 }
 
 // instrument carries a stage's identity and counters; every concrete
@@ -65,6 +76,15 @@ type instrument struct {
 // a clock.Fake to make per-stage DurationNs deterministic; a nil or
 // unset clock reads wall time.
 func (i *instrument) SetClock(c clock.Clock) { i.clk = c }
+
+// SetHook replaces the stage's run hook. Like SetClock (and the
+// backend's observation router), it must be called before any
+// ingestion; the field is read-only once stages run concurrently.
+func (i *instrument) SetHook(h Hook) { i.hook = h }
+
+// CurrentHook returns the installed hook (nil if none), so an
+// observability layer can chain rather than displace it.
+func (i *instrument) CurrentHook() Hook { return i.hook }
 
 // now reads the stage's clock.
 func (i *instrument) now() time.Time {
@@ -122,7 +142,7 @@ func Merge(groups ...[]Metrics) []Metrics {
 
 // observe folds one completed run into the counters and fires the
 // hook, if any.
-func (i *instrument) observe(in, out, dropped int, start time.Time) {
+func (i *instrument) observe(ctx context.Context, in, out, dropped int, start time.Time) {
 	d := i.now().Sub(start)
 	i.runs.Add(1)
 	i.itemsIn.Add(int64(in))
@@ -130,6 +150,6 @@ func (i *instrument) observe(in, out, dropped int, start time.Time) {
 	i.dropped.Add(int64(dropped))
 	i.durationNs.Add(int64(d))
 	if i.hook != nil {
-		i.hook(i.name, in, out, dropped, d)
+		i.hook(ctx, i.name, in, out, dropped, d)
 	}
 }

@@ -1,6 +1,7 @@
 package stage
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func sampleAt(tS float64) probe.Sample {
 func TestMatcherEmptyDBDropsEverything(t *testing.T) {
 	m := NewMatcher(emptyFingerprintDB(t), nil)
 	in := MatchInput{Samples: []probe.Sample{sampleAt(1), sampleAt(2), sampleAt(3)}}
-	out := m.Run(in)
+	out := m.Run(context.Background(), in)
 	if len(out.Elements) != 0 {
 		t.Errorf("empty DB matched %d samples", len(out.Elements))
 	}
@@ -44,8 +45,8 @@ func TestMatcherEmptyDBDropsEverything(t *testing.T) {
 
 func TestInstrumentAccumulatesAcrossRuns(t *testing.T) {
 	m := NewMatcher(emptyFingerprintDB(t), nil)
-	m.Run(MatchInput{Samples: []probe.Sample{sampleAt(1), sampleAt(2)}})
-	m.Run(MatchInput{Samples: []probe.Sample{sampleAt(3)}})
+	m.Run(context.Background(), MatchInput{Samples: []probe.Sample{sampleAt(1), sampleAt(2)}})
+	m.Run(context.Background(), MatchInput{Samples: []probe.Sample{sampleAt(3)}})
 	got := m.Metrics()
 	if got.Runs != 2 || got.ItemsIn != 3 || got.Dropped != 3 {
 		t.Errorf("metrics = %+v", got)
@@ -65,14 +66,14 @@ func TestHookObservesEveryRun(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var calls []call
-	hook := func(stage string, itemsIn, itemsOut, dropped int, d time.Duration) {
+	hook := func(_ context.Context, stage string, itemsIn, itemsOut, dropped int, d time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		calls = append(calls, call{stage, itemsIn, itemsOut, dropped})
 	}
 	m := NewMatcher(emptyFingerprintDB(t), hook)
-	m.Run(MatchInput{Samples: []probe.Sample{sampleAt(1), sampleAt(2)}})
-	m.Run(MatchInput{})
+	m.Run(context.Background(), MatchInput{Samples: []probe.Sample{sampleAt(1), sampleAt(2)}})
+	m.Run(context.Background(), MatchInput{})
 	if len(calls) != 2 {
 		t.Fatalf("hook fired %d times, want 2", len(calls))
 	}
@@ -118,7 +119,7 @@ func TestMetricsConcurrentReads(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				m.Run(MatchInput{Samples: []probe.Sample{sampleAt(float64(i))}})
+				m.Run(context.Background(), MatchInput{Samples: []probe.Sample{sampleAt(float64(i))}})
 				_ = m.Metrics()
 			}
 		}()

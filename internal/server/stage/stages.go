@@ -1,6 +1,8 @@
 package stage
 
 import (
+	"context"
+
 	"busprobe/internal/clock"
 
 	"busprobe/internal/core/cluster"
@@ -39,7 +41,7 @@ func NewMatcher(db *fingerprint.DB, hook Hook) *Matcher {
 }
 
 // Run matches every sample, keeping those that clear γ.
-func (m *Matcher) Run(in MatchInput) MatchOutput {
+func (m *Matcher) Run(ctx context.Context, in MatchInput) MatchOutput {
 	start := m.now()
 	var elems []cluster.Element
 	for _, s := range in.Samples {
@@ -50,7 +52,7 @@ func (m *Matcher) Run(in MatchInput) MatchOutput {
 		elems = append(elems, cluster.Element{TimeS: s.TimeS, Stop: mt.Stop, Score: mt.Score})
 	}
 	out := MatchOutput{Elements: elems, Discarded: len(in.Samples) - len(elems)}
-	m.observe(len(in.Samples), len(elems), out.Discarded, start)
+	m.observe(ctx, len(in.Samples), len(elems), out.Discarded, start)
 	return out
 }
 
@@ -77,14 +79,14 @@ func NewClusterer(params cluster.Params, hook Hook) *Clusterer {
 }
 
 // Run co-clusters the elements.
-func (c *Clusterer) Run(in ClusterInput) (ClusterOutput, error) {
+func (c *Clusterer) Run(ctx context.Context, in ClusterInput) (ClusterOutput, error) {
 	start := c.now()
 	clusters, err := cluster.Sequence(in.Elements, c.params)
 	if err != nil {
-		c.observe(len(in.Elements), 0, 0, start)
+		c.observe(ctx, len(in.Elements), 0, 0, start)
 		return ClusterOutput{}, err
 	}
-	c.observe(len(in.Elements), len(clusters), 0, start)
+	c.observe(ctx, len(in.Elements), len(clusters), 0, start)
 	return ClusterOutput{Clusters: clusters}, nil
 }
 
@@ -112,14 +114,14 @@ func NewMapper(tdb *transit.DB, hook Hook) *Mapper {
 }
 
 // Run resolves the cluster sequence to stop visits.
-func (m *Mapper) Run(in MapInput) (MapOutput, error) {
+func (m *Mapper) Run(ctx context.Context, in MapInput) (MapOutput, error) {
 	start := m.now()
 	res, err := tripmap.Resolve(in.Clusters, m.transit)
 	if err != nil {
-		m.observe(len(in.Clusters), 0, 0, start)
+		m.observe(ctx, len(in.Clusters), 0, 0, start)
 		return MapOutput{}, err
 	}
-	m.observe(len(in.Clusters), len(res.Visits), 0, start)
+	m.observe(ctx, len(in.Clusters), len(res.Visits), 0, start)
 	return MapOutput{Visits: res.Visits}, nil
 }
 
@@ -159,10 +161,10 @@ func NewExtractor(tdb *transit.DB, minSpeedKmh, maxSpeedKmh float64, hook Hook) 
 }
 
 // Run converts the visit sequence into per-leg traffic observations.
-func (e *Extractor) Run(in ExtractInput) ExtractOutput {
+func (e *Extractor) Run(ctx context.Context, in ExtractInput) ExtractOutput {
 	start := e.now()
 	out := e.extract(in.Visits)
-	e.observe(len(in.Visits), len(out.Observations), out.Discarded, start)
+	e.observe(ctx, len(in.Visits), len(out.Observations), out.Discarded, start)
 	return out
 }
 
@@ -307,7 +309,7 @@ func NewEstimatorStage(est *traffic.Estimator, hook Hook) *Estimator {
 
 // Run folds the observations into the estimator; individually invalid
 // observations are dropped, never failing the trip.
-func (e *Estimator) Run(in EstimateInput) EstimateOutput {
+func (e *Estimator) Run(ctx context.Context, in EstimateInput) EstimateOutput {
 	start := e.now()
 	var out EstimateOutput
 	for _, o := range in.Observations {
@@ -317,7 +319,7 @@ func (e *Estimator) Run(in EstimateInput) EstimateOutput {
 		}
 		out.Folded++
 	}
-	e.observe(len(in.Observations), out.Folded, out.Discarded, start)
+	e.observe(ctx, len(in.Observations), out.Folded, out.Discarded, start)
 	return out
 }
 

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
 	"errors"
+
+	"busprobe/internal/clock"
 	"fmt"
 	"math"
 	"sort"
@@ -256,22 +259,22 @@ type batchingUploader struct {
 
 // Upload implements phone.Uploader by buffering; delivery errors
 // surface at flush time in the campaign stats.
-func (u *batchingUploader) Upload(trip probe.Trip) error {
+func (u *batchingUploader) Upload(ctx context.Context, trip probe.Trip) error {
 	u.buf = append(u.buf, trip)
 	if len(u.buf) >= u.size {
-		u.flush()
+		u.flush(ctx)
 	}
 	return nil
 }
 
 // flush delivers the buffered trips as one batch, classifying each
 // trip's outcome into the campaign stats.
-func (u *batchingUploader) flush() {
+func (u *batchingUploader) flush(ctx context.Context) {
 	if len(u.buf) == 0 {
 		return
 	}
 	u.stats.BatchFlushes++
-	for _, err := range u.sink.UploadBatch(u.buf) {
+	for _, err := range u.sink.UploadBatch(ctx, u.buf) {
 		if ferr := classifyUpload(err, u.stats); ferr != nil {
 			*u.lastErr = ferr
 		}
@@ -288,8 +291,8 @@ type countingUploader struct {
 }
 
 // Upload implements phone.Uploader.
-func (u *countingUploader) Upload(trip probe.Trip) error {
-	err := u.sink.Upload(trip)
+func (u *countingUploader) Upload(ctx context.Context, trip probe.Trip) error {
+	err := u.sink.Upload(ctx, trip)
 	if ferr := classifyUpload(err, u.stats); ferr != nil {
 		*u.lastErr = ferr
 	}
@@ -365,7 +368,8 @@ func NewCampaign(w *World, cfg CampaignConfig, uploader phone.Uploader, observer
 	if cfg.UploadRetry.MaxAttempts > 0 {
 		// Backoff delays are recorded by the policy but not slept: the
 		// campaign runs in simulated time.
-		ret, err := phone.NewRetryUploader(cfg.UploadRetry, sink, func(float64) {})
+		ret, err := phone.NewRetryUploader(cfg.UploadRetry, sink,
+			func(context.Context, float64) error { return nil })
 		if err != nil {
 			return nil, err
 		}
@@ -405,29 +409,34 @@ func NewCampaign(w *World, cfg CampaignConfig, uploader phone.Uploader, observer
 // Stats returns the run summary.
 func (c *Campaign) Stats() CampaignStats { return c.stats }
 
-// Run executes the whole campaign.
-func (c *Campaign) Run() (CampaignStats, error) {
+// Run executes the whole campaign. The context cancels the run between
+// days and rides every upload, so an aborted campaign stops promptly
+// and in a consistent state (no half-simulated day).
+func (c *Campaign) Run(ctx context.Context) (CampaignStats, error) {
 	for day := 0; day < c.cfg.Days; day++ {
-		if err := c.runDay(day); err != nil {
+		if err := ctx.Err(); err != nil {
+			return c.stats, err
+		}
+		if err := c.runDay(ctx, day); err != nil {
 			return c.stats, err
 		}
 		if c.batcher != nil {
-			c.batcher.flush() // bound the buffer to one day's trips
+			c.batcher.flush(ctx) // bound the buffer to one day's trips
 		}
 	}
 	for _, p := range c.parts {
-		p.agent.Flush() //lint:allow errcheckio Agent.Flush returns no error; per-trip failures are counted in CampaignStats
+		p.agent.Flush(ctx) //lint:allow errcheckio Agent.Flush returns no error; per-trip failures are counted in CampaignStats
 	}
 	if c.batcher != nil {
-		c.batcher.flush()
+		c.batcher.flush(ctx)
 	}
 	// End-of-campaign recovery: drain the retry spool, then deliver the
 	// injector's held (delayed / still-reordered) trips.
 	if c.retrier != nil {
-		c.retrier.FlushSpool()
+		c.retrier.FlushSpool(ctx)
 	}
 	if c.injector != nil {
-		c.injector.Flush() //lint:allow errcheckio Injector.Flush returns no error; delivery failures land in the fault stats
+		c.injector.Flush(ctx) //lint:allow errcheckio Injector.Flush returns no error; delivery failures land in the fault stats
 	}
 	c.collectFaultStats()
 	return c.stats, nil
@@ -478,9 +487,9 @@ func (c *Campaign) tripsPerDay(day int) float64 {
 }
 
 // runDay simulates one service day.
-func (c *Campaign) runDay(day int) error {
-	dayStart := float64(day)*DayS + ServiceStartS
-	dayEnd := float64(day)*DayS + ServiceEndS
+func (c *Campaign) runDay(ctx context.Context, day int) error {
+	dayStart := float64(day)*clock.DayS + clock.ServiceStartS
+	dayEnd := float64(day)*clock.DayS + clock.ServiceEndS
 	weather := c.weatherOfDay(day)
 
 	// Stagger the first departures and plan participant trips.
@@ -506,7 +515,7 @@ func (c *Campaign) runDay(day int) error {
 		}
 		if t-lastAgentTick >= 60 {
 			for _, p := range c.parts {
-				p.agent.Tick(t)
+				p.agent.Tick(ctx, t)
 			}
 			if c.MinuteHook != nil {
 				c.MinuteHook(t)
@@ -516,7 +525,7 @@ func (c *Campaign) runDay(day int) error {
 	}
 	// Midnight: conclude any dangling trips and reset waiting riders.
 	for _, p := range c.parts {
-		p.agent.Tick(float64(day+1) * DayS)
+		p.agent.Tick(ctx, float64(day+1)*clock.DayS)
 		if p.state == pWaiting {
 			p.state = pIdle
 		}
@@ -532,8 +541,8 @@ func (c *Campaign) planDay(p *participant, day int) {
 	if c.cfg.TrainDecoysPerDay > 0 {
 		nd := p.decoyRNG.Poisson(c.cfg.TrainDecoysPerDay)
 		for k := 0; k < nd; k++ {
-			p.decoys = append(p.decoys, float64(day)*DayS+ServiceStartS+
-				p.decoyRNG.Float64()*(ServiceEndS-ServiceStartS-3600))
+			p.decoys = append(p.decoys, float64(day)*clock.DayS+clock.ServiceStartS+
+				p.decoyRNG.Float64()*(clock.ServiceEndS-clock.ServiceStartS-3600))
 		}
 		sort.Float64s(p.decoys)
 	}
@@ -548,8 +557,8 @@ func (c *Campaign) planDay(p *participant, day int) {
 		if alight > nStops-1 {
 			alight = nStops - 1
 		}
-		start := float64(day)*DayS + ServiceStartS +
-			p.rng.Float64()*(ServiceEndS-ServiceStartS-7200)
+		start := float64(day)*clock.DayS + clock.ServiceStartS +
+			p.rng.Float64()*(clock.ServiceEndS-clock.ServiceStartS-7200)
 		p.tripQueue = append(p.tripQueue, plannedTrip{
 			startS:    start,
 			route:     rt.ID,

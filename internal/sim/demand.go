@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"busprobe/internal/clock"
 	"fmt"
 	"math"
 
@@ -59,7 +60,7 @@ func NewDemand(db *transit.DB, cfg DemandConfig) (*Demand, error) {
 // MeanBeeps returns the expected tap count for a visit to the stop at
 // the given time.
 func (d *Demand) MeanBeeps(stop transit.StopID, t float64) float64 {
-	h := HourOfDay(t)
+	h := clock.HourOfDay(t)
 	rush := math.Exp(-(h-8.5)*(h-8.5)/(2*0.8*0.8)) + math.Exp(-(h-18.0)*(h-18.0)/(2*0.9*0.9))
 	diurnal := 1 + (d.cfg.RushMultiplier-1)*rush
 	return d.cfg.BaseBeepsPerVisit * diurnal * d.bias[stop]

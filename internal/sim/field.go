@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"busprobe/internal/clock"
 	"fmt"
 	"math"
 
@@ -136,7 +137,7 @@ func (f *Field) Config() FieldConfig { return f.cfg }
 // on a segment, in [MinFactor, 1.05].
 func (f *Field) CongestionFactor(sid road.SegmentID, t float64) float64 {
 	p := f.seg[sid]
-	h := HourOfDay(t)
+	h := clock.HourOfDay(t)
 	bump := func(center float64) float64 {
 		d := h - center
 		return math.Exp(-d * d / (2 * f.cfg.PeakWidthH * f.cfg.PeakWidthH))

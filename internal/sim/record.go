@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"busprobe/internal/phone"
@@ -19,7 +20,7 @@ type TripRecorder struct {
 var _ phone.Uploader = (*TripRecorder)(nil)
 
 // Upload implements phone.Uploader.
-func (r *TripRecorder) Upload(trip probe.Trip) error {
+func (r *TripRecorder) Upload(_ context.Context, trip probe.Trip) error {
 	r.Trips = append(r.Trips, trip)
 	return nil
 }
@@ -29,13 +30,13 @@ func (r *TripRecorder) Upload(trip probe.Trip) error {
 // monolithic or sharded — reproduces the campaign's ingestion exactly,
 // which is how the shard-equivalence tests compare deployments on
 // identical inputs.
-func RecordTrips(w *World, cfg CampaignConfig) ([]probe.Trip, CampaignStats, error) {
+func RecordTrips(ctx context.Context, w *World, cfg CampaignConfig) ([]probe.Trip, CampaignStats, error) {
 	rec := &TripRecorder{}
 	camp, err := NewCampaign(w, cfg, rec, nil)
 	if err != nil {
 		return nil, CampaignStats{}, err
 	}
-	stats, err := camp.Run()
+	stats, err := camp.Run(ctx)
 	if err != nil {
 		return nil, stats, err
 	}

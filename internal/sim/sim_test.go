@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"busprobe/internal/clock"
+	"context"
 	"math"
 	"testing"
 
@@ -12,22 +14,22 @@ import (
 )
 
 func TestClockHelpers(t *testing.T) {
-	if TimeOfDayS(2*DayS+3600) != 3600 {
+	if clock.TimeOfDayS(2*clock.DayS+3600) != 3600 {
 		t.Error("TimeOfDayS wrong")
 	}
-	if HourOfDay(DayS+8.5*3600) != 8.5 {
+	if clock.HourOfDay(clock.DayS+8.5*3600) != 8.5 {
 		t.Error("HourOfDay wrong")
 	}
-	if DayIndex(2.5*DayS) != 2 {
+	if clock.DayIndex(2.5*clock.DayS) != 2 {
 		t.Error("DayIndex wrong")
 	}
-	if !InServiceHours(7 * 3600) {
+	if !clock.InServiceHours(7 * 3600) {
 		t.Error("07:00 should be in service")
 	}
-	if InServiceHours(3 * 3600) {
+	if clock.InServiceHours(3 * 3600) {
 		t.Error("03:00 should not be in service")
 	}
-	if got := ClockTime(DayS + 8*3600 + 30*60); got != "d1 08:30" {
+	if got := clock.Stamp(clock.DayS + 8*3600 + 30*60); got != "d1 08:30" {
 		t.Errorf("ClockTime = %q", got)
 	}
 }
@@ -294,7 +296,7 @@ type tripSink struct {
 	trips []probe.Trip
 }
 
-func (s *tripSink) Upload(tr probe.Trip) error {
+func (s *tripSink) Upload(_ context.Context, tr probe.Trip) error {
 	s.trips = append(s.trips, tr)
 	return nil
 }
@@ -317,7 +319,7 @@ func TestCampaignEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := camp.Run()
+	st, err := camp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +371,7 @@ func TestCampaignDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := camp.Run()
+		st, err := camp.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -412,7 +414,7 @@ func TestIntensivePhaseProducesMoreTrips(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := camp.Run(); err != nil {
+		if _, err := camp.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return len(sink.trips)
@@ -440,7 +442,7 @@ func TestTrainDecoysFiltered(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := camp.Run()
+		st, err := camp.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -471,7 +473,7 @@ func TestCampaignEnergyAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := camp.Run()
+	st, err := camp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -571,7 +573,7 @@ func TestCampaignStatsAccessor(t *testing.T) {
 	if camp.Stats().BusRuns != 0 {
 		t.Error("stats non-zero before run")
 	}
-	want, err := camp.Run()
+	want, err := camp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -581,8 +583,8 @@ func TestCampaignStatsAccessor(t *testing.T) {
 }
 
 func TestNegativeTimeOfDay(t *testing.T) {
-	if got := TimeOfDayS(-3600); got != DayS-3600 {
-		t.Errorf("TimeOfDayS(-3600) = %v", got)
+	if got := clock.TimeOfDayS(-3600); got != clock.DayS-3600 {
+		t.Errorf("clock.TimeOfDayS(-3600) = %v", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -15,9 +16,9 @@ type cannedBatchSink struct {
 	batches int
 }
 
-func (s *cannedBatchSink) Upload(t probe.Trip) error { return s.errs[t.ID] }
+func (s *cannedBatchSink) Upload(_ context.Context, t probe.Trip) error { return s.errs[t.ID] }
 
-func (s *cannedBatchSink) UploadBatch(trips []probe.Trip) []error {
+func (s *cannedBatchSink) UploadBatch(_ context.Context, trips []probe.Trip) []error {
 	s.batches++
 	out := make([]error, len(trips))
 	for i, t := range trips {
@@ -41,11 +42,11 @@ func TestBatchFlushClassifiesPerTripErrors(t *testing.T) {
 	var lastErr error
 	u := &batchingUploader{sink: sink, size: 100, stats: &st, lastErr: &lastErr}
 	for _, id := range []string{"ok", "dup", "lost", "shed", "invalid", "unknown"} {
-		if err := u.Upload(probe.Trip{ID: id}); err != nil {
+		if err := u.Upload(context.Background(), probe.Trip{ID: id}); err != nil {
 			t.Fatalf("buffered upload %q returned %v", id, err)
 		}
 	}
-	u.flush()
+	u.flush(context.Background())
 
 	if sink.batches != 1 || st.BatchFlushes != 1 {
 		t.Fatalf("batches = %d, flushes = %d", sink.batches, st.BatchFlushes)
@@ -65,7 +66,7 @@ func TestBatchFlushClassifiesPerTripErrors(t *testing.T) {
 	}
 
 	// An empty re-flush is a no-op.
-	u.flush()
+	u.flush(context.Background())
 	if st.BatchFlushes != 1 {
 		t.Errorf("empty flush counted: %d", st.BatchFlushes)
 	}
@@ -79,10 +80,10 @@ func TestCountingUploaderClassifies(t *testing.T) {
 	var st CampaignStats
 	var lastErr error
 	u := &countingUploader{sink: sink, stats: &st, lastErr: &lastErr}
-	if err := u.Upload(probe.Trip{ID: "dup"}); !errors.Is(err, probe.ErrDuplicateTrip) {
+	if err := u.Upload(context.Background(), probe.Trip{ID: "dup"}); !errors.Is(err, probe.ErrDuplicateTrip) {
 		t.Fatalf("duplicate error not passed through: %v", err)
 	}
-	if err := u.Upload(probe.Trip{ID: "lost"}); !errors.Is(err, faults.ErrDropped) {
+	if err := u.Upload(context.Background(), probe.Trip{ID: "lost"}); !errors.Is(err, faults.ErrDropped) {
 		t.Fatalf("drop error not passed through: %v", err)
 	}
 	if st.UploadDuplicates != 1 || st.UploadFailures != 1 || st.UploadsDropped != 1 {

@@ -9,6 +9,25 @@
 //	                [-shards N] [-ingest-workers N]
 //	                [-max-inflight-batches N] [-request-timeout SECONDS]
 //	                [-pprof] [-drain-timeout SECONDS]
+//	                [-shard-id N] [-shard-addrs URL,URL,...]
+//
+// Process topology. By default one process hosts everything: a
+// monolith (-shards 1) or N in-process shards behind an in-process
+// coordinator (-shards N). With -shard-addrs the shard boundary moves
+// onto the wire:
+//
+//	busprobe-server -shard-id 0 -shard-addrs http://h0:9000,http://h1:9001
+//	busprobe-server -shard-id 1 -shard-addrs http://h0:9000,http://h1:9001
+//	busprobe-server -shard-addrs http://h0:9000,http://h1:9001
+//
+// The first two run shard processes (region shard N of len(addrs),
+// serving the internal shard protocol plus the public read API; public
+// writes answer 421). The last runs a stateless coordinator tier that
+// routes uploads to the shard processes and merges reads; any number of
+// coordinators can front the same shards. Every process derives the
+// same world and route partition from -seed, so no topology needs to be
+// exchanged at runtime. In multi-process mode -journal belongs to the
+// shard processes (each keeps <path>.shardN for its own id).
 //
 // Endpoints:
 //
@@ -37,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,17 +82,63 @@ func main() {
 	reqTimeout := flag.Float64("request-timeout", 0, "per-request handling budget in seconds (0 = none)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	drainTimeout := flag.Float64("drain-timeout", 10, "seconds to drain in-flight requests on SIGTERM before forcing exit")
+	shardID := flag.Int("shard-id", -1, "run as shard process N of the -shard-addrs topology (-1 = not a shard process)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard process base URLs, in shard order; with -shard-id runs that shard, without it runs a stateless coordinator tier over them")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *surveyRuns, *shards, *fpdbPath, *journalPath, *ingestWorkers, *maxInflight, *reqTimeout, *pprofOn, *drainTimeout); err != nil {
+	if err := run(topology{
+		addr: *addr, seed: *seed, surveyRuns: *surveyRuns, shards: *shards,
+		fpdbPath: *fpdbPath, journalPath: *journalPath,
+		ingestWorkers: *ingestWorkers, maxInflight: *maxInflight,
+		reqTimeoutS: *reqTimeout, pprofOn: *pprofOn, drainTimeoutS: *drainTimeout,
+		shardID: *shardID, shardAddrs: splitAddrs(*shardAddrs),
+	}); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath string, ingestWorkers, maxInflight int, reqTimeoutS float64, pprofOn bool, drainTimeoutS float64) error {
+// topology bundles the process's role and tunables.
+type topology struct {
+	addr          string
+	seed          uint64
+	surveyRuns    int
+	shards        int
+	fpdbPath      string
+	journalPath   string
+	ingestWorkers int
+	maxInflight   int
+	reqTimeoutS   float64
+	pprofOn       bool
+	drainTimeoutS float64
+	shardID       int
+	shardAddrs    []string
+}
+
+// splitAddrs parses the -shard-addrs list, dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func run(t topology) error {
+	addr, seed, surveyRuns, shards := t.addr, t.seed, t.surveyRuns, t.shards
+	fpdbPath, journalPath := t.fpdbPath, t.journalPath
+	ingestWorkers, maxInflight := t.ingestWorkers, t.maxInflight
+	reqTimeoutS, pprofOn, drainTimeoutS := t.reqTimeoutS, t.pprofOn, t.drainTimeoutS
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
+	}
+	if t.shardID >= 0 && len(t.shardAddrs) == 0 {
+		return fmt.Errorf("-shard-id requires -shard-addrs")
+	}
+	if t.shardID >= len(t.shardAddrs) && t.shardID >= 0 {
+		return fmt.Errorf("-shard-id %d outside the %d-entry -shard-addrs list", t.shardID, len(t.shardAddrs))
 	}
 	// Root context: canceled on SIGTERM/SIGINT so journal replay and
 	// in-flight ingestion observe shutdown, not just the listener.
@@ -94,56 +160,105 @@ func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath
 	if err != nil {
 		return err
 	}
-	coord, err := server.NewCoordinator(cfg, world.Transit, fpdb, shards)
-	if err != nil {
-		return err
-	}
-	if journalPath != "" {
-		// Replay through the coordinator, not the owning shard: routing
-		// is content-deterministic, so trips land back on their home
-		// shards even if the shard count changed since the journals were
-		// written.
-		var replayed, skipped int
-		paths := journalPaths(journalPath, shards)
-		for _, p := range paths {
-			if _, statErr := os.Stat(p); statErr != nil {
-				continue
-			}
-			r, s, err := server.ReplayJournal(ctx, p, coord)
+	fmt.Printf("city: %d road segments, %d stops, %d routes, %d cell towers\n",
+		world.Net.NumSegments(), world.Transit.NumStops(),
+		world.Transit.NumRoutes(), world.Cells.NumTowers())
+	fmt.Printf("fingerprint DB: %d stops surveyed\n", fpdb.Len())
+	hc := server.HandlerConfig{Obs: core, Pprof: pprofOn}
+	var handler http.Handler
+	switch {
+	case t.shardID >= 0:
+		// Shard process: one region shard of the -shard-addrs topology,
+		// serving the internal shard protocol (and read-only public API).
+		b, err := server.NewShardBackend(cfg, world.Transit, fpdb, t.shardID, t.shardAddrs)
+		if err != nil {
+			return err
+		}
+		if journalPath != "" {
+			// Each shard process journals (and replays) only its own
+			// <path>.shardN file: trips in it were routed here by a
+			// coordinator, and replay re-scatters cross-shard groups
+			// under their original idempotency keys, so a peer that
+			// never lost its fold ignores them.
+			p := journalPaths(journalPath, len(t.shardAddrs))[t.shardID]
+			reports, err := server.ReplayJournals(ctx, []string{p}, b)
 			if err != nil {
 				return err
 			}
-			replayed += r
-			skipped += s
-		}
-		fmt.Printf("journal: replayed %d trips (%d skipped)\n", replayed, skipped)
-		journals := make([]*server.Journal, shards)
-		for i, p := range paths {
+			printReplay(reports)
 			j, err := server.OpenJournal(p)
 			if err != nil {
 				return err
 			}
 			defer j.Close()
-			journals[i] = j
+			b.AttachJournal(j)
 		}
-		if err := coord.AttachJournals(journals); err != nil {
+		fmt.Printf("shard process %d of %d (peers: %s)\n",
+			t.shardID, len(t.shardAddrs), strings.Join(t.shardAddrs, ", "))
+		handler = server.NewShardHandler(b, hc)
+	case len(t.shardAddrs) > 0:
+		// Stateless coordinator tier over already-running shard
+		// processes: routes uploads, merges reads, journals nothing.
+		if journalPath != "" {
+			return fmt.Errorf("-journal belongs to the shard processes in multi-process mode")
+		}
+		coord, err := server.NewRemoteCoordinator(cfg, world.Transit, fpdb, t.shardAddrs)
+		if err != nil {
 			return err
 		}
-	}
-	fmt.Printf("city: %d road segments, %d stops, %d routes, %d cell towers\n",
-		world.Net.NumSegments(), world.Transit.NumStops(),
-		world.Transit.NumRoutes(), world.Cells.NumTowers())
-	fmt.Printf("fingerprint DB: %d stops surveyed\n", fpdb.Len())
-	if shards > 1 {
-		for _, st := range coord.ShardStatuses() {
-			fmt.Printf("shard %d: %d routes, %d stops, %d segments\n",
-				st.Shard, st.Routes, st.Stops, st.Segments)
+		probeCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		err = coord.ProbeShards(probeCtx)
+		cancel()
+		if err != nil {
+			// Not fatal: the shard may still be starting, and /v1/shards
+			// reports per-shard health while reads degrade around it.
+			log.Printf("warning: shard probe: %v", err)
 		}
+		for _, st := range coord.ShardStatuses() {
+			fmt.Printf("shard %d @ %s: healthy=%t, %d routes, %d stops, %d segments\n",
+				st.Shard, st.Addr, st.Healthy, st.Routes, st.Stops, st.Segments)
+		}
+		handler = server.NewHandler(coord, hc)
+	default:
+		coord, err := server.NewCoordinator(cfg, world.Transit, fpdb, shards)
+		if err != nil {
+			return err
+		}
+		if journalPath != "" {
+			// Replay through the coordinator, not the owning shard:
+			// routing is content-deterministic, so trips land back on
+			// their home shards even if the shard count changed since
+			// the journals were written.
+			paths := journalPaths(journalPath, shards)
+			reports, err := server.ReplayJournals(ctx, paths, coord)
+			if err != nil {
+				return err
+			}
+			printReplay(reports)
+			journals := make([]*server.Journal, shards)
+			for i, p := range paths {
+				j, err := server.OpenJournal(p)
+				if err != nil {
+					return err
+				}
+				defer j.Close()
+				journals[i] = j
+			}
+			if err := coord.AttachJournals(journals); err != nil {
+				return err
+			}
+		}
+		if shards > 1 {
+			for _, st := range coord.ShardStatuses() {
+				fmt.Printf("shard %d: %d routes, %d stops, %d segments\n",
+					st.Shard, st.Routes, st.Stops, st.Segments)
+			}
+		}
+		handler = server.NewHandler(coord, hc)
 	}
 	if pprofOn {
 		fmt.Println("pprof: serving /debug/pprof/")
 	}
-	handler := server.NewHandler(coord, server.HandlerConfig{Obs: core, Pprof: pprofOn})
 	srv := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
@@ -165,6 +280,25 @@ func run(addr string, seed uint64, surveyRuns, shards int, fpdbPath, journalPath
 	}
 	fmt.Println("shutdown complete")
 	return nil
+}
+
+// printReplay summarizes journal replay, totaled and per shard file.
+func printReplay(reports []server.ReplayReport) {
+	var replayed, skipped int
+	for _, r := range reports {
+		replayed += r.Replayed
+		skipped += r.Skipped
+	}
+	fmt.Printf("journal: replayed %d trips (%d skipped)\n", replayed, skipped)
+	if len(reports) > 1 {
+		for _, r := range reports {
+			if r.Missing {
+				fmt.Printf("journal shard %d: %s missing (fresh shard)\n", r.Shard, r.Path)
+				continue
+			}
+			fmt.Printf("journal shard %d: replayed %d (%d skipped)\n", r.Shard, r.Replayed, r.Skipped)
+		}
+	}
 }
 
 // journalPaths names each shard's journal file: the bare path for a

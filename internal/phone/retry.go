@@ -177,9 +177,16 @@ func (r *RetryUploader) Upload(ctx context.Context, t probe.Trip) error {
 		return nil
 	case errors.Is(err, probe.ErrInvalidTrip):
 		return err
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The caller gave up, the network did not fail: surface
-		// ctx.Err() without parking the trip.
+	case ctx.Err() != nil:
+		// The caller gave up, the network did not fail: surface the
+		// error without parking the trip. The check is on the context
+		// itself, not errors.Is(err, context.DeadlineExceeded): a
+		// client-side HTTP timeout wraps DeadlineExceeded while the
+		// caller's context is still live, and such a trip may well have
+		// been DELIVERED (the response was lost, not the request).
+		// Spooling it lets the next drain re-send it, where the
+		// server's dedup answers 409 and the duplicate counts as a
+		// delivered success instead of the trip silently vanishing.
 		return err
 	default:
 		if r.cfg.SpoolSize > 0 {

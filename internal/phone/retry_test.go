@@ -301,6 +301,74 @@ func TestUploadCanceledBeforeStart(t *testing.T) {
 	}
 }
 
+// TestRetrySpoolsClientSideTimeout is the regression test for the
+// delivered-but-dropped bug: an http.Client timeout surfaces as an
+// error wrapping context.DeadlineExceeded even though the CALLER's
+// context is still live — and the request may well have been delivered,
+// with only the response lost. Such a trip must be spooled like any
+// transient failure (so the next drain re-sends it and the server's
+// 409 resolves it as a delivered duplicate), not misread as "the
+// caller gave up" and silently dropped.
+func TestRetrySpoolsClientSideTimeout(t *testing.T) {
+	// What net/http returns on a client-side timeout: a wrapper around
+	// context.DeadlineExceeded, while ctx passed to Upload stays live.
+	clientTimeout := fmt.Errorf(`Post "http://x/v1/trips": %w`, context.DeadlineExceeded)
+	cfg := DefaultRetryConfig(7)
+	cfg.MaxAttempts = 2
+	s := &scriptedUploader{script: []error{clientTimeout, clientTimeout}}
+	r, err := NewRetryUploader(cfg, s, func(context.Context, float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(context.Background(), tripN(0)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("exhausted upload error = %v", err)
+	}
+	if r.SpoolLen() != 1 {
+		t.Fatalf("spool len = %d, want 1 — a client-side timeout with a live caller context must park the trip", r.SpoolLen())
+	}
+	// The retried-but-delivered case: the next delivery answers 409
+	// (duplicate) for the spooled trip. The drain must count it as a
+	// recovered success, not park or drop it.
+	s.script = append(s.script, nil, fmt.Errorf("server: %w", probe.ErrDuplicateTrip))
+	if err := r.Upload(context.Background(), tripN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.SpoolLen() != 0 {
+		t.Errorf("spool len = %d after drain, want 0", r.SpoolLen())
+	}
+	st := r.Stats()
+	if st.SpoolRecovered != 1 || st.DupSuccesses != 1 {
+		t.Errorf("stats = %+v, want the 409 on drain counted as DupSuccess + SpoolRecovered", st)
+	}
+}
+
+// TestRetryCallerDeadlineNotSpooled: when the CALLER's own deadline
+// expires, the trip must not be parked — same policy as cancellation.
+func TestRetryCallerDeadlineNotSpooled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Simulate the caller's context dying during the first attempt: the
+	// uploader cancels it before returning its error.
+	next := uploaderFunc(func(context.Context, probe.Trip) error {
+		cancel()
+		return fmt.Errorf("upload: %w", context.DeadlineExceeded)
+	})
+	r, err := NewRetryUploader(DefaultRetryConfig(7), next, func(context.Context, float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(ctx, tripN(0)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("upload error = %v", err)
+	}
+	if r.SpoolLen() != 0 {
+		t.Errorf("spool len = %d, want 0 — dead caller context must not park the trip", r.SpoolLen())
+	}
+}
+
+// uploaderFunc adapts a function to the Uploader interface.
+type uploaderFunc func(ctx context.Context, t probe.Trip) error
+
+func (f uploaderFunc) Upload(ctx context.Context, t probe.Trip) error { return f(ctx, t) }
+
 // TestDefaultSleepHonorsCancel exercises the real timer-based sleep: a
 // canceled context must cut a long backoff short.
 func TestDefaultSleepHonorsCancel(t *testing.T) {

@@ -47,14 +47,21 @@ type API interface {
 	ShardStatuses() []ShardStatus
 }
 
-// ShardStatus is one shard's partition footprint and work counters, the
-// /v1/shards observability row.
+// ShardStatus is one shard's partition footprint, topology, health, and
+// work counters — the /v1/shards observability row. Addr is LocalAddr
+// for an in-process shard and the shard process's base URL otherwise;
+// LastProbe carries the outcome of the coordinator's most recent probe
+// or fan-out call against the shard ("ok", "unprobed", or the error).
 type ShardStatus struct {
-	Shard    int   `json:"shard"`
-	Routes   int   `json:"routes"`
-	Stops    int   `json:"stops"`
-	Segments int   `json:"segments"`
-	Stats    Stats `json:"stats"`
+	Shard     int    `json:"shard"`
+	Addr      string `json:"addr"`
+	Remote    bool   `json:"remote"`
+	Healthy   bool   `json:"healthy"`
+	LastProbe string `json:"lastProbe"`
+	Routes    int    `json:"routes"`
+	Stops     int    `json:"stops"`
+	Segments  int    `json:"segments"`
+	Stats     Stats  `json:"stats"`
 }
 
 var (

@@ -10,6 +10,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"busprobe/internal/obs"
@@ -183,12 +184,26 @@ type Backend struct {
 	gate      chan struct{}
 	admission stage.Metrics
 
-	// obsRoute, when set (by a Coordinator), routes each extracted
-	// observation to the estimate stage owning its road segments, so a
-	// trip whose best-matching route lives on another shard still folds
-	// into the city-wide map exactly once. Nil folds locally. Set before
-	// any ingestion; read-only afterwards.
-	obsRoute func(traffic.Observation) *stage.Estimator
+	// Scatter topology, set before any ingestion (by a Coordinator or a
+	// shard process) and read-only afterwards. obsOwner names the shard
+	// index owning an observation's road segments; shardIdx is this
+	// backend's own index. Observations owned elsewhere are handed to
+	// obsScatter as one group per owner under a deterministic
+	// idempotency key, so a trip whose best-matching route lives on
+	// another shard still folds into the city-wide map exactly once —
+	// even when the scatter crosses a wire and gets retried. A nil
+	// obsOwner folds everything locally (monolithic deployment).
+	shardIdx   int
+	obsOwner   func(traffic.Observation) (int, bool)
+	obsScatter func(ctx context.Context, owner int, key string, obs []traffic.Observation) (stage.EstimateOutput, error)
+
+	// scatterMu guards scatterSeen, the idempotency record of cross-
+	// shard scatter groups folded into THIS backend's estimator. A
+	// group's key is derived from (trip ID, owner shard), so a retried
+	// scatter RPC — or a peer replaying its journal after a restart —
+	// returns the recorded outcome instead of double-counting reports.
+	scatterMu   sync.Mutex
+	scatterSeen map[string]stage.EstimateOutput
 
 	// obsCore / obsShard are set by RegisterObs (before any ingestion,
 	// read-only afterwards): the observability core this backend reports
@@ -236,7 +251,8 @@ func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, er
 			MaxSpeedKmh: cfg.MaxSpeedKmh,
 			Hook:        cfg.StageHook,
 		}),
-		seen: make(map[string]bool),
+		seen:        make(map[string]bool),
+		scatterSeen: make(map[string]stage.EstimateOutput),
 	}
 	if cfg.Obs != nil {
 		b.RegisterObs(cfg.Obs, "0")
@@ -457,28 +473,49 @@ func (b *Backend) compute(ctx context.Context, trip probe.Trip) tripWork {
 func (b *Backend) fold(ctx context.Context, w *tripWork) {
 	if w.err == nil {
 		var folded, discarded int
-		if b.obsRoute == nil {
+		if b.obsOwner == nil {
 			est := b.pipe.Estimate.Run(ctx, stage.EstimateInput{Observations: w.obs})
 			folded, discarded = est.Folded, est.Discarded
 		} else {
 			// Sharded scatter: group the trip's observations by owning
-			// estimate stage (first-appearance order) and fold each group
-			// on its owner, so every segment's report multiset lives in
-			// exactly one estimator and the fan-in merge stays exact.
-			var targets []*stage.Estimator
-			byTarget := make(map[*stage.Estimator][]traffic.Observation)
+			// shard (first-appearance order) and fold each group on its
+			// owner, so every segment's report multiset lives in exactly
+			// one estimator and the fan-in merge stays exact. Groups
+			// owned by this backend (or by no shard) fold locally; the
+			// rest travel through obsScatter under a deterministic key,
+			// making a retried or replayed scatter fold-once.
+			var owners []int
+			byOwner := make(map[int][]traffic.Observation)
 			for _, o := range w.obs {
-				t := b.obsRoute(o)
-				if t == nil {
-					t = b.pipe.Estimate
+				owner, ok := b.obsOwner(o)
+				if !ok {
+					owner = b.shardIdx
 				}
-				if _, ok := byTarget[t]; !ok {
-					targets = append(targets, t)
+				if _, seen := byOwner[owner]; !seen {
+					owners = append(owners, owner)
 				}
-				byTarget[t] = append(byTarget[t], o)
+				byOwner[owner] = append(byOwner[owner], o)
 			}
-			for _, t := range targets {
-				est := t.Run(ctx, stage.EstimateInput{Observations: byTarget[t]})
+			for _, owner := range owners {
+				var est stage.EstimateOutput
+				if owner == b.shardIdx {
+					est = b.pipe.Estimate.Run(ctx, stage.EstimateInput{Observations: byOwner[owner]})
+				} else {
+					var err error
+					est, err = b.obsScatter(ctx, owner, scatterKey(w.out.TripID, owner), byOwner[owner])
+					if err != nil {
+						// The owner is unreachable: the trip is already
+						// admitted and journaled, so its remaining
+						// groups keep folding and the failure surfaces
+						// to the caller. The lost group is not gone —
+						// replaying this shard's journal re-scatters it
+						// under the same key, and the owner's
+						// idempotency record keeps folded groups from
+						// doubling.
+						w.err = fmt.Errorf("server: scatter to shard %d: %w", owner, err)
+						continue
+					}
+				}
 				folded += est.Folded
 				discarded += est.Discarded
 			}
@@ -490,6 +527,40 @@ func (b *Backend) fold(ctx context.Context, w *tripWork) {
 	b.statsMu.Lock()
 	b.stats.add(w.delta)
 	b.statsMu.Unlock()
+}
+
+// scatterKey derives the idempotency key of one trip's observation
+// group bound for one owner shard. A trip has exactly one home shard
+// and at most one group per owner, so (trip ID, owner) names the group
+// uniquely — and deterministically across retries and journal replays.
+func scatterKey(tripID string, owner int) string {
+	return tripID + "#" + strconv.Itoa(owner)
+}
+
+// FoldScatter folds one cross-shard observation group into this
+// backend's estimator, exactly once per idempotency key: a key already
+// folded returns its recorded outcome without touching the estimator.
+// Keys are retained for the backend's lifetime (the same order of
+// growth as the trip dedup set); an empty key bypasses the record.
+// Duplicate suppression assumes one in-flight scatter per key at a
+// time, which the home shard guarantees — it scatters a trip's groups
+// sequentially and retries synchronously.
+func (b *Backend) FoldScatter(ctx context.Context, key string, obs []traffic.Observation) stage.EstimateOutput {
+	if key != "" {
+		b.scatterMu.Lock()
+		out, dup := b.scatterSeen[key]
+		b.scatterMu.Unlock()
+		if dup {
+			return out
+		}
+	}
+	out := b.pipe.Estimate.Run(ctx, stage.EstimateInput{Observations: obs})
+	if key != "" {
+		b.scatterMu.Lock()
+		b.scatterSeen[key] = out
+		b.scatterMu.Unlock()
+	}
+	return out
 }
 
 // onlineUpdate refreshes stop fingerprints from confidently mapped
@@ -564,11 +635,14 @@ func (b *Backend) TrafficSegment(sid road.SegmentID) (traffic.Estimate, bool) {
 // monolithic and sharded deployments share one observability surface.
 func (b *Backend) ShardStatuses() []ShardStatus {
 	return []ShardStatus{{
-		Shard:    0,
-		Routes:   b.transit.NumRoutes(),
-		Stops:    b.transit.NumStops(),
-		Segments: b.transit.Network().NumSegments(),
-		Stats:    b.Stats(),
+		Shard:     0,
+		Addr:      LocalAddr,
+		Healthy:   true,
+		LastProbe: "ok",
+		Routes:    b.transit.NumRoutes(),
+		Stops:     b.transit.NumStops(),
+		Segments:  b.transit.Network().NumSegments(),
+		Stats:     b.Stats(),
 	}}
 }
 

@@ -58,6 +58,8 @@ func statusErr(status int) error {
 		return ErrInvalidTrip
 	case http.StatusTooManyRequests:
 		return ErrOverloaded
+	case http.StatusBadGateway:
+		return ErrShardUnavailable
 	default:
 		return nil
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -27,6 +28,12 @@ import (
 // their home shard by fingerprint pre-match; reads fan in across shards
 // and merge deterministically.
 //
+// The coordinator dispatches through the Shard boundary, so a shard can
+// be an in-process *Backend (NewCoordinator) or an independent process
+// reached over the wire protocol (NewRemoteCoordinator) — the routing,
+// scatter, and merge logic is identical either way, and a remote
+// coordinator holds no per-trip state of its own.
+//
 // The merged traffic map is byte-identical to a monolithic Backend fed
 // the same trips, by construction:
 //
@@ -35,19 +42,34 @@ import (
 //   - Each shard computes trips against the full databases, so a trip's
 //     matched visits and extracted observations are exactly the
 //     monolith's.
-//   - Observations scatter to the estimator owning their segments
-//     (Backend.obsRoute), so each segment's report multiset lives in
-//     exactly one shard — and the PR 2 estimator is a pure function of
-//     (report multiset, watermark), making the union of shard snapshots
-//     equal to the monolith snapshot once clocks advance together.
+//   - Observations scatter to the shard owning their segments under a
+//     deterministic idempotency key, so each segment's report multiset
+//     lives in exactly one shard and folds exactly once even when the
+//     scatter crosses a wire and gets retried — and the PR 2 estimator
+//     is a pure function of (report multiset, watermark), making the
+//     union of shard snapshots equal to the monolith snapshot once
+//     clocks advance together.
 //
 // Safe for concurrent use.
 type Coordinator struct {
-	cfg    Config
-	tdb    *transit.DB
-	fpdb   *fingerprint.DB
-	part   *transit.Partition
-	shards []*Backend
+	cfg      Config
+	tdb      *transit.DB
+	fpdb     *fingerprint.DB
+	part     *transit.Partition
+	shards   []Shard
+	backends []*Backend // per-shard *Backend for in-process shards, nil for remote
+
+	// healthMu guards health, the per-shard outcome of the most recent
+	// probe or fan-out call. Reads merge around unhealthy shards
+	// (degraded-but-alive) instead of wedging the city-wide view.
+	healthMu sync.Mutex
+	health   []shardHealth
+}
+
+// shardHealth is the coordinator's view of one shard's liveness.
+type shardHealth struct {
+	healthy   bool
+	lastProbe string
 }
 
 var (
@@ -55,19 +77,16 @@ var (
 	_ phone.BatchUploader = (*Coordinator)(nil)
 )
 
-// NewCoordinator assembles a coordinator with the given number of region
-// shards over the shared transit and fingerprint databases. One shard
-// degenerates to a monolith behind the same API. Shards may outnumber
-// route groups; the surplus shards simply stay empty.
+// NewCoordinator assembles a coordinator with the given number of
+// in-process region shards over the shared transit and fingerprint
+// databases. One shard degenerates to a monolith behind the same API.
+// Shards may outnumber route groups; the surplus shards simply stay
+// empty.
 func NewCoordinator(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB, shards int) (*Coordinator, error) {
-	if tdb == nil || fpdb == nil {
-		return nil, fmt.Errorf("server: nil transit or fingerprint DB")
-	}
-	part, err := transit.PartitionRoutes(tdb, shards, region.DefaultConfig().ZoneM)
+	c, err := newCoordinator(cfg, tdb, fpdb, shards)
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{cfg: cfg, tdb: tdb, fpdb: fpdb, part: part}
 	// Shards are built without the observability core (NewBackend would
 	// self-register every one as shard "0") and registered explicitly
 	// under their own labels below.
@@ -81,27 +100,117 @@ func NewCoordinator(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB, shards in
 		if cfg.Obs != nil {
 			b.RegisterObs(cfg.Obs, strconv.Itoa(i))
 		}
-		c.shards = append(c.shards, b)
+		c.backends = append(c.backends, b)
+		c.shards = append(c.shards, localShard{b})
 	}
 	c.registerObs(cfg.Obs)
 	// Installed after every shard exists: the scatter can target any
-	// peer's estimate stage.
-	for _, b := range c.shards {
-		b.obsRoute = c.ownerStage
+	// peer's estimator.
+	for i, b := range c.backends {
+		b.shardIdx = i
+		b.obsOwner = c.ownerShard
+		b.obsScatter = c.scatter
 	}
 	return c, nil
 }
 
-// ownerStage routes one observation to the estimate stage of the shard
-// owning its road segments (a leg's segments all belong to one route,
-// hence one shard). Unowned segments fold on the home shard.
-func (c *Coordinator) ownerStage(o traffic.Observation) *stage.Estimator {
-	if len(o.Segments) > 0 {
-		if sh, ok := c.part.SegmentShard(o.Segments[0]); ok {
-			return c.shards[sh].pipe.Estimate
-		}
+// NewRemoteCoordinator assembles a stateless coordinator tier over
+// already-running shard processes, one per address in shard order. The
+// coordinator rebuilds the same deterministic partition the shard
+// processes derived from the shared databases, routes uploads by
+// fingerprint pre-match exactly as the in-process coordinator does, and
+// merges reads across the wire. It holds no trip state: any number of
+// coordinator processes can front the same shard tier.
+func NewRemoteCoordinator(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB, addrs []string) (*Coordinator, error) {
+	c, err := newCoordinator(cfg, tdb, fpdb, len(addrs))
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	for _, addr := range addrs {
+		c.backends = append(c.backends, nil)
+		c.shards = append(c.shards, NewRemoteShard(addr))
+	}
+	c.registerObs(cfg.Obs)
+	return c, nil
+}
+
+// newCoordinator builds the shard-implementation-independent core: the
+// deterministic route partition and the health table.
+func newCoordinator(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB, shards int) (*Coordinator, error) {
+	if tdb == nil || fpdb == nil {
+		return nil, fmt.Errorf("server: nil transit or fingerprint DB")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("server: coordinator needs at least one shard")
+	}
+	part, err := transit.PartitionRoutes(tdb, shards, region.DefaultConfig().ZoneM)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, tdb: tdb, fpdb: fpdb, part: part}
+	c.health = make([]shardHealth, shards)
+	for i := range c.health {
+		c.health[i] = shardHealth{healthy: true, lastProbe: "unprobed"}
+	}
+	return c, nil
+}
+
+// ownerShard names the shard owning an observation's road segments (a
+// leg's segments all belong to one route, hence one shard). Unowned
+// segments fold on the home shard.
+func (c *Coordinator) ownerShard(o traffic.Observation) (int, bool) {
+	if len(o.Segments) > 0 {
+		return c.part.SegmentShard(o.Segments[0])
+	}
+	return 0, false
+}
+
+// scatter forwards one cross-shard observation group to its owner.
+func (c *Coordinator) scatter(ctx context.Context, owner int, key string, obsGroup []traffic.Observation) (stage.EstimateOutput, error) {
+	out, err := c.shards[owner].Scatter(ctx, key, obsGroup)
+	c.noteShard(owner, err)
+	return out, err
+}
+
+// noteShard records the outcome of a call to shard i in the health
+// table.
+func (c *Coordinator) noteShard(i int, err error) {
+	h := shardHealth{healthy: true, lastProbe: "ok"}
+	if err != nil {
+		h = shardHealth{healthy: false, lastProbe: err.Error()}
+	}
+	c.healthMu.Lock()
+	c.health[i] = h
+	c.healthMu.Unlock()
+}
+
+// shardHealthAt snapshots shard i's health row.
+func (c *Coordinator) shardHealthAt(i int) shardHealth {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	return c.health[i]
+}
+
+// ProbeShards checks every shard's readiness concurrently, records the
+// outcomes in the health table served by GET /v1/shards, and returns
+// the joined errors of the shards that failed (nil when all are ready).
+func (c *Coordinator) ProbeShards(ctx context.Context) error {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			err := sh.Ready(ctx)
+			if err != nil {
+				err = fmt.Errorf("shard %d (%s): %w", i, sh.Addr(), err)
+			}
+			c.noteShard(i, err)
+			errs[i] = err
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Config returns the serving configuration.
@@ -113,9 +222,9 @@ func (c *Coordinator) Partition() *transit.Partition { return c.part }
 // NumShards returns the shard count.
 func (c *Coordinator) NumShards() int { return len(c.shards) }
 
-// Shards exposes the underlying shard backends (read-mostly; used by
-// evaluations and tests).
-func (c *Coordinator) Shards() []*Backend { return c.shards }
+// Shards exposes the underlying in-process shard backends (read-mostly;
+// used by evaluations and tests). Entries are nil for remote shards.
+func (c *Coordinator) Shards() []*Backend { return c.backends }
 
 // ShardFor routes a trip to its home shard by fingerprint pre-match: the
 // first sample whose best match clears γ names a stop, and that stop's
@@ -196,7 +305,8 @@ func (c *Coordinator) ProcessTrips(ctx context.Context, trips []probe.Trip, work
 
 // IngestBatch ingests a batch with per-shard admission: each home
 // shard's sub-batch passes that shard's gate, so a saturated region
-// sheds its own trips (ErrOverloaded) while the rest of the city keeps
+// sheds its own trips (ErrOverloaded, surfaced as 429s that feed the
+// phone-side retry/backoff machinery) while the rest of the city keeps
 // ingesting.
 func (c *Coordinator) IngestBatch(ctx context.Context, trips []probe.Trip) []TripResult {
 	return c.runSharded(trips, func(sh int, sub []probe.Trip) []TripResult {
@@ -214,11 +324,16 @@ func (c *Coordinator) UploadBatch(ctx context.Context, trips []probe.Trip) []err
 }
 
 // Stats sums the shards' counters. Each trip is counted by exactly one
-// shard (its home), so the sum never double-counts.
+// shard (its home), so the sum never double-counts. Unreachable shards
+// contribute nothing (degraded reads).
 func (c *Coordinator) Stats() Stats {
 	var out Stats
-	for _, b := range c.shards {
-		s := b.Stats()
+	for i, sh := range c.shards {
+		s, err := sh.Stats(context.Background())
+		c.noteShard(i, err)
+		if err != nil {
+			continue
+		}
 		out.add(s)
 		out.BatchesShed += s.BatchesShed
 		out.TripsShed += s.TripsShed
@@ -228,22 +343,34 @@ func (c *Coordinator) Stats() Stats {
 
 // StageMetrics merges the shards' per-stage counters by stage name
 // (stage.Merge), yielding one city-wide row per stage plus the summed
-// admission pseudo-stage.
+// admission pseudo-stage. Unreachable shards are skipped.
 func (c *Coordinator) StageMetrics() []stage.Metrics {
-	groups := make([][]stage.Metrics, len(c.shards))
-	for i, b := range c.shards {
-		groups[i] = b.StageMetrics()
+	groups := make([][]stage.Metrics, 0, len(c.shards))
+	for i, sh := range c.shards {
+		ms, err := sh.StageMetrics(context.Background())
+		c.noteShard(i, err)
+		if err != nil {
+			continue
+		}
+		groups = append(groups, ms)
 	}
 	return stage.Merge(groups...)
 }
 
 // Traffic fans in across shards and merges the snapshots. The scatter
 // gives every segment exactly one owning estimator, so the union is
-// disjoint and merge order cannot matter.
+// disjoint and merge order cannot matter. An unreachable shard's
+// segments drop out of the merged view until it returns
+// (degraded-but-alive reads).
 func (c *Coordinator) Traffic() map[road.SegmentID]traffic.Estimate {
 	out := make(map[road.SegmentID]traffic.Estimate)
-	for _, b := range c.shards {
-		for sid, est := range b.Traffic() {
+	for i, sh := range c.shards {
+		snap, err := sh.Traffic(context.Background())
+		c.noteShard(i, err)
+		if err != nil {
+			continue
+		}
+		for sid, est := range snap {
 			out[sid] = est
 		}
 	}
@@ -253,7 +380,12 @@ func (c *Coordinator) Traffic() map[road.SegmentID]traffic.Estimate {
 // TrafficSegment reads one segment from its owning shard.
 func (c *Coordinator) TrafficSegment(sid road.SegmentID) (traffic.Estimate, bool) {
 	if sh, ok := c.part.SegmentShard(sid); ok {
-		return c.shards[sh].TrafficSegment(sid)
+		est, ok, err := c.shards[sh].TrafficSegment(context.Background(), sid)
+		c.noteShard(sh, err)
+		if err != nil {
+			return traffic.Estimate{}, false
+		}
+		return est, ok
 	}
 	return traffic.Estimate{}, false
 }
@@ -261,17 +393,20 @@ func (c *Coordinator) TrafficSegment(sid road.SegmentID) (traffic.Estimate, bool
 // Advance drives every shard's estimator clock, keeping the shard
 // watermarks in lockstep with a monolithic deployment's.
 func (c *Coordinator) Advance(nowS float64) {
-	for _, b := range c.shards {
-		b.Advance(nowS)
+	for i, sh := range c.shards {
+		c.noteShard(i, sh.Advance(context.Background(), nowS))
 	}
 }
 
-// mergedSource adapts the fan-in read path to arrival.TrafficSource, so
-// route and arrival predictions see the city-wide map.
-type mergedSource struct{ c *Coordinator }
+// snapshotSource adapts one merged traffic snapshot to
+// arrival.TrafficSource, so route and arrival predictions see the
+// city-wide map without a per-segment fan-out (one read per shard
+// instead of one RPC per segment when shards are remote).
+type snapshotSource map[road.SegmentID]traffic.Estimate
 
-func (s mergedSource) Get(sid road.SegmentID) (traffic.Estimate, bool) {
-	return s.c.TrafficSegment(sid)
+func (s snapshotSource) Get(sid road.SegmentID) (traffic.Estimate, bool) {
+	est, ok := s[sid]
+	return est, ok
 }
 
 // RegionModel infers the §VI zone model over the merged snapshot.
@@ -281,21 +416,26 @@ func (c *Coordinator) RegionModel() (*region.Model, error) {
 
 // RouteStatuses digests the merged map into per-route travel times.
 func (c *Coordinator) RouteStatuses(departS float64) ([]RouteStatus, error) {
-	return routeStatuses(c.tdb, departS, mergedSource{c})
+	return routeStatuses(c.tdb, departS, snapshotSource(c.Traffic()))
 }
 
 // PredictArrivals forecasts downstream ETAs from the merged map.
 func (c *Coordinator) PredictArrivals(routeID transit.RouteID, fromIdx int, departS float64) ([]arrival.Prediction, error) {
-	return predictArrivals(c.tdb, routeID, fromIdx, departS, mergedSource{c})
+	return predictArrivals(c.tdb, routeID, fromIdx, departS, snapshotSource(c.Traffic()))
 }
 
 // AttachJournals gives each shard its own journal (one per shard, in
 // shard order). Attach AFTER replay, as with Backend.AttachJournal.
+// Only valid for in-process shards: a remote shard process journals
+// locally behind its own flag.
 func (c *Coordinator) AttachJournals(js []*Journal) error {
 	if len(js) != len(c.shards) {
 		return fmt.Errorf("server: %d journals for %d shards", len(js), len(c.shards))
 	}
-	for i, b := range c.shards {
+	for i, b := range c.backends {
+		if b == nil {
+			return fmt.Errorf("server: shard %d is remote; it journals in its own process", i)
+		}
 		b.AttachJournal(js[i])
 	}
 	return nil
@@ -320,19 +460,36 @@ func (c *Coordinator) registerObs(core *obs.Core) {
 			func() float64 { return float64(c.part.StopsIn(i)) }, sl)
 		reg.GaugeFunc("busprobe_shard_segments", "Road segments owned by the shard.",
 			func() float64 { return float64(c.part.SegmentsIn(i)) }, sl)
+		reg.GaugeFunc("busprobe_shard_healthy", "1 when the shard's last probe or call succeeded.",
+			func() float64 {
+				if c.shardHealthAt(i).healthy {
+					return 1
+				}
+				return 0
+			}, sl)
 	}
 }
 
-// ShardStatuses reports each shard's partition footprint and counters.
+// ShardStatuses reports each shard's partition footprint, topology
+// (address, local vs remote), health, and counters. An unreachable
+// shard still gets a row — with Healthy false and the probe error in
+// LastProbe — so operators see the full topology at a glance.
 func (c *Coordinator) ShardStatuses() []ShardStatus {
 	out := make([]ShardStatus, len(c.shards))
-	for i, b := range c.shards {
+	for i, sh := range c.shards {
+		stats, err := sh.Stats(context.Background())
+		c.noteShard(i, err)
+		h := c.shardHealthAt(i)
 		out[i] = ShardStatus{
-			Shard:    i,
-			Routes:   len(c.part.RoutesIn(i)),
-			Stops:    c.part.StopsIn(i),
-			Segments: c.part.SegmentsIn(i),
-			Stats:    b.Stats(),
+			Shard:     i,
+			Addr:      sh.Addr(),
+			Remote:    sh.Addr() != LocalAddr,
+			Healthy:   h.healthy,
+			LastProbe: h.lastProbe,
+			Routes:    len(c.part.RoutesIn(i)),
+			Stops:     c.part.StopsIn(i),
+			Segments:  c.part.SegmentsIn(i),
+			Stats:     stats,
 		}
 	}
 	return out

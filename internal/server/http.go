@@ -67,6 +67,8 @@ func uploadStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShardUnavailable):
+		return http.StatusBadGateway
 	default:
 		return http.StatusUnprocessableEntity
 	}
@@ -83,6 +85,8 @@ func uploadCode(err error) string {
 		return "invalid"
 	case errors.Is(err, ErrOverloaded):
 		return "overloaded"
+	case errors.Is(err, ErrShardUnavailable):
+		return "unavailable"
 	default:
 		return "error"
 	}

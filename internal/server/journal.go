@@ -107,6 +107,45 @@ func ReplayJournal(ctx context.Context, path string, sink TripProcessor) (replay
 	return replayed, skipped, nil
 }
 
+// ReplayReport is one shard journal's replay outcome.
+type ReplayReport struct {
+	// Path is the journal file replayed.
+	Path string
+	// Shard is the file's position in the multi-process layout
+	// (<path>.shardN), or 0 for a monolithic journal.
+	Shard int
+	// Missing marks a journal file that does not exist — normal for a
+	// shard that never ingested, or a fresh deployment.
+	Missing bool
+	// Replayed counts trips fed back through the pipeline.
+	Replayed int
+	// Skipped counts malformed lines and pipeline rejections.
+	Skipped int
+}
+
+// ReplayJournals replays a multi-process deployment's journal files in
+// shard order through one sink, reporting per-shard counts. A missing
+// file is recorded, not fatal: shard processes journal independently,
+// so a shard that never took a trip (or was added since the last run)
+// simply has no file yet. Torn or corrupt lines inside a file are
+// skipped per ReplayJournal. Only an unreadable existing file aborts.
+func ReplayJournals(ctx context.Context, paths []string, sink TripProcessor) ([]ReplayReport, error) {
+	out := make([]ReplayReport, len(paths))
+	for i, p := range paths {
+		out[i] = ReplayReport{Path: p, Shard: i}
+		if _, err := os.Stat(p); err != nil {
+			out[i].Missing = true
+			continue
+		}
+		r, s, err := ReplayJournal(ctx, p, sink)
+		out[i].Replayed, out[i].Skipped = r, s
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // JournaledUploader persists each trip before processing it, giving
 // at-most-once durability for the upload path: a trip is either in the
 // journal (and will replay) or was never acknowledged.

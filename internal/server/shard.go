@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/probe"
+	"busprobe/internal/road"
+	"busprobe/internal/server/stage"
+)
+
+// LocalAddr is the Shard address of an in-process shard.
+const LocalAddr = "local"
+
+// Shard is the coordinator's dispatch boundary: everything it needs
+// from one region shard, whether that shard is an in-process *Backend
+// or an independent process reached over the wire protocol
+// (RemoteShard). Writes carry a context for cancellation and trace
+// propagation; reads return an error so a dead shard degrades the
+// merged view instead of wedging it.
+//
+// The contract that keeps the merged traffic map byte-identical across
+// deployments: a trip forwarded to its home shard is processed exactly
+// as a monolith would process it, and a Scatter call folds its
+// observation group into this shard's estimator exactly once per
+// idempotency key — a retried scatter (lost response, replayed
+// journal) returns the recorded outcome instead of folding again.
+type Shard interface {
+	// Addr names the shard's location: LocalAddr for an in-process
+	// backend, the base URL for a remote shard process.
+	Addr() string
+	// ProcessTrip ingests one trip already routed to this shard.
+	ProcessTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error)
+	// ProcessTrips ingests a routed sub-batch without admission gating.
+	ProcessTrips(ctx context.Context, trips []probe.Trip, workers int) []TripResult
+	// IngestBatch ingests a routed sub-batch behind this shard's
+	// admission gate; a saturated shard sheds with ErrOverloaded.
+	IngestBatch(ctx context.Context, trips []probe.Trip) []TripResult
+	// Scatter folds one cross-shard observation group into this shard's
+	// estimator, exactly once per key.
+	Scatter(ctx context.Context, key string, obs []traffic.Observation) (stage.EstimateOutput, error)
+	// Stats snapshots the shard's work counters.
+	Stats(ctx context.Context) (Stats, error)
+	// StageMetrics snapshots the shard's per-stage instrumentation.
+	StageMetrics(ctx context.Context) ([]stage.Metrics, error)
+	// Traffic snapshots the shard's segment estimates.
+	Traffic(ctx context.Context) (map[road.SegmentID]traffic.Estimate, error)
+	// TrafficSegment reads one segment's estimate, if this shard has one.
+	TrafficSegment(ctx context.Context, sid road.SegmentID) (traffic.Estimate, bool, error)
+	// Advance drives the shard's estimator clock.
+	Advance(ctx context.Context, nowS float64) error
+	// Ready probes the shard's readiness to take traffic.
+	Ready(ctx context.Context) error
+}
+
+// localShard adapts an in-process *Backend to the Shard boundary. The
+// adapter is free: reads cannot fail and contexts pass straight
+// through, so an N-in-process-shard coordinator behaves exactly as it
+// did before the boundary became an interface.
+type localShard struct{ b *Backend }
+
+var _ Shard = localShard{}
+
+func (s localShard) Addr() string { return LocalAddr }
+
+func (s localShard) ProcessTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error) {
+	return s.b.ProcessTrip(ctx, trip)
+}
+
+func (s localShard) ProcessTrips(ctx context.Context, trips []probe.Trip, workers int) []TripResult {
+	return s.b.ProcessTrips(ctx, trips, workers)
+}
+
+func (s localShard) IngestBatch(ctx context.Context, trips []probe.Trip) []TripResult {
+	return s.b.IngestBatch(ctx, trips)
+}
+
+func (s localShard) Scatter(ctx context.Context, key string, obs []traffic.Observation) (stage.EstimateOutput, error) {
+	return s.b.FoldScatter(ctx, key, obs), nil
+}
+
+func (s localShard) Stats(context.Context) (Stats, error) { return s.b.Stats(), nil }
+
+func (s localShard) StageMetrics(context.Context) ([]stage.Metrics, error) {
+	return s.b.StageMetrics(), nil
+}
+
+func (s localShard) Traffic(context.Context) (map[road.SegmentID]traffic.Estimate, error) {
+	return s.b.Traffic(), nil
+}
+
+func (s localShard) TrafficSegment(_ context.Context, sid road.SegmentID) (traffic.Estimate, bool, error) {
+	est, ok := s.b.TrafficSegment(sid)
+	return est, ok, nil
+}
+
+func (s localShard) Advance(_ context.Context, nowS float64) error {
+	s.b.Advance(nowS)
+	return nil
+}
+
+func (s localShard) Ready(context.Context) error { return nil }

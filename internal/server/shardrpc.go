@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/core/region"
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/probe"
+	"busprobe/internal/road"
+	"busprobe/internal/server/stage"
+	"busprobe/internal/transit"
+)
+
+// The shard wire protocol. A shard process mounts these endpoints next
+// to the public read API; the coordinator tier dispatches to them
+// through RemoteShard:
+//
+//	POST /internal/v1/trip            ingest one routed trip
+//	POST /internal/v1/trips           ingest a routed sub-batch
+//	                                  (?gated=1 → admission gate,
+//	                                   ?workers=N → ungated worker count)
+//	POST /internal/v1/scatter         fold a cross-shard observation
+//	                                  group, exactly once per key
+//	POST /internal/v1/advance         drive the estimator clock
+//	GET  /internal/v1/traffic         raw segment→estimate snapshot
+//	GET  /internal/v1/traffic/segment one segment's estimate
+//	GET  /internal/v1/stats           work counters
+//	GET  /internal/v1/pipeline        per-stage instrumentation
+//	GET  /internal/v1/ready           readiness probe
+//
+// Bodies are JSON. encoding/json renders float64 with the shortest
+// round-tripping representation, so estimates survive the hop
+// bit-exactly and the coordinator's merged /v1/traffic stays
+// byte-identical to a monolith's.
+
+// shardTripJSON is one routed trip's outcome on the shard wire: the
+// full ProcessedTrip (not just counts, so the coordinator's public
+// upload response is byte-identical to a monolith's) plus the
+// machine-readable rejection class of uploadCode.
+type shardTripJSON struct {
+	Trip  ProcessedTrip `json:"trip"`
+	Error string        `json:"error,omitempty"`
+	Code  string        `json:"code,omitempty"`
+}
+
+// shardBatchJSON carries a sub-batch's outcomes in input order.
+type shardBatchJSON struct {
+	Results []shardTripJSON `json:"results"`
+}
+
+// scatterRequestJSON is one cross-shard observation group under its
+// idempotency key.
+type scatterRequestJSON struct {
+	Key          string                `json:"key"`
+	Observations []traffic.Observation `json:"observations"`
+}
+
+// scatterResponseJSON reports the group's fold outcome.
+type scatterResponseJSON struct {
+	Folded    int `json:"folded"`
+	Discarded int `json:"discarded"`
+}
+
+// advanceRequestJSON drives the shard's estimator watermark.
+type advanceRequestJSON struct {
+	NowS float64 `json:"nowS"`
+}
+
+// segmentLookupJSON answers a single-segment read; Found false means
+// the shard holds no estimate for the segment.
+type segmentLookupJSON struct {
+	Found    bool             `json:"found"`
+	Estimate traffic.Estimate `json:"estimate"`
+}
+
+// shardReadyJSON answers the readiness probe.
+type shardReadyJSON struct {
+	Ready bool `json:"ready"`
+}
+
+// shardErr rebuilds a wire rejection as the matching sentinel error, so
+// a coordinator classifies remote rejections exactly like in-process
+// ones (and the HTTP layer re-derives the same status code).
+func shardErr(code, msg string) error {
+	switch code {
+	case "":
+		return nil
+	case "duplicate":
+		return fmt.Errorf("upload rejected: %s: %w", msg, ErrDuplicateTrip)
+	case "invalid":
+		return fmt.Errorf("upload rejected: %s: %w", msg, ErrInvalidTrip)
+	case "overloaded":
+		return fmt.Errorf("upload rejected: %s: %w", msg, ErrOverloaded)
+	default:
+		return fmt.Errorf("server: shard rejected trip: %s", msg)
+	}
+}
+
+// NewShardBackend assembles the backend of one shard process: a full
+// Backend over the shared databases, plus the scatter topology that
+// sends observations owned by peer shards across the wire. addrs lists
+// every shard process's base URL in shard order (including this one's
+// own slot, which is never dialed — its groups fold locally). The
+// partition is rebuilt deterministically from the databases, so every
+// shard process and every coordinator derive the same ownership map
+// without any coordination traffic.
+func NewShardBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB, shardID int, addrs []string) (*Backend, error) {
+	if shardID < 0 || shardID >= len(addrs) {
+		return nil, fmt.Errorf("server: shard id %d outside %d shard addrs", shardID, len(addrs))
+	}
+	part, err := transit.PartitionRoutes(tdb, len(addrs), region.DefaultConfig().ZoneM)
+	if err != nil {
+		return nil, err
+	}
+	// Built without the obs core so the backend can register under its
+	// real shard label instead of the monolith's "0".
+	shardCfg := cfg
+	shardCfg.Obs = nil
+	b, err := NewBackend(shardCfg, tdb, fpdb)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Obs != nil {
+		b.RegisterObs(cfg.Obs, strconv.Itoa(shardID))
+	}
+	peers := make([]*RemoteShard, len(addrs))
+	for i, addr := range addrs {
+		if i == shardID {
+			continue
+		}
+		peers[i] = NewRemoteShard(addr)
+	}
+	b.shardIdx = shardID
+	b.obsOwner = func(o traffic.Observation) (int, bool) {
+		if len(o.Segments) > 0 {
+			return part.SegmentShard(o.Segments[0])
+		}
+		return 0, false
+	}
+	b.obsScatter = func(ctx context.Context, owner int, key string, group []traffic.Observation) (stage.EstimateOutput, error) {
+		return peers[owner].Scatter(ctx, key, group)
+	}
+	return b, nil
+}
+
+// NewShardHandler returns the HTTP surface of one shard process: the
+// internal wire protocol above, plus the public read API for direct
+// inspection (/healthz, /metrics, /v1/traffic, ...). The public write
+// endpoints answer 421 Misdirected Request — a rider upload sent
+// straight to a shard would bypass the coordinator's
+// content-deterministic routing and could land a duplicate on a second
+// dedup set.
+func NewShardHandler(b *Backend, hc HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", NewHandler(b, hc))
+
+	misdirected := func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shard process: uploads go through the coordinator tier",
+			http.StatusMisdirectedRequest)
+	}
+	mux.HandleFunc("/v1/trips", misdirected)
+	mux.HandleFunc("/v1/trips/batch", misdirected)
+
+	mux.HandleFunc("/internal/v1/trip", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		r = traceCtx(r)
+		var trip probe.Trip
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err := dec.Decode(&trip); err != nil {
+			writeJSON(w, http.StatusBadRequest, shardTripJSON{Error: "malformed JSON: " + err.Error(), Code: "error"})
+			return
+		}
+		res, err := b.ProcessTrip(r.Context(), trip)
+		if err != nil {
+			writeJSON(w, uploadStatus(err), shardTripJSON{Trip: res, Error: err.Error(), Code: uploadCode(err)})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, shardTripJSON{Trip: res})
+	})
+
+	mux.HandleFunc("/internal/v1/trips", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		r = traceCtx(r)
+		var trips []probe.Trip
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchUploadBytes))
+		if err := dec.Decode(&trips); err != nil {
+			http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		var results []TripResult
+		if r.URL.Query().Get("gated") == "1" {
+			results = b.IngestBatch(r.Context(), trips)
+		} else {
+			workers, _ := strconv.Atoi(r.URL.Query().Get("workers"))
+			results = b.ProcessTrips(r.Context(), trips, workers)
+		}
+		out := shardBatchJSON{Results: make([]shardTripJSON, len(results))}
+		for i, res := range results {
+			row := shardTripJSON{Trip: res.Trip}
+			if res.Err != nil {
+				row.Error = res.Err.Error()
+				row.Code = uploadCode(res.Err)
+			}
+			out.Results[i] = row
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("/internal/v1/scatter", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		r = traceCtx(r)
+		var req scatterRequestJSON
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := b.FoldScatter(r.Context(), req.Key, req.Observations)
+		writeJSON(w, http.StatusOK, scatterResponseJSON{Folded: out.Folded, Discarded: out.Discarded})
+	})
+
+	mux.HandleFunc("/internal/v1/advance", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req advanceRequestJSON
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		b.Advance(req.NowS)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("/internal/v1/traffic", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.Traffic())
+	})
+
+	mux.HandleFunc("/internal/v1/traffic/segment", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(strings.TrimSpace(r.URL.Query().Get("id")))
+		if err != nil {
+			http.Error(w, "bad segment id", http.StatusBadRequest)
+			return
+		}
+		est, ok := b.TrafficSegment(road.SegmentID(id))
+		writeJSON(w, http.StatusOK, segmentLookupJSON{Found: ok, Estimate: est})
+	})
+
+	mux.HandleFunc("/internal/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.Stats())
+	})
+
+	mux.HandleFunc("/internal/v1/pipeline", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.StageMetrics())
+	})
+
+	mux.HandleFunc("/internal/v1/ready", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, shardReadyJSON{Ready: true})
+	})
+
+	return mux
+}

@@ -14,6 +14,7 @@ import (
 
 	"busprobe/internal/clock"
 	"busprobe/internal/eval"
+	"busprobe/internal/lab"
 	"busprobe/internal/obs"
 	"busprobe/internal/probe"
 	"busprobe/internal/sim"
@@ -327,7 +328,7 @@ func benchTrips(b *testing.B) []probe.Trip {
 		cfg.Participants = 22
 		cfg.IntensiveFromDay = 0
 		cfg.IntensiveTripsPerDay = 6
-		benchTripsVal, benchTripsErr = eval.CollectTrips(context.Background(), l, cfg)
+		benchTripsVal, benchTripsErr = lab.CollectTrips(context.Background(), l.Deployment, cfg)
 	})
 	if benchTripsErr != nil {
 		b.Fatal(benchTripsErr)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	busprobe-server [-addr :8080] [-seed 1] [-survey-runs 4]
+//	busprobe-server [-addr :8080] [-seed 1] [-world paper] [-survey-runs 4]
 //	                [-shards N] [-ingest-workers N]
 //	                [-max-inflight-batches N] [-request-timeout SECONDS]
 //	                [-pprof] [-drain-timeout SECONDS]
@@ -73,6 +73,7 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Uint64("seed", 1, "master world seed")
+	world := flag.String("world", "paper", "world preset: paper, small, or london")
 	surveyRuns := flag.Int("survey-runs", 4, "fingerprint survey passes per stop")
 	fpdbPath := flag.String("fpdb", "", "fingerprint DB file: loaded if present, written after a survey otherwise")
 	journalPath := flag.String("journal", "", "trip journal (JSONL): replayed at startup, appended on upload (with -shards > 1, one <path>.shardN file per shard)")
@@ -87,7 +88,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(topology{
-		addr: *addr, seed: *seed, surveyRuns: *surveyRuns, shards: *shards,
+		addr: *addr, seed: *seed, world: *world, surveyRuns: *surveyRuns, shards: *shards,
 		fpdbPath: *fpdbPath, journalPath: *journalPath,
 		ingestWorkers: *ingestWorkers, maxInflight: *maxInflight,
 		reqTimeoutS: *reqTimeout, pprofOn: *pprofOn, drainTimeoutS: *drainTimeout,
@@ -102,6 +103,7 @@ func main() {
 type topology struct {
 	addr          string
 	seed          uint64
+	world         string
 	surveyRuns    int
 	shards        int
 	fpdbPath      string
@@ -145,7 +147,13 @@ func run(t topology) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	core := obs.NewCore(clock.Wall{})
-	worldCfg := sim.DefaultWorldConfig()
+	// The preset decides the city's footprint; every process in a
+	// topology (shards, coordinators, harness drivers) must agree on
+	// both preset and seed to derive the same world.
+	worldCfg, err := sim.PresetWorldConfig(t.world)
+	if err != nil {
+		return err
+	}
 	worldCfg.Seed = seed
 	world, err := sim.BuildWorld(worldCfg)
 	if err != nil {

@@ -3,34 +3,29 @@ package eval
 import (
 	"fmt"
 
-	"busprobe/internal/core/fingerprint"
+	harness "busprobe/internal/lab"
 	"busprobe/internal/phone"
-	"busprobe/internal/server"
 	"busprobe/internal/sim"
 	"busprobe/internal/transit"
 )
 
-// Lab bundles the simulated deployment every experiment runs against:
-// the world, the backend configuration, and a surveyed fingerprint
-// database.
+// Lab is the evaluation suite's view of a simulated deployment. The
+// bundle itself — world, backend configuration, surveyed fingerprint
+// DB — and the corpus replay paths live in the shared harness package
+// (harness.Deployment), so experiments, benchmarks, and the conformance
+// scenarios all run against the same plumbing; Lab adds only the
+// evaluation-specific helpers.
 type Lab struct {
-	World *sim.World
-	Cfg   server.Config
-	FPDB  *fingerprint.DB
+	*harness.Deployment
 }
 
 // NewLab assembles a lab over a world configuration.
 func NewLab(worldCfg sim.WorldConfig, surveyRuns int) (*Lab, error) {
-	w, err := sim.BuildWorld(worldCfg)
+	d, err := harness.NewDeployment(worldCfg, surveyRuns)
 	if err != nil {
 		return nil, err
 	}
-	cfg := server.DefaultConfig()
-	fpdb, err := server.BuildFingerprintDB(w.Cells, w.Transit, surveyRuns, cfg, worldCfg.Seed^0xf9)
-	if err != nil {
-		return nil, err
-	}
-	return &Lab{World: w, Cfg: cfg, FPDB: fpdb}, nil
+	return &Lab{Deployment: d}, nil
 }
 
 // DefaultLab builds the paper-scale deployment (7 km x 4 km, 8 routes).
@@ -40,13 +35,7 @@ func DefaultLab() (*Lab, error) {
 
 // SmallLab builds a compact deployment for fast test runs.
 func SmallLab() (*Lab, error) {
-	cfg := sim.DefaultWorldConfig()
-	cfg.Road.WidthM = 4000
-	cfg.Road.HeightM = 2500
-	cfg.Plan.RouteIDs = []transit.RouteID{"179", "199", "243", "252"}
-	cfg.Plan.MinStops = 8
-	cfg.Plan.MaxStops = 14
-	return NewLab(cfg, 4)
+	return NewLab(sim.SmallWorldConfig(), 4)
 }
 
 // freshHorizonS is how stale an estimate may be (snapshot time minus
@@ -58,17 +47,6 @@ func SmallLab() (*Lab, error) {
 // staleness on top of that unavoidable delivery lag.
 func (l *Lab) freshHorizonS() float64 {
 	return 2*l.Cfg.PeriodS + phone.DefaultIdleTimeoutS
-}
-
-// NewBackend creates a fresh backend over the lab's databases.
-func (l *Lab) NewBackend() (*server.Backend, error) {
-	return server.NewBackend(l.Cfg, l.World.Transit, l.FPDB)
-}
-
-// NewCoordinator creates a fresh shards-way coordinator over the lab's
-// databases.
-func (l *Lab) NewCoordinator(shards int) (*server.Coordinator, error) {
-	return server.NewCoordinator(l.Cfg, l.World.Transit, l.FPDB, shards)
 }
 
 // routeOrDie fetches a route that must exist in the lab's plan.

@@ -1,0 +1,135 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"busprobe/internal/phone"
+	"busprobe/internal/probe"
+	"busprobe/internal/server"
+)
+
+// wireCounter is the harness's innermost uploader: it forwards each
+// trip to a booted server over HTTP, times the round trip into the
+// scenario histogram, and classifies the outcome. Fault injectors wrap
+// it, so the counters always describe what actually crossed the wire —
+// duplicates included — not what the campaign intended.
+type wireCounter struct {
+	client *server.Client
+	rec    *LatencyRecorder
+
+	mu        sync.Mutex
+	offered   int
+	delivered int
+	duplicate int
+	failed    int
+	requests  int
+	firstFail string
+}
+
+var _ phone.Uploader = (*wireCounter)(nil)
+
+// newWireCounter builds the counter over a booted server's client.
+func newWireCounter(client *server.Client, rec *LatencyRecorder) *wireCounter {
+	return &wireCounter{client: client, rec: rec}
+}
+
+// Upload posts one trip, timed and classified. The request runs
+// outside the counter lock (the lock only guards the counters), so
+// concurrent drivers serialize on the server, not on the harness.
+func (w *wireCounter) Upload(ctx context.Context, t probe.Trip) error {
+	start := w.rec.Start()
+	err := w.client.Upload(ctx, t)
+	w.rec.Stop(start)
+	w.count(1, []error{err})
+	return err
+}
+
+// UploadBatch posts a trip array through the batch endpoint as one
+// timed request, classifying each row.
+func (w *wireCounter) UploadBatch(ctx context.Context, trips []probe.Trip) []error {
+	start := w.rec.Start()
+	errs := w.client.UploadBatch(ctx, trips)
+	w.rec.Stop(start)
+	w.count(1, errs)
+	return errs
+}
+
+// count folds one request's outcomes into the counters.
+func (w *wireCounter) count(requests int, errs []error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.requests += requests
+	for _, err := range errs {
+		w.offered++
+		switch {
+		case err == nil:
+			w.delivered++
+		case errors.Is(err, probe.ErrDuplicateTrip):
+			// Idempotent re-delivery: the backend already holds the
+			// trip. Expected under duplication faults.
+			w.duplicate++
+		default:
+			w.failed++
+			if w.firstFail == "" {
+				w.firstFail = err.Error()
+			}
+		}
+	}
+}
+
+// summarize renders the counters into the standard result sections.
+// wallS is the drive phase's wall-clock duration in seconds.
+func (w *wireCounter) summarize(r *Result, riders, days int, wallS float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r.Load = Load{
+		Riders:         riders,
+		Days:           days,
+		TripsOffered:   w.offered,
+		TripsDelivered: w.delivered,
+		TripsDuplicate: w.duplicate,
+		TripsFailed:    w.failed,
+	}
+	r.Latency = w.rec.Summary()
+	if wallS > 0 {
+		r.Throughput = Throughput{
+			TripsPerS:    float64(w.delivered) / wallS,
+			RequestsPerS: float64(w.requests) / wallS,
+			WallS:        wallS,
+		}
+	}
+}
+
+// failDetail reports the first recorded failure, for check details.
+func (w *wireCounter) failDetail() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.firstFail == "" {
+		return "no failures"
+	}
+	return fmt.Sprintf("first: %s", w.firstFail)
+}
+
+// snapshot returns (offered, delivered, duplicate, failed).
+func (w *wireCounter) snapshot() (int, int, int, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.offered, w.delivered, w.duplicate, w.failed
+}
+
+// driveTrips offers a recorded corpus to an uploader in order,
+// stopping early only on context cancellation. Per-trip errors are the
+// uploader chain's business (the wire counter classifies them; fault
+// injectors return expected drops), so they do not abort the drive.
+func driveTrips(ctx context.Context, up phone.Uploader, trips []probe.Trip) error {
+	for _, t := range trips {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("lab: drive interrupted: %w", err)
+		}
+		_ = up.Upload(ctx, t)
+	}
+	return nil
+}

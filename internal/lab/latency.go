@@ -1,0 +1,60 @@
+package lab
+
+import (
+	"time"
+
+	"busprobe/internal/clock"
+	"busprobe/internal/obs"
+)
+
+// LatencyBounds are the upper bounds (seconds) of the scenario latency
+// histograms: log-ish spacing from 50 µs to 30 s, finer than
+// obs.LatencyBuckets so loopback-HTTP percentiles interpolate inside
+// meaningful buckets instead of collapsing into one decade.
+var LatencyBounds = []float64{
+	0.00005, 0.0001, 0.0002, 0.0005,
+	0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+	0.1, 0.2, 0.5, 1, 2, 5, 10, 30,
+}
+
+// LatencyRecorder times requests with an injected clock into a
+// fixed-bucket obs.Histogram. No wall-clock read escapes the clock
+// package — busprobe-vet's nowallclock analyzer holds over the harness
+// exactly as over the serving path, so a Fake clock yields exact,
+// reproducible percentiles in tests.
+type LatencyRecorder struct {
+	clk  clock.Clock
+	hist *obs.Histogram
+}
+
+// NewLatencyRecorder builds a recorder over the scenario buckets. A
+// nil clock gets the wall clock (the harness's production mode).
+func NewLatencyRecorder(clk clock.Clock) *LatencyRecorder {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	return &LatencyRecorder{clk: clk, hist: obs.NewHistogram(LatencyBounds)}
+}
+
+// Start stamps the beginning of one timed request.
+func (r *LatencyRecorder) Start() time.Time { return r.clk.Now() }
+
+// Stop records the elapsed time since start as one observation.
+func (r *LatencyRecorder) Stop(start time.Time) {
+	r.hist.Observe(clock.Since(r.clk, start).Seconds())
+}
+
+// Summary digests the recorded observations into the standard result
+// fields.
+func (r *LatencyRecorder) Summary() Latency {
+	s := r.hist.Snapshot()
+	out := Latency{Count: s.Count}
+	if s.Count == 0 {
+		return out
+	}
+	out.P50S = s.Quantile(0.50)
+	out.P95S = s.Quantile(0.95)
+	out.P99S = s.Quantile(0.99)
+	out.MeanS = s.Sum / float64(s.Count)
+	return out
+}

@@ -1,0 +1,186 @@
+package lab
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"busprobe/internal/server"
+)
+
+// Proc is one managed server process: the real busprobe-server binary
+// started with scenario-chosen flags, its combined output captured for
+// the suite log, its exit collected exactly once.
+type Proc struct {
+	// Name labels the process in logs ("monolith", "shard-1", ...).
+	Name string
+	cmd  *exec.Cmd
+	out  *lockedBuffer
+	wait chan error // closed after cmd.Wait; holds the wait error
+	werr error
+	once sync.Once
+}
+
+// lockedBuffer makes the shared stdout+stderr capture safe against the
+// pipe-copying goroutines the exec package runs.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+// Write implements io.Writer.
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// String snapshots the captured output.
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// StartProc launches the binary with the given arguments, capturing
+// its combined output.
+func StartProc(name, bin string, args ...string) (*Proc, error) {
+	p := &Proc{Name: name, out: &lockedBuffer{}, wait: make(chan error, 1)}
+	p.cmd = exec.Command(bin, args...)
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lab: start %s (%s): %w", name, bin, err)
+	}
+	go func() {
+		p.wait <- p.cmd.Wait()
+		close(p.wait)
+	}()
+	return p, nil
+}
+
+// Output snapshots everything the process has printed so far.
+func (p *Proc) Output() string { return p.out.String() }
+
+// Signal delivers a signal to the process.
+func (p *Proc) Signal(sig os.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// Kill terminates the process outright (SIGKILL) — the harness's
+// "shard dies without warning" fault.
+func (p *Proc) Kill() error {
+	return p.cmd.Process.Kill()
+}
+
+// Wait blocks until the process exits or ctx expires, returning the
+// exit code. A context expiry kills the process and reports an error —
+// a drain that never finishes is itself a failure.
+func (p *Proc) Wait(ctx context.Context) (int, error) {
+	select {
+	case err, ok := <-p.wait:
+		if ok {
+			p.werr = err
+		}
+		return exitCode(p.cmd, p.werr), nil
+	case <-ctx.Done():
+		_ = p.cmd.Process.Kill()
+		<-p.wait
+		return -1, fmt.Errorf("lab: %s did not exit before deadline: %w", p.Name, ctx.Err())
+	}
+}
+
+// Stop SIGTERMs the process and waits for it under ctx. Call for
+// graceful shutdown paths; use Kill for crash faults.
+func (p *Proc) Stop(ctx context.Context) (int, error) {
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		// Already exited: collect the code.
+		return p.Wait(ctx)
+	}
+	return p.Wait(ctx)
+}
+
+// Shutdown is a cleanup-path stop that never blocks past ctx and
+// ignores outcomes; scenarios defer it so failed runs do not leak
+// processes.
+func (p *Proc) Shutdown(ctx context.Context) {
+	p.once.Do(func() {
+		_, err := p.Stop(ctx)
+		if err != nil {
+			_ = p.Kill()
+		}
+	})
+}
+
+// exitCode extracts the exit status from a wait error.
+func exitCode(cmd *exec.Cmd, err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	if cmd.ProcessState != nil {
+		return cmd.ProcessState.ExitCode()
+	}
+	return -1
+}
+
+// AwaitHealthy polls the server's liveness endpoint until it answers,
+// the process dies, or ctx expires. The boot (world build + fingerprint
+// survey) dominates, so the poll is coarse.
+func (p *Proc) AwaitHealthy(ctx context.Context, baseURL string) error {
+	client, err := server.NewClient(baseURL, nil)
+	if err != nil {
+		return err
+	}
+	for {
+		if client.Healthy(ctx) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("lab: %s not healthy at %s before deadline: %w\n--- %s log ---\n%s",
+				p.Name, baseURL, ctx.Err(), p.Name, tail(p.Output(), 20))
+		case err, ok := <-p.wait:
+			if ok {
+				p.werr = err
+			}
+			return fmt.Errorf("lab: %s exited (code %d) before becoming healthy\n--- %s log ---\n%s",
+				p.Name, exitCode(p.cmd, p.werr), p.Name, tail(p.Output(), 20))
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// tail returns the last n lines of s.
+func tail(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// FreePort reserves an ephemeral loopback TCP port and releases it for
+// the child process to bind. The OS keeps ephemeral allocations moving
+// forward, so the window between release and rebind is safe in
+// practice — the same technique every multi-process harness uses.
+func FreePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("lab: reserve port: %w", err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	if err := ln.Close(); err != nil {
+		return 0, fmt.Errorf("lab: release reserved port: %w", err)
+	}
+	return port, nil
+}

@@ -13,3 +13,11 @@ import (
 func TestNoWallClockFixture(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), nowallclock.Analyzer, "nowallclock_a")
 }
+
+// TestNoWallClockLabFixture runs the harness-shaped fixture: a latency
+// recorder timing requests off the wall clock is flagged at every read,
+// while the injected-clock shape (what lab.LatencyRecorder does) is
+// clean.
+func TestNoWallClockLabFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nowallclock.Analyzer, "nowallclock_lab")
+}

@@ -1,0 +1,47 @@
+// Package nowallclock_lab is the harness-shaped fixture for the
+// nowallclock analyzer: a scenario latency recorder that stamps and
+// times requests. The naive shape — reading the wall clock directly —
+// must be flagged at every site, while the injected-clock shape the
+// real lab.LatencyRecorder uses stays clean, proving the analyzer
+// holds the harness to the same discipline as the serving path.
+package nowallclock_lab
+
+import "time"
+
+// clock is the injected abstraction (mirrors busprobe/internal/clock).
+type clock interface {
+	Now() time.Time
+}
+
+// naiveRecorder times requests straight off the wall clock: not
+// reproducible under a fake clock, so every read is a violation.
+type naiveRecorder struct {
+	samples []float64
+}
+
+func (r *naiveRecorder) start() time.Time {
+	return time.Now() // want `wall clock: time\.Now`
+}
+
+func (r *naiveRecorder) stop(start time.Time) {
+	r.samples = append(r.samples, time.Since(start).Seconds()) // want `wall clock: time\.Since`
+}
+
+func (r *naiveRecorder) stamp() {
+	r.samples = append(r.samples, float64(time.Now().UnixNano())) // want `wall clock: time\.Now`
+}
+
+// labRecorder is the clean shape: all reads go through the injected
+// clock, so a fake clock yields exact, reproducible percentiles.
+type labRecorder struct {
+	clk     clock
+	samples []float64
+}
+
+func (r *labRecorder) start() time.Time {
+	return r.clk.Now()
+}
+
+func (r *labRecorder) stop(start time.Time) {
+	r.samples = append(r.samples, r.clk.Now().Sub(start).Seconds())
+}

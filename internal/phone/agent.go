@@ -106,6 +106,14 @@ func (a *Agent) OnBeep(timeS float64) {
 			DeviceID: a.cfg.DeviceID,
 		}
 	}
+	// The device stamps samples with its own monotonic clock: a beep
+	// presented "earlier" than the last recorded one (overlapping
+	// reader dwell windows, replayed event streams) is heard now, not
+	// in the past. Without the clamp such trips fail the backend's
+	// sample-order validation.
+	if timeS < a.lastBeepS {
+		timeS = a.lastBeepS
+	}
 	a.current.Samples = append(a.current.Samples, probe.Sample{
 		TimeS:    timeS,
 		Readings: readings,

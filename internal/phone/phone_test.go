@@ -238,3 +238,30 @@ func TestSettingString(t *testing.T) {
 		t.Error("unknown setting label wrong")
 	}
 }
+
+// TestBeepClockMonotonic: a beep presented earlier than the last
+// recorded one (overlapping reader dwell windows in a simulation, or a
+// replayed event stream) is stamped at the device's monotonic clock,
+// so the concluded trip always passes sample-order validation.
+func TestBeepClockMonotonic(t *testing.T) {
+	up := &sink{}
+	a := newAgent(t, up)
+	a.OnBeep(100)
+	a.OnBeep(160)
+	a.OnBeep(140) // presented out of order: clamped to 160
+	a.OnBeep(170)
+	a.Tick(context.Background(), 170+DefaultIdleTimeoutS)
+	if len(up.trips) != 1 {
+		t.Fatalf("uploaded %d trips", len(up.trips))
+	}
+	trip := up.trips[0]
+	if err := trip.Validate(); err != nil {
+		t.Fatalf("trip with clamped sample invalid: %v", err)
+	}
+	if got := trip.Samples[2].TimeS; got != 160 {
+		t.Errorf("clamped sample stamped %v, want 160", got)
+	}
+	if got := trip.Samples[3].TimeS; got != 170 {
+		t.Errorf("later sample stamped %v, want 170", got)
+	}
+}

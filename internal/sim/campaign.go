@@ -61,6 +61,13 @@ type CampaignConfig struct {
 	// trip to the fault model). Backoff delays are recorded, not slept —
 	// the campaign runs in simulated time.
 	UploadRetry phone.RetryConfig
+	// ParticipantOffset shifts every participant's global index: rider i
+	// of this campaign is rider i+ParticipantOffset of the deployment,
+	// with the matching device ID and RNG stream. A cohort-partitioned
+	// load run (sim.StreamTrips) uses it to give each cohort's riders
+	// identities disjoint from every other cohort's while still deriving
+	// them all from one master seed. 0 (the default) is the identity.
+	ParticipantOffset int
 	// Seed drives all campaign randomness.
 	Seed uint64
 }
@@ -94,6 +101,9 @@ func (c CampaignConfig) Validate() error {
 	}
 	if c.UploadBatchSize < 0 {
 		return fmt.Errorf("sim: negative upload batch size %d", c.UploadBatchSize)
+	}
+	if c.ParticipantOffset < 0 {
+		return fmt.Errorf("sim: negative participant offset %d", c.ParticipantOffset)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -388,14 +398,18 @@ func NewCampaign(w *World, cfg CampaignConfig, uploader phone.Uploader, observer
 		agentSink = &countingUploader{sink: sink, stats: &c.stats, lastErr: &c.lastUploadErr}
 	}
 	for i := 0; i < cfg.Participants; i++ {
-		prng := c.rng.Fork(fmt.Sprintf("participant-%d", i))
+		// The global index keys both the identity and the randomness, so
+		// rider gi behaves identically whether simulated in one campaign
+		// or as part of an offset cohort.
+		gi := i + cfg.ParticipantOffset
+		prng := c.rng.Fork(fmt.Sprintf("participant-%d", gi))
 		sc := &busScanner{cells: w.Cells, rng: prng.Fork("scan"), scans: &c.stats.ScansTaken}
-		agent, err := phone.NewAgent(phone.DefaultAgentConfig(fmt.Sprintf("dev-%02d", i)), sc, agentSink)
+		agent, err := phone.NewAgent(phone.DefaultAgentConfig(fmt.Sprintf("dev-%02d", gi)), sc, agentSink)
 		if err != nil {
 			return nil, err
 		}
 		device := phone.HTCSensation
-		if i%2 == 1 {
+		if gi%2 == 1 {
 			device = phone.NexusOne
 		}
 		c.parts = append(c.parts, &participant{

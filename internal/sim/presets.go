@@ -9,6 +9,36 @@ import (
 	"busprobe/internal/transit"
 )
 
+// SmallWorldConfig is a compact city (4 km x 2.5 km, 4 routes) for
+// fast test runs and harness smoke scenarios: the world builds and
+// surveys in a fraction of the paper-scale cost while exercising every
+// code path (multiple routes sharing stops, the full radio plan).
+func SmallWorldConfig() WorldConfig {
+	cfg := DefaultWorldConfig()
+	cfg.Road.WidthM = 4000
+	cfg.Road.HeightM = 2500
+	cfg.Plan.RouteIDs = []transit.RouteID{"179", "199", "243", "252"}
+	cfg.Plan.MinStops = 8
+	cfg.Plan.MaxStops = 14
+	return cfg
+}
+
+// PresetWorldConfig names the world presets shared by the binaries and
+// the lab harness: a server booted with -world NAME and a harness
+// deployment built from the same name and seed derive byte-identical
+// cities and fingerprint databases.
+func PresetWorldConfig(name string) (WorldConfig, error) {
+	switch name {
+	case "", "paper":
+		return DefaultWorldConfig(), nil
+	case "small":
+		return SmallWorldConfig(), nil
+	case "london":
+		return LondonWorldConfig(), nil
+	}
+	return WorldConfig{}, fmt.Errorf("sim: unknown world preset %q (want paper, small, or london)", name)
+}
+
 // LondonWorldConfig is a second city preset backing the paper's §VI
 // portability claim ("our system can be easily adopted to other urban
 // areas with slight modifications"): a denser, larger inner-London-like

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"busprobe/internal/probe"
+)
+
+// DefaultCohortSize is the number of riders simulated concurrently by
+// StreamTrips when the caller does not choose one. It bounds the
+// generator's working set: memory scales with the cohort, not the
+// deployment, so a million-rider surge costs the same heap as a
+// thousand-rider one.
+const DefaultCohortSize = 1024
+
+// StreamConfig parameterizes a streaming load-generation run.
+type StreamConfig struct {
+	// Campaign is the per-rider campaign shape. Participants is the
+	// TOTAL rider population of the run; StreamTrips partitions it into
+	// cohorts internally. UploadBatchSize must be 0 or 1 — trips are
+	// emitted one at a time, in conclusion order.
+	Campaign CampaignConfig
+	// CohortSize caps how many riders are materialized at once
+	// (default DefaultCohortSize).
+	CohortSize int
+}
+
+// StreamStats summarizes a streaming run.
+type StreamStats struct {
+	// Riders is the total rider population simulated.
+	Riders int
+	// Cohorts is how many independent cohorts the population split into.
+	Cohorts int
+	// Trips counts trips emitted through the callback.
+	Trips int
+	// Campaign accumulates the per-cohort campaign stats.
+	Campaign CampaignStats
+}
+
+// emitUploader adapts the stream callback to phone.Uploader so a
+// campaign delivers concluded trips straight out of the generator
+// without materializing them.
+type emitUploader struct {
+	emit  func(probe.Trip) error
+	trips *int
+}
+
+// Upload implements phone.Uploader.
+func (u *emitUploader) Upload(_ context.Context, t probe.Trip) error {
+	*u.trips++
+	return u.emit(t)
+}
+
+// StreamTrips generates the upload stream of a cfg.Campaign.Participants-
+// rider deployment, delivering each concluded trip to emit instead of
+// materializing the population: riders are simulated in cohorts of
+// CohortSize, and each cohort's state is released before the next
+// starts, so heap stays flat as the rider count grows.
+//
+// Determinism: the stream is a pure function of the configuration.
+// Rider identities and RNG streams key off the rider's global index
+// (cohort k covers riders [k*CohortSize, (k+1)*CohortSize) via
+// CampaignConfig.ParticipantOffset), so the same seed produces a
+// byte-identical stream on every run. With CohortSize >=
+// Participants the single cohort runs the exact RecordTrips code path
+// and the stream equals its output trip for trip. Across cohort
+// boundaries the populations are independent (each cohort rides its
+// own deterministic copy of the day's bus service), which models
+// disjoint rider sub-fleets rather than one shared fleet — the right
+// trade for a load generator that must scale beyond what a monolithic
+// simulation can hold.
+//
+// An emit error aborts the run and is returned; the stats cover what
+// was generated up to the abort.
+func StreamTrips(ctx context.Context, w *World, cfg StreamConfig, emit func(probe.Trip) error) (StreamStats, error) {
+	var out StreamStats
+	if w == nil || emit == nil {
+		return out, fmt.Errorf("sim: stream needs a world and an emit callback")
+	}
+	base := cfg.Campaign
+	if err := base.Validate(); err != nil {
+		return out, err
+	}
+	if base.UploadBatchSize > 1 {
+		return out, fmt.Errorf("sim: stream emits trips one at a time; batch upstream, not in the generator")
+	}
+	size := cfg.CohortSize
+	if size <= 0 {
+		size = DefaultCohortSize
+	}
+	total := base.Participants
+	for start := 0; start < total; start += size {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		ccfg := base
+		ccfg.Participants = total - start
+		if ccfg.Participants > size {
+			ccfg.Participants = size
+		}
+		ccfg.ParticipantOffset = base.ParticipantOffset + start
+		camp, err := NewCampaign(w, ccfg, &emitUploader{emit: emit, trips: &out.Trips}, nil)
+		if err != nil {
+			return out, err
+		}
+		st, err := camp.Run(ctx)
+		out.Campaign.accumulate(st)
+		out.Cohorts++
+		if err != nil {
+			return out, fmt.Errorf("sim: stream cohort %d (riders %d+): %w", out.Cohorts-1, ccfg.ParticipantOffset, err)
+		}
+	}
+	out.Riders = total
+	return out, nil
+}
+
+// accumulate folds another run's counters into s.
+func (s *CampaignStats) accumulate(o CampaignStats) {
+	s.Visits += o.Visits
+	s.SkippedVisits += o.SkippedVisits
+	s.Beeps += o.Beeps
+	s.BusRuns += o.BusRuns
+	s.ParticipantTrips += o.ParticipantTrips
+	s.ScansTaken += o.ScansTaken
+	s.TrainDecoys += o.TrainDecoys
+	s.BatchFlushes += o.BatchFlushes
+	s.UploadFailures += o.UploadFailures
+	s.UploadsDropped += o.UploadsDropped
+	s.UploadsShed += o.UploadsShed
+	s.UploadsInvalid += o.UploadsInvalid
+	s.UploadDuplicates += o.UploadDuplicates
+	s.FaultTripsOffered += o.FaultTripsOffered
+	s.FaultTripsDropped += o.FaultTripsDropped
+	s.FaultTripsDuplicated += o.FaultTripsDuplicated
+	s.FaultTripsReordered += o.FaultTripsReordered
+	s.FaultTripsDelayed += o.FaultTripsDelayed
+	s.FaultTripsCorrupted += o.FaultTripsCorrupted
+	s.FaultTripsDelivered += o.FaultTripsDelivered
+	s.UploadRetries += o.UploadRetries
+	s.UploadSpoolRecovered += o.UploadSpoolRecovered
+	s.RidingSeconds += o.RidingSeconds
+	s.AppEnergyJ += o.AppEnergyJ
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"busprobe/internal/probe"
+)
+
+// streamTestWorld builds the compact preset world the stream tests
+// share.
+func streamTestWorld(t *testing.T) *World {
+	t.Helper()
+	cfg := SmallWorldConfig()
+	cfg.Seed = 7
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	return w
+}
+
+// streamCampaign is the base one-day campaign the stream tests run.
+func streamCampaign(riders int) CampaignConfig {
+	cfg := DefaultCampaignConfig()
+	cfg.Days = 1
+	cfg.Participants = riders
+	cfg.SparseTripsPerDay = 1.5
+	cfg.IntensiveFromDay = 99 // stays sparse
+	cfg.Seed = 11
+	return cfg
+}
+
+// streamDigest hashes a trip stream: every emitted trip's JSON feeds
+// one running hash, so two streams digest equal iff they are
+// byte-identical trip for trip, in order.
+func streamDigest(t *testing.T, w *World, cfg StreamConfig) (string, StreamStats) {
+	t.Helper()
+	h := sha256.New()
+	st, err := StreamTrips(context.Background(), w, cfg, func(tr probe.Trip) error {
+		b, err := json.Marshal(&tr)
+		if err != nil {
+			return err
+		}
+		h.Write(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), st
+}
+
+// TestStreamTripsDeterministic proves the streaming generator is a pure
+// function of its configuration: two runs with the same seed produce a
+// byte-identical trip stream, and changing the seed changes it.
+func TestStreamTripsDeterministic(t *testing.T) {
+	w := streamTestWorld(t)
+	cfg := StreamConfig{Campaign: streamCampaign(40), CohortSize: 16}
+	d1, st1 := streamDigest(t, w, cfg)
+	d2, st2 := streamDigest(t, w, cfg)
+	if d1 != d2 {
+		t.Fatalf("same seed diverged: %s vs %s", d1, d2)
+	}
+	if st1.Trips != st2.Trips || st1.Trips == 0 {
+		t.Fatalf("trip counts diverged or empty: %d vs %d", st1.Trips, st2.Trips)
+	}
+	if st1.Cohorts != 3 {
+		t.Fatalf("40 riders in cohorts of 16 should run 3 cohorts, got %d", st1.Cohorts)
+	}
+	other := cfg
+	other.Campaign.Seed = 12
+	if d3, _ := streamDigest(t, w, other); d3 == d1 {
+		t.Fatalf("different seed produced an identical stream")
+	}
+}
+
+// TestStreamTripsMatchesRecordTrips pins the single-cohort stream to
+// sim.RecordTrips: at small scale the generator must be a pure
+// refactor of the recorded campaign, trip for trip.
+func TestStreamTripsMatchesRecordTrips(t *testing.T) {
+	w := streamTestWorld(t)
+	ccfg := streamCampaign(12)
+	recorded, _, err := RecordTrips(context.Background(), w, ccfg)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	var streamed []probe.Trip
+	_, err = StreamTrips(context.Background(), w, StreamConfig{Campaign: ccfg, CohortSize: 64},
+		func(tr probe.Trip) error { streamed = append(streamed, tr); return nil })
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if len(streamed) != len(recorded) {
+		t.Fatalf("stream emitted %d trips, RecordTrips %d", len(streamed), len(recorded))
+	}
+	for i := range streamed {
+		if !reflect.DeepEqual(streamed[i], recorded[i]) {
+			t.Fatalf("trip %d diverged:\nstream: %+v\nrecord: %+v", i, streamed[i], recorded[i])
+		}
+	}
+}
+
+// TestStreamTripsCohortIdentitiesDisjoint proves cohort partitioning
+// cannot collide rider identities: every device appears in exactly one
+// cohort, so trip IDs stay unique and a downstream dedup set never
+// eats a legitimate trip.
+func TestStreamTripsCohortIdentitiesDisjoint(t *testing.T) {
+	w := streamTestWorld(t)
+	seen := map[string]bool{}
+	_, err := StreamTrips(context.Background(), w,
+		StreamConfig{Campaign: streamCampaign(40), CohortSize: 16},
+		func(tr probe.Trip) error {
+			if seen[tr.ID] {
+				return fmt.Errorf("duplicate trip ID %s across cohorts", tr.ID)
+			}
+			seen[tr.ID] = true
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("stream emitted no trips")
+	}
+}
+
+// heapHighWater streams a run, measuring the post-GC heap after every
+// cohort, and returns the peak growth over the pre-run baseline.
+func heapHighWater(t *testing.T, w *World, riders, cohort int) uint64 {
+	t.Helper()
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	var peak uint64
+	emitted := 0
+	_, err := StreamTrips(context.Background(), w,
+		StreamConfig{Campaign: streamCampaign(riders), CohortSize: cohort},
+		func(probe.Trip) error {
+			emitted++
+			if emitted%50 == 0 {
+				runtime.GC()
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > base && ms.HeapAlloc-base > peak {
+					peak = ms.HeapAlloc - base
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if emitted == 0 {
+		t.Fatal("stream emitted no trips")
+	}
+	return peak
+}
+
+// TestStreamTripsBoundedMemory asserts the generator's heap is a
+// function of the cohort size, not the rider population: growing the
+// population 10x with a fixed cohort must keep the post-GC heap
+// high-water flat (the working set is one cohort plus the shared
+// world).
+func TestStreamTripsBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory sweep is slow")
+	}
+	w := streamTestWorld(t)
+	const cohort = 32
+	small := heapHighWater(t, w, 60, cohort)
+	large := heapHighWater(t, w, 600, cohort)
+	// Flat within GC noise: allow a fixed slack, not a factor of the
+	// population.
+	const slack = 8 << 20
+	if large > small+slack {
+		t.Fatalf("heap grew with population: %d riders peaked %d bytes over baseline, %d riders %d (slack %d)",
+			600, large, 60, small, slack)
+	}
+}

@@ -9,6 +9,7 @@ package busprobe
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -391,6 +392,101 @@ func BenchmarkIngestBatchObs(b *testing.B) { benchIngest(b, 0, true) }
 // BenchmarkIngestSerialObs measures the serial path with spans + metrics
 // live, the worst case for per-trip instrumentation cost.
 func BenchmarkIngestSerialObs(b *testing.B) { benchIngest(b, 1, true) }
+
+// BenchmarkReadUnderIngest measures the traffic read path — one
+// lock-free snapshot load plus the defensive clone every renderer
+// takes — against an idle backend and against one absorbing a
+// continuous re-ingest load. With the copy-on-write snapshot the two
+// must stay close: readers never touch the estimator lock, so ingest
+// pressure cannot stall the serving path. BENCH_read.json records the
+// measured trajectory.
+func BenchmarkReadUnderIngest(b *testing.B) {
+	trips := benchTrips(b)
+	l := benchLab(b)
+	back, err := l.NewBackend()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range back.ProcessTrips(context.Background(), trips, 0) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	back.Advance(2 * clock.DayS)
+	if len(back.Traffic()) == 0 {
+		b.Fatal("seed campaign produced no estimates")
+	}
+
+	readLoop := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(back.Traffic()) == 0 {
+				b.Fatal("traffic map emptied mid-run")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+	}
+
+	b.Run("idle", readLoop)
+
+	// Interleaved: the corpus re-ingests between timed reads with the
+	// clock stopped around every write, so the metric isolates what
+	// ingest does to the read path itself (snapshot churn, cache
+	// pressure) from plain CPU sharing. This is the number the
+	// within-~10%-of-idle budget binds: on a single-core runner the
+	// concurrent variant below necessarily pays the writer's whole CPU
+	// share as well.
+	b.Run("interleaved-ingest", func(b *testing.B) {
+		const readsPerWrite = 50
+		next, round := 0, 1
+		for i := 0; i < b.N; i++ {
+			if i%readsPerWrite == 0 {
+				b.StopTimer()
+				t := trips[next]
+				t.ID = fmt.Sprintf("%s#i%d", t.ID, round)
+				back.ProcessTrip(context.Background(), t) //lint:allow errcheckio background load generator; a rejection cannot invalidate the read measurement
+				if next++; next == len(trips) {
+					next, round = 0, round+1
+				}
+				b.StartTimer()
+			}
+			if len(back.Traffic()) == 0 {
+				b.Fatal("traffic map emptied mid-run")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+	})
+
+	b.Run("during-ingest", func(b *testing.B) {
+		// One writer goroutine re-offers the corpus serially under fresh
+		// trip IDs (dedup is by ID), so trips keep mapping, folding, and
+		// republishing snapshots while the timed loop reads. A single
+		// stream keeps this a lock-contention measurement rather than a
+		// every-core-busy CPU-starvation one.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 1; ; round++ {
+				for i := range trips {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t := trips[i]
+					t.ID = fmt.Sprintf("%s#r%d", t.ID, round)
+					back.ProcessTrip(context.Background(), t) //lint:allow errcheckio background load generator; a rejection cannot invalidate the read measurement
+				}
+			}
+		}()
+		b.ResetTimer()
+		readLoop(b)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+}
 
 // BenchmarkEndToEndDay measures a full system day: city, survey,
 // campaign, pipeline, estimation.

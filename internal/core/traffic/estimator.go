@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"busprobe/internal/road"
 	"busprobe/internal/stats"
@@ -78,6 +79,13 @@ type segState struct {
 // of Advance calls — therefore produce byte-identical estimates, which
 // is what lets the chaos harness assert that duplicated and reordered
 // uploads cannot corrupt the traffic map. Safe for concurrent use.
+//
+// Reads never take the mutex: every mutator settles the fold eagerly
+// and, when any belief changed, publishes a fresh immutable Snapshot
+// through an atomic pointer. Because the fold is a pure function of
+// the report multiset and the watermark — and only mutators move
+// either — settling eagerly at mutation time yields exactly the
+// estimates the previous read-time settle produced.
 type Estimator struct {
 	mu        sync.Mutex
 	model     Model
@@ -89,6 +97,10 @@ type Estimator struct {
 	// Advance timestamps and never retreats.
 	watermarkIdx int64
 	lateDropped  int
+	// snap is the published copy-on-write state; Get/Snapshot/View load
+	// it without locking. Mutators swap it under mu, so versions are
+	// monotone.
+	snap atomic.Pointer[Snapshot]
 }
 
 // NewEstimator returns an estimator with the given transit model, update
@@ -104,12 +116,14 @@ func NewEstimator(model Model, periodS, driftVarPerS float64) (*Estimator, error
 	if driftVarPerS < 0 {
 		return nil, fmt.Errorf("traffic: negative drift rate %v", driftVarPerS)
 	}
-	return &Estimator{
+	e := &Estimator{
 		model:     model,
 		periodS:   periodS,
 		driftPerS: driftVarPerS,
 		segs:      make(map[road.SegmentID]*segState),
-	}, nil
+	}
+	e.snap.Store(EmptySnapshot())
+	return e, nil
 }
 
 // Model returns the transit model in use.
@@ -135,10 +149,13 @@ func (e *Estimator) AddObservation(obs Observation) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if idx := e.windowOf(obs.TimeS); idx > e.watermarkIdx {
-		e.watermarkIdx = idx
-	}
 	idx := e.windowOf(obs.TimeS)
+	advanced := false
+	if idx > e.watermarkIdx {
+		e.watermarkIdx = idx
+		advanced = true
+	}
+	touched := make([]*segState, 0, len(obs.Segments))
 	for _, sid := range obs.Segments {
 		st := e.segs[sid]
 		if st == nil {
@@ -160,6 +177,20 @@ func (e *Estimator) AddObservation(obs Observation) error {
 		if idx < st.foldedIdx {
 			st.dirty = true
 		}
+		touched = append(touched, st)
+	}
+	folded := false
+	if advanced {
+		folded = e.settleAllLocked()
+	} else {
+		for _, st := range touched {
+			if e.settleLocked(st) {
+				folded = true
+			}
+		}
+	}
+	if folded {
+		e.publishLocked()
 	}
 	return nil
 }
@@ -172,14 +203,21 @@ func (e *Estimator) Advance(nowS float64) {
 	if idx := e.windowOf(nowS); idx > e.watermarkIdx {
 		e.watermarkIdx = idx
 	}
-	e.settleAllLocked()
+	if e.settleAllLocked() {
+		e.publishLocked()
+	}
 }
 
-// settleAllLocked folds every segment up to the watermark.
-func (e *Estimator) settleAllLocked() {
+// settleAllLocked folds every segment up to the watermark, reporting
+// whether any belief may have changed.
+func (e *Estimator) settleAllLocked() bool {
+	folded := false
 	for _, st := range e.segs {
-		e.settleLocked(st)
+		if e.settleLocked(st) {
+			folded = true
+		}
 	}
+	return folded
 }
 
 // settleLocked brings one segment's belief up to the watermark: a dirty
@@ -187,15 +225,18 @@ func (e *Estimator) settleAllLocked() {
 // then every complete unfolded window is folded in ascending order.
 // Each window folds at its own end boundary regardless of when settle
 // runs, so the result depends only on the report multiset and the
-// watermark.
-func (e *Estimator) settleLocked(st *segState) {
+// watermark. The return reports whether any fold ran — i.e. whether
+// the belief may differ from the published snapshot.
+func (e *Estimator) settleLocked(st *segState) bool {
+	replayed := false
 	if st.dirty {
 		st.hist = st.base
 		st.foldedIdx = st.baseIdx
 		st.dirty = false
+		replayed = true
 	}
 	if st.foldedIdx >= e.watermarkIdx {
-		return
+		return replayed
 	}
 	var due []int64
 	for idx := range st.windows {
@@ -218,6 +259,24 @@ func (e *Estimator) settleLocked(st *segState) {
 		st.hist = fuseAt(Inflate(st.hist, endS, e.driftPerS), v, varV, endS)
 	}
 	st.foldedIdx = e.watermarkIdx
+	return replayed || len(due) > 0
+}
+
+// publishLocked swaps in a fresh immutable snapshot of every settled
+// belief. NextSnapshot diffs against the published state, so a settle
+// that refolded to identical values publishes nothing and the version
+// only moves on a value-visible change.
+func (e *Estimator) publishLocked() {
+	prev := e.snap.Load()
+	m := make(map[road.SegmentID]Estimate, len(e.segs))
+	for sid, st := range e.segs {
+		if st.hist.Reports > 0 {
+			m[sid] = st.hist
+		}
+	}
+	if next := NextSnapshot(prev, m); next != prev {
+		e.snap.Store(next)
+	}
 }
 
 // Compact checkpoints every segment's belief and discards the folded
@@ -229,8 +288,11 @@ func (e *Estimator) settleLocked(st *segState) {
 func (e *Estimator) Compact() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	folded := false
 	for _, st := range e.segs {
-		e.settleLocked(st)
+		if e.settleLocked(st) {
+			folded = true
+		}
 		st.base = st.hist
 		st.baseIdx = st.foldedIdx
 		for idx := range st.windows {
@@ -238,6 +300,9 @@ func (e *Estimator) Compact() {
 				delete(st.windows, idx)
 			}
 		}
+	}
+	if folded {
+		e.publishLocked()
 	}
 }
 
@@ -257,41 +322,31 @@ func fuseAt(hist Estimate, v, varV, atS float64) Estimate {
 }
 
 // Get returns the fused estimate for a segment, if any window has been
-// folded for it yet.
+// folded for it yet. Lock-free: it reads the published snapshot.
 func (e *Estimator) Get(sid road.SegmentID) (Estimate, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.segs[sid]
-	if st == nil {
-		return Estimate{}, false
-	}
-	e.settleLocked(st)
-	if st.hist.Reports == 0 {
-		return Estimate{}, false
-	}
-	return st.hist, true
+	est, ok := e.snap.Load().Estimates[sid]
+	return est, ok
+}
+
+// View returns the current published snapshot: an immutable, shared,
+// versioned value readers may hold indefinitely. Lock-free. Callers
+// must not mutate its maps.
+func (e *Estimator) View() *Snapshot {
+	return e.snap.Load()
 }
 
 // Snapshot returns the current fused estimate of every segment with at
-// least one folded report.
+// least one folded report, as a mutable copy the caller owns.
+// Lock-free; use View to avoid the copy.
 func (e *Estimator) Snapshot() map[road.SegmentID]Estimate {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.settleAllLocked()
-	out := make(map[road.SegmentID]Estimate, len(e.segs))
-	for sid, st := range e.segs {
-		if st.hist.Reports > 0 {
-			out[sid] = st.hist
-		}
-	}
-	return out
+	return e.snap.Load().CloneEstimates()
 }
 
 // CoveredSegments returns the IDs with folded estimates, ascending.
 func (e *Estimator) CoveredSegments() []road.SegmentID {
-	snap := e.Snapshot()
-	out := make([]road.SegmentID, 0, len(snap))
-	for sid := range snap {
+	snap := e.View()
+	out := make([]road.SegmentID, 0, len(snap.Estimates))
+	for sid := range snap.Estimates {
 		out = append(out, sid)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

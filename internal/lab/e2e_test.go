@@ -133,6 +133,34 @@ func TestE2EShardProcsDegradedReads(t *testing.T) {
 	}
 }
 
+// TestE2EReadStormScenario is the regression test for the versioned-
+// snapshot read path on a real process: concurrent pollers and watchers
+// during chaos ingest must see monotone versions, and a watcher's
+// delta-reconstructed map must be byte-identical to a fresh GET.
+func TestE2EReadStormScenario(t *testing.T) {
+	r := runOne(t, e2eOptions(t), "read-storm")
+	if !r.Pass {
+		t.Fatalf("read-storm suite failed: %v", r.Reasons)
+	}
+	for _, name := range []string{
+		"readers saw no contract violation",
+		"readers actually ran under ingest",
+		"watcher 0 delta reconstruction byte-identical",
+		"watcher 1 delta reconstruction byte-identical",
+		"quiescent conditional GET answers 304",
+	} {
+		if c := findCheck(t, r, name); !c.Pass {
+			t.Errorf("check %q failed: %s", name, c.Detail)
+		}
+	}
+	if r.Reads == nil || r.Reads.PolledReads == 0 || r.Reads.WatchPolls == 0 {
+		t.Fatalf("read load not recorded: %+v", r.Reads)
+	}
+	if r.Equivalence == nil || !r.Equivalence.ByteIdentical {
+		t.Fatalf("reconstruction equivalence = %+v", r.Equivalence)
+	}
+}
+
 // TestRunRejectsUnknownScenario keeps the CLI surface honest.
 func TestRunRejectsUnknownScenario(t *testing.T) {
 	if serverBinPath == "" {

@@ -50,6 +50,9 @@ type Result struct {
 	// Memory reports the bounded-memory verdict, when the scenario
 	// asserts one (surge).
 	Memory *Memory `json:"memory,omitempty"`
+	// Reads summarizes the concurrent read load, when the scenario
+	// drives one (read-storm).
+	Reads *ReadStorm `json:"reads,omitempty"`
 	// DurationS is the whole suite's wall-clock duration.
 	DurationS float64 `json:"durationS"`
 }
@@ -127,6 +130,26 @@ type Memory struct {
 	Samples int `json:"samples"`
 	// Bounded is the verdict.
 	Bounded bool `json:"bounded"`
+}
+
+// ReadStorm summarizes the read side of the read-storm scenario: how
+// many concurrent readers ran against the ingesting server and what
+// they observed.
+type ReadStorm struct {
+	// Pollers is the number of concurrent full-map GET loops.
+	Pollers int `json:"pollers"`
+	// Watchers is the number of concurrent /v1/traffic/watch loops.
+	Watchers int `json:"watchers"`
+	// PolledReads counts full-map responses (200) the pollers received.
+	PolledReads int `json:"polledReads"`
+	// NotModified counts conditional-GET hits (304) — reads that moved
+	// no body because the snapshot version had not changed.
+	NotModified int `json:"notModified"`
+	// WatchPolls counts completed watch polls across the watchers.
+	WatchPolls int `json:"watchPolls"`
+	// ReadsPerS is total reads (200s + 304s + watch polls) per second of
+	// drive-phase wall clock.
+	ReadsPerS float64 `json:"readsPerS"`
 }
 
 // check appends a named assertion, folding a failure into the suite

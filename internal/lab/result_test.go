@@ -42,6 +42,10 @@ func exemplarResult() *Result {
 		Memory: &Memory{
 			BoundBytes: 268435456, MaxHeapDeltaBytes: 9437184, Samples: 20, Bounded: true,
 		},
+		Reads: &ReadStorm{
+			Pollers: 4, Watchers: 2, PolledReads: 1800, NotModified: 240,
+			WatchPolls: 90, ReadsPerS: 24000.5,
+		},
 		DurationS: 0.31,
 	}
 	return r

@@ -2,11 +2,15 @@ package lab
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"busprobe/internal/clock"
@@ -480,6 +484,261 @@ var scenarioSurge = Scenario{
 		checkDrain(e, r, srv)
 		return nil
 	},
+}
+
+// scenarioReadStorm hammers the read path while a chaos-faulted corpus
+// ingests: concurrent pollers issue conditional full-map GETs and
+// watchers ride /v1/traffic/watch deltas. It requires the versioned-
+// snapshot contract end to end on a real process — versions monotone at
+// every reader, 304s when nothing changed, and each watcher's
+// delta-reconstructed map byte-identical to a fresh GET once quiescent.
+var scenarioReadStorm = Scenario{
+	Name:        "read-storm",
+	Description: "concurrent pollers + watchers during chaos ingest: monotone versions, 304 on idle, delta reconstruction byte-identical",
+	run: func(ctx context.Context, e *env, r *Result) error {
+		r.Topology = "monolith"
+		corpus, err := e.cleanCorpus(ctx)
+		if err != nil {
+			return err
+		}
+		srv, err := e.bootServer(ctx, "monolith")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			sctx, cancel := e.shutdownCtx()
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+
+		const pollers, watchers = 4, 2
+		storm := &ReadStorm{Pollers: pollers, Watchers: watchers}
+		readCtx, stopReads := context.WithCancel(ctx)
+		defer stopReads()
+
+		// Readers report the first contract violation they see; counters
+		// accumulate under the same lock.
+		var (
+			readMu      sync.Mutex
+			violation   string
+			polled      int
+			notModified int
+			watchPolls  int
+		)
+		violate := func(format string, args ...any) {
+			readMu.Lock()
+			if violation == "" {
+				violation = fmt.Sprintf(format, args...)
+			}
+			readMu.Unlock()
+		}
+
+		var rg sync.WaitGroup
+		for p := 0; p < pollers; p++ {
+			rg.Add(1)
+			go func() {
+				defer rg.Done()
+				var lastVer uint64
+				var lastTag string
+				for readCtx.Err() == nil {
+					status, hdr, _, err := fetchTraffic(readCtx, srv.URL, lastTag)
+					if err != nil {
+						if readCtx.Err() == nil {
+							violate("poller read failed: %v", err)
+						}
+						return
+					}
+					ver, perr := strconv.ParseUint(hdr.Get(server.TrafficVersionHeader), 10, 64)
+					if perr != nil {
+						violate("poller: bad version header %q", hdr.Get(server.TrafficVersionHeader))
+						return
+					}
+					if ver < lastVer {
+						violate("poller: version regressed %d -> %d", lastVer, ver)
+						return
+					}
+					lastVer, lastTag = ver, hdr.Get("ETag")
+					readMu.Lock()
+					if status == http.StatusNotModified {
+						notModified++
+					} else {
+						polled++
+					}
+					readMu.Unlock()
+				}
+			}()
+		}
+
+		// Each watcher folds deltas into its own row map; the maps
+		// outlive the goroutines for the final byte-equivalence check.
+		views := make([]map[int]server.SegmentEstimateJSON, watchers)
+		lastSeen := make([]uint64, watchers)
+		for i := range views {
+			views[i] = make(map[int]server.SegmentEstimateJSON)
+		}
+		for wi := 0; wi < watchers; wi++ {
+			wi := wi
+			rg.Add(1)
+			go func() {
+				defer rg.Done()
+				for readCtx.Err() == nil {
+					out, err := srv.Client.TrafficWatch(readCtx, lastSeen[wi], 0.2)
+					if err != nil {
+						if readCtx.Err() == nil {
+							violate("watcher %d poll failed: %v", wi, err)
+						}
+						return
+					}
+					if out.Resync {
+						violate("watcher %d forced to resync against a live server", wi)
+						return
+					}
+					if out.Version < lastSeen[wi] {
+						violate("watcher %d: version regressed %d -> %d", wi, lastSeen[wi], out.Version)
+						return
+					}
+					applyWatchDelta(views[wi], out)
+					lastSeen[wi] = out.Version
+					readMu.Lock()
+					watchPolls++
+					readMu.Unlock()
+				}
+			}()
+		}
+
+		// The write side: the chaos corpus (dup/reorder/delay) ingests
+		// while the readers hammer.
+		rec := NewLatencyRecorder(e.opts.Clock)
+		wc := newWireCounter(srv.Client, rec)
+		inj, err := faults.NewInjector(faults.Config{
+			Seed:        e.opts.Seed ^ 0x51,
+			DupRate:     0.15,
+			ReorderRate: 0.15,
+			DelayRate:   0.05,
+		}, wc)
+		if err != nil {
+			stopReads()
+			rg.Wait()
+			return err
+		}
+		start := e.opts.Clock.Now()
+		if err := driveTrips(ctx, inj, corpus); err != nil {
+			stopReads()
+			rg.Wait()
+			return err
+		}
+		inj.Flush(ctx) //lint:allow errcheckio Injector.Flush returns nothing; held-trip delivery failures land in the wire counter, checked below
+		wall := clock.Since(e.opts.Clock, start).Seconds()
+		stopReads()
+		rg.Wait()
+		wc.summarize(r, e.opts.Riders, e.opts.Days, wall)
+
+		readMu.Lock()
+		storm.PolledReads, storm.NotModified, storm.WatchPolls = polled, notModified, watchPolls
+		firstViolation := violation
+		readMu.Unlock()
+		if wall > 0 {
+			storm.ReadsPerS = float64(storm.PolledReads+storm.NotModified+storm.WatchPolls) / wall
+		}
+		r.Reads = storm
+		e.logf("read-storm: %d full reads, %d 304s, %d watch polls over %.1fs of ingest",
+			storm.PolledReads, storm.NotModified, storm.WatchPolls, wall)
+
+		offered, delivered, dup, failed := wc.snapshot()
+		r.check("no wire failures under the storm", failed == 0 && delivered+dup == offered,
+			fmt.Sprintf("offered %d delivered %d duplicate %d failed %d (%s)", offered, delivered, dup, failed, wc.failDetail()))
+		r.check("readers saw no contract violation", firstViolation == "", firstViolation)
+		r.check("readers actually ran under ingest", storm.PolledReads > 0 && storm.WatchPolls > 0,
+			fmt.Sprintf("%d full reads, %d watch polls", storm.PolledReads, storm.WatchPolls))
+
+		// Quiescent now: each watcher takes one catch-up delta, and its
+		// reconstructed map must match a fresh GET byte for byte.
+		status, fresh, err := fetchRaw(ctx, srv.URL, "/v1/traffic")
+		if err != nil || status != http.StatusOK {
+			r.check("final traffic readable", false, fmt.Sprintf("status %d, err %v", status, err))
+			return nil
+		}
+		for wi := range views {
+			out, err := srv.Client.TrafficWatch(ctx, lastSeen[wi], 0)
+			if err != nil {
+				r.check(fmt.Sprintf("watcher %d catches up", wi), false, err.Error())
+				continue
+			}
+			applyWatchDelta(views[wi], out)
+			rebuilt := renderTrafficRows(views[wi])
+			eq := compareTraffic("fresh GET /v1/traffic after the storm", fresh, rebuilt, trafficRows(fresh))
+			if wi == 0 {
+				r.Equivalence = eq
+			}
+			r.check(fmt.Sprintf("watcher %d delta reconstruction byte-identical", wi), eq.ByteIdentical, eq.Detail)
+		}
+
+		// With the map quiescent, a conditional GET must move no body.
+		status, hdr, _, err := fetchTraffic(ctx, srv.URL, "")
+		if err != nil || status != http.StatusOK {
+			r.check("quiescent conditional GET answers 304", false, fmt.Sprintf("probe status %d, err %v", status, err))
+			return nil
+		}
+		status, _, body, err := fetchTraffic(ctx, srv.URL, hdr.Get("ETag"))
+		r.check("quiescent conditional GET answers 304", err == nil && status == http.StatusNotModified && len(body) == 0,
+			fmt.Sprintf("status %d, %d body bytes, err %v", status, len(body), err))
+		return nil
+	},
+}
+
+// fetchTraffic GETs /v1/traffic with an optional If-None-Match tag,
+// returning status, response headers, and raw body.
+func fetchTraffic(ctx context.Context, baseURL, etag string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/traffic", nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := (&http.Client{Timeout: 30 * time.Second}).Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, resp.Header, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+// applyWatchDelta folds one watch response into a client-side row map,
+// exactly as a consuming dashboard would.
+func applyWatchDelta(view map[int]server.SegmentEstimateJSON, out server.TrafficWatchJSON) {
+	if out.Resync {
+		for sid := range view {
+			delete(view, sid)
+		}
+	}
+	for _, row := range out.Changed {
+		view[row.Segment] = row
+	}
+	for _, sid := range out.Removed {
+		delete(view, sid)
+	}
+}
+
+// renderTrafficRows renders a reconstructed row map exactly as the
+// server renders /v1/traffic (sorted compact JSON plus newline), so
+// reconstruction checks can compare raw wire bytes.
+func renderTrafficRows(view map[int]server.SegmentEstimateJSON) []byte {
+	rows := make([]server.SegmentEstimateJSON, 0, len(view))
+	for _, row := range view {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Segment < rows[j].Segment })
+	data, err := json.Marshal(rows)
+	if err != nil {
+		// Rows are plain structs; a marshal failure is unreachable.
+		return nil
+	}
+	return append(data, '\n')
 }
 
 // checkEquivalence replays the corpus serially in process and compares

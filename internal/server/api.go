@@ -28,8 +28,14 @@ type API interface {
 	// StageMetrics returns the per-stage instrumentation, aggregated
 	// across shards without double counting.
 	StageMetrics() []stage.Metrics
-	// Traffic returns the merged traffic-map snapshot.
+	// Traffic returns the merged traffic map as a mutable copy the
+	// caller owns; mutating it never touches served state.
 	Traffic() map[road.SegmentID]traffic.Estimate
+	// TrafficSnapshot returns the current immutable, versioned traffic
+	// snapshot. Lock-free on a Backend; a Coordinator serves its cached
+	// merge, re-merging only when a shard's version moved. Callers must
+	// not mutate the snapshot's maps.
+	TrafficSnapshot() *traffic.Snapshot
 	// TrafficSegment returns one segment's estimate, if any.
 	TrafficSegment(sid road.SegmentID) (traffic.Estimate, bool)
 	// Advance drives the estimator clocks.

@@ -621,12 +621,23 @@ func (b *Backend) AttachJournal(j *Journal) {
 // clock.
 func (b *Backend) Advance(nowS float64) { b.est.Advance(nowS) }
 
-// Traffic returns the current fused estimate per covered road segment.
+// Traffic returns the current fused estimate per covered road segment,
+// as a mutable copy the caller owns — mutating it never corrupts the
+// served snapshot. Lock-free (a pointer load plus the copy); hot read
+// paths use TrafficSnapshot to skip the copy.
 func (b *Backend) Traffic() map[road.SegmentID]traffic.Estimate {
 	return b.est.Snapshot()
 }
 
+// TrafficSnapshot returns the estimator's current published snapshot:
+// an immutable, versioned value served by a lock-free pointer load.
+// Callers must not mutate its maps.
+func (b *Backend) TrafficSnapshot() *traffic.Snapshot {
+	return b.est.View()
+}
+
 // TrafficSegment returns one segment's fused estimate, if any.
+// Lock-free.
 func (b *Backend) TrafficSegment(sid road.SegmentID) (traffic.Estimate, bool) {
 	return b.est.Get(sid)
 }

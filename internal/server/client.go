@@ -181,6 +181,21 @@ func (c *Client) Traffic(ctx context.Context) ([]SegmentEstimateJSON, error) {
 	return out, nil
 }
 
+// TrafficWatch long-polls /v1/traffic/watch for the delta past version
+// since, holding the poll up to waitS seconds (0 = return immediately,
+// negative = server default). The context must outlive the wait —
+// callers using the default http.Client should keep waitS under
+// DefaultClientTimeout.
+func (c *Client) TrafficWatch(ctx context.Context, since uint64, waitS float64) (TrafficWatchJSON, error) {
+	var out TrafficWatchJSON
+	path := fmt.Sprintf("/v1/traffic/watch?since=%d", since)
+	if waitS >= 0 {
+		path += fmt.Sprintf("&waitS=%g", waitS)
+	}
+	err := c.getJSON(ctx, path, &out)
+	return out, err
+}
+
 // Stats fetches the backend counters.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"busprobe/internal/obs"
 
@@ -64,6 +65,44 @@ type Coordinator struct {
 	// (degraded-but-alive) instead of wedging the city-wide view.
 	healthMu sync.Mutex
 	health   []shardHealth
+
+	// merged caches the fan-in traffic merge keyed by the shard version
+	// vector that built it: a read whose fetched vector matches serves
+	// the cached snapshot untouched, and only a moved shard version (or
+	// a health transition) triggers a re-merge. mergeMu serializes the
+	// re-merge itself — readers that lose the TryLock race serve the
+	// current cache instead of queueing, so reads never pile up behind
+	// one another.
+	mergeMu sync.Mutex
+	merged  atomic.Pointer[mergedTraffic]
+}
+
+// mergedTraffic is one cached fan-in merge: the coordinator-versioned
+// snapshot plus the shard version vector it was built from.
+type mergedTraffic struct {
+	snap *traffic.Snapshot
+	vec  []shardVersion
+}
+
+// shardVersion is one entry of the merge's version vector: whether the
+// shard answered, and at which published version.
+type shardVersion struct {
+	ok      bool
+	version uint64
+}
+
+// vecEqual reports whether two version vectors describe the same shard
+// states.
+func vecEqual(a, b []shardVersion) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // shardHealth is the coordinator's view of one shard's liveness.
@@ -357,24 +396,70 @@ func (c *Coordinator) StageMetrics() []stage.Metrics {
 	return stage.Merge(groups...)
 }
 
-// Traffic fans in across shards and merges the snapshots. The scatter
-// gives every segment exactly one owning estimator, so the union is
-// disjoint and merge order cannot matter. An unreachable shard's
-// segments drop out of the merged view until it returns
-// (degraded-but-alive reads).
+// Traffic fans in across shards and merges the snapshots, returning a
+// mutable copy the caller owns. The scatter gives every segment exactly
+// one owning estimator, so the union is disjoint and merge order cannot
+// matter. An unreachable shard's segments drop out of the merged view
+// until it returns (degraded-but-alive reads).
 func (c *Coordinator) Traffic() map[road.SegmentID]traffic.Estimate {
-	out := make(map[road.SegmentID]traffic.Estimate)
+	return c.TrafficSnapshot().CloneEstimates()
+}
+
+// TrafficSnapshot returns the merged, coordinator-versioned traffic
+// snapshot. The fan-out itself is cheap — a pointer load per in-process
+// shard, a conditional GET (usually 304) per remote one — and the merge
+// only re-runs when the fetched shard version vector differs from the
+// cached one, so RouteStatuses / PredictArrivals / watch pollers reuse
+// one merge instead of re-merging per read. The coordinator keeps its
+// own version sequence over the merged map (shard versions are local
+// sequences and cannot be combined into one), maintained by
+// traffic.NextSnapshot so deltas account for segments a dead shard
+// dropped out of the view.
+func (c *Coordinator) TrafficSnapshot() *traffic.Snapshot {
+	parts := make([]*traffic.Snapshot, len(c.shards))
+	vec := make([]shardVersion, len(c.shards))
 	for i, sh := range c.shards {
 		snap, err := sh.Traffic(context.Background())
 		c.noteShard(i, err)
 		if err != nil {
 			continue
 		}
-		for sid, est := range snap {
-			out[sid] = est
+		parts[i] = snap
+		vec[i] = shardVersion{ok: true, version: snap.Version}
+	}
+	cached := c.merged.Load()
+	if cached != nil && vecEqual(cached.vec, vec) {
+		return cached.snap
+	}
+	if cached != nil {
+		if !c.mergeMu.TryLock() {
+			// Another reader is already re-merging this state change;
+			// serve the current map instead of queueing behind it.
+			return cached.snap
+		}
+	} else {
+		c.mergeMu.Lock()
+	}
+	defer c.mergeMu.Unlock()
+	if cached = c.merged.Load(); cached != nil && vecEqual(cached.vec, vec) {
+		return cached.snap
+	}
+	m := make(map[road.SegmentID]traffic.Estimate)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for sid, est := range p.Estimates {
+			m[sid] = est
 		}
 	}
-	return out
+	prev := traffic.EmptySnapshot()
+	if cached != nil {
+		prev = cached.snap
+	}
+	next := traffic.NextSnapshot(prev, m)
+	c.merged.Store(&mergedTraffic{snap: next, vec: vec})
+	return next
 }
 
 // TrafficSegment reads one segment from its owning shard.
@@ -409,19 +494,22 @@ func (s snapshotSource) Get(sid road.SegmentID) (traffic.Estimate, bool) {
 	return est, ok
 }
 
-// RegionModel infers the §VI zone model over the merged snapshot.
+// RegionModel infers the §VI zone model over the cached merge
+// (inference only reads the map, so no copy is taken).
 func (c *Coordinator) RegionModel() (*region.Model, error) {
-	return region.Infer(c.tdb.Network(), c.Traffic(), region.DefaultConfig())
+	return region.Infer(c.tdb.Network(), c.TrafficSnapshot().Estimates, region.DefaultConfig())
 }
 
-// RouteStatuses digests the merged map into per-route travel times.
+// RouteStatuses digests the merged map into per-route travel times,
+// reusing the cached merge instead of re-fanning out.
 func (c *Coordinator) RouteStatuses(departS float64) ([]RouteStatus, error) {
-	return routeStatuses(c.tdb, departS, snapshotSource(c.Traffic()))
+	return routeStatuses(c.tdb, departS, snapshotSource(c.TrafficSnapshot().Estimates))
 }
 
-// PredictArrivals forecasts downstream ETAs from the merged map.
+// PredictArrivals forecasts downstream ETAs from the merged map,
+// reusing the cached merge instead of re-fanning out.
 func (c *Coordinator) PredictArrivals(routeID transit.RouteID, fromIdx int, departS float64) ([]arrival.Prediction, error) {
-	return predictArrivals(c.tdb, routeID, fromIdx, departS, snapshotSource(c.Traffic()))
+	return predictArrivals(c.tdb, routeID, fromIdx, departS, snapshotSource(c.TrafficSnapshot().Estimates))
 }
 
 // AttachJournals gives each shard its own journal (one per shard, in

@@ -11,9 +11,10 @@ import (
 )
 
 // RegionModel infers the §VI regional traffic model from the backend's
-// current per-segment estimates.
+// current per-segment estimates. Inference only reads the map, so it
+// works off the published snapshot without a copy.
 func (b *Backend) RegionModel() (*region.Model, error) {
-	return region.Infer(b.transit.Network(), b.est.Snapshot(), region.DefaultConfig())
+	return region.Infer(b.transit.Network(), b.est.View().Estimates, region.DefaultConfig())
 }
 
 // ReconstructTrip rebuilds the continuous bus trajectory of a processed

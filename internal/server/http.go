@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +27,66 @@ type SegmentEstimateJSON struct {
 	Reports  int     `json:"reports"`
 	UpdatedS float64 `json:"updatedS"`
 	Level    string  `json:"level"`
+}
+
+// TrafficVersionHeader carries the snapshot version every traffic read
+// answers with, public and internal alike.
+const TrafficVersionHeader = "X-Busprobe-Traffic-Version"
+
+// trafficETag renders a snapshot version as the strong entity tag the
+// traffic endpoints use for If-None-Match revalidation.
+func trafficETag(version uint64) string {
+	return `"v` + strconv.FormatUint(version, 10) + `"`
+}
+
+// etagMatch reports whether an If-None-Match header value names the
+// entity tag (exactly, or in a comma-separated list, or as "*").
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// trafficHeaders stamps a traffic response with its snapshot version
+// and ETag, answering true when the client's If-None-Match already
+// names this version and a 304 was written instead of a body.
+func trafficHeaders(w http.ResponseWriter, r *http.Request, version uint64) bool {
+	etag := trafficETag(version)
+	w.Header().Set(TrafficVersionHeader, strconv.FormatUint(version, 10))
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// TrafficWatchJSON is the /v1/traffic/watch response: the delta between
+// the client's version and the served snapshot. A client applying
+// Changed and Removed to its since-version map holds exactly the map a
+// fresh GET /v1/traffic would return at Version.
+type TrafficWatchJSON struct {
+	// Version is the snapshot version the delta brings the client to.
+	Version uint64 `json:"version"`
+	// Since echoes the effective base version (0 after a resync).
+	Since uint64 `json:"since"`
+	// Resync is set when the requested since version is ahead of the
+	// served snapshot (a restarted server); the delta is the full map
+	// from version 0 and the client must drop its local state first.
+	Resync bool `json:"resync,omitempty"`
+	// Changed lists the segments whose estimates changed after Since,
+	// ascending by segment.
+	Changed []SegmentEstimateJSON `json:"changed"`
+	// Removed lists the segments that left the map after Since,
+	// ascending (a shard dropping out of a coordinator's merged view).
+	Removed []int `json:"removed,omitempty"`
 }
 
 // UploadResponseJSON acknowledges a trip upload. Code carries the
@@ -111,7 +172,10 @@ func uploadRow(tripID string, res ProcessedTrip, err error) UploadResponseJSON {
 //
 //	POST /v1/trips            upload one probe.Trip (JSON)
 //	POST /v1/trips/batch      upload a JSON array of trips (concurrent ingest)
-//	GET  /v1/traffic          full traffic-map snapshot
+//	GET  /v1/traffic          full traffic-map snapshot (versioned: ETag +
+//	                          X-Busprobe-Traffic-Version, If-None-Match → 304)
+//	GET  /v1/traffic/watch?since=V&waitS=S   long-poll for the delta past
+//	                          version V (since omitted/0 → full map)
 //	GET  /v1/traffic/segment?id=N   one segment's estimate
 //	GET  /v1/region           inferred regional congestion index
 //	GET  /v1/routes?depart=T  per-route live end-to-end travel times
@@ -244,13 +308,71 @@ func apiMux(b API, core *obs.Core) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		snap := b.Traffic()
-		rows := make([]SegmentEstimateJSON, 0, len(snap))
-		for sid, est := range snap {
+		snap := b.TrafficSnapshot()
+		if trafficHeaders(w, r, snap.Version) {
+			return
+		}
+		rows := make([]SegmentEstimateJSON, 0, len(snap.Estimates))
+		for sid, est := range snap.Estimates {
 			rows = append(rows, estimateJSON(sid, est))
 		}
 		sortRows(rows)
 		writeJSON(w, http.StatusOK, rows)
+	})
+	mux.HandleFunc("/v1/traffic/watch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		var since uint64
+		if s := q.Get("since"); s != "" {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				http.Error(w, "bad since version", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		waitS := defaultWatchWaitS
+		if s := q.Get("waitS"); s != "" {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v < 0 {
+				http.Error(w, "bad waitS", http.StatusBadRequest)
+				return
+			}
+			waitS = v
+		}
+		if waitS > maxWatchWaitS {
+			waitS = maxWatchWaitS
+		}
+		// The long poll must resolve inside the per-request timeout
+		// wrapping the /v1 surface, or TimeoutHandler would cut it off
+		// mid-wait and answer 503 for a healthy server.
+		if rt := b.Config().RequestTimeoutS; rt > 0 && waitS > rt/2 {
+			waitS = rt / 2
+		}
+		snap, resync := watchSnapshot(r.Context(), b, since, waitS)
+		if resync {
+			since = 0
+		}
+		if trafficHeaders(w, r, snap.Version) {
+			return
+		}
+		changed, removed := snap.DeltaSince(since)
+		out := TrafficWatchJSON{
+			Version: snap.Version,
+			Since:   since,
+			Resync:  resync,
+			Changed: make([]SegmentEstimateJSON, 0, len(changed)),
+		}
+		for _, sid := range changed {
+			out.Changed = append(out.Changed, estimateJSON(sid, snap.Estimates[sid]))
+		}
+		for _, sid := range removed {
+			out.Removed = append(out.Removed, int(sid))
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("/v1/traffic/segment", func(w http.ResponseWriter, r *http.Request) {
 		idStr := r.URL.Query().Get("id")
@@ -340,14 +462,64 @@ func apiMux(b API, core *obs.Core) http.Handler {
 	return handler
 }
 
+// defaultWatchWaitS is how long /v1/traffic/watch holds a poll open
+// waiting for the snapshot version to move past the client's.
+const defaultWatchWaitS = 25.0
+
+// maxWatchWaitS caps a client-requested watch wait.
+const maxWatchWaitS = 60.0
+
+// watchPollInterval is the wake-up cadence of one held watch poll. The
+// handler polls the snapshot pointer rather than subscribing, so the
+// read path needs no registration structure at all — a pointer load
+// every few tens of milliseconds per held watcher is far cheaper than
+// the full-map reads the watch replaces.
+const watchPollInterval = 20 * time.Millisecond
+
+// watchSnapshot resolves one watch poll: it returns as soon as the
+// published snapshot's version exceeds since, or after waitS seconds
+// with whatever is current (an unchanged version yields an empty
+// delta). A since ahead of the served version — the server restarted
+// and its sequence reset — reports resync, and the caller serves the
+// full map from version 0.
+func watchSnapshot(ctx context.Context, b API, since uint64, waitS float64) (snap *traffic.Snapshot, resync bool) {
+	snap = b.TrafficSnapshot()
+	if snap.Version > since {
+		return snap, false
+	}
+	if since > snap.Version {
+		return snap, true
+	}
+	if waitS <= 0 {
+		return snap, false
+	}
+	deadline := time.NewTimer(time.Duration(waitS * float64(time.Second)))
+	defer deadline.Stop()
+	poll := time.NewTicker(watchPollInterval)
+	defer poll.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return snap, false
+		case <-deadline.C:
+			return b.TrafficSnapshot(), false
+		case <-poll.C:
+			snap = b.TrafficSnapshot()
+			if snap.Version != since {
+				return snap, snap.Version < since
+			}
+		}
+	}
+}
+
 // apiPaths are the endpoints the HTTP metrics label by; anything else
 // (404s, probes) collapses into "other" so label cardinality stays
 // bounded.
 var apiPaths = map[string]bool{
 	"/healthz": true, "/v1/trips": true, "/v1/trips/batch": true,
 	"/v1/pipeline": true, "/v1/traffic": true, "/v1/traffic/segment": true,
-	"/v1/stats": true, "/v1/shards": true, "/v1/region": true,
-	"/v1/routes": true, "/v1/arrivals": true,
+	"/v1/traffic/watch": true, "/v1/stats": true, "/v1/shards": true,
+	"/v1/region": true, "/v1/routes": true, "/v1/arrivals": true,
 }
 
 // obsMiddleware counts requests and observes their latency per known

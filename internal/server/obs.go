@@ -81,6 +81,27 @@ func (b *Backend) RegisterObs(core *obs.Core, shard string) {
 			func() float64 { return float64(len(b.gate)) }, sl)
 	}
 
+	reg.GaugeFunc("busprobe_traffic_snapshot_version",
+		"Published traffic-snapshot version (monotone per process).",
+		func() float64 { return float64(b.est.View().Version) }, sl)
+	// Snapshot freshness is reported in the pipeline's own timeline —
+	// the latest fold timestamp in the published map — rather than as a
+	// wall-clock age, so scrapes of a quiescent backend stay
+	// byte-stable under the deterministic test clock. An operator's
+	// alert on staleness compares this watermark against the ingest
+	// feed's current time.
+	reg.GaugeFunc("busprobe_traffic_snapshot_updated_seconds",
+		"Latest estimate-update timestamp (campaign seconds) in the published traffic snapshot.",
+		func() float64 {
+			var latest float64
+			for _, est := range b.est.View().Estimates {
+				if est.UpdatedS > latest {
+					latest = est.UpdatedS
+				}
+			}
+			return latest
+		}, sl)
+
 	const (
 		runsName    = "busprobe_stage_runs_total"
 		runsHelp    = "Completed runs per pipeline stage."

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"busprobe/internal/core/traffic"
@@ -38,6 +39,12 @@ type RemoteShard struct {
 	// early with the context's error if the caller gives up. Injectable
 	// so tests retry without real delays.
 	retrySleep func(ctx context.Context, attempt int) error
+
+	// trafficMu guards lastTraffic, the most recent snapshot fetched
+	// from this shard. Traffic revalidates it with If-None-Match, so an
+	// idle shard answers 304 and no estimate body crosses the wire.
+	trafficMu   sync.Mutex
+	lastTraffic *traffic.Snapshot
 }
 
 var _ Shard = (*RemoteShard)(nil)
@@ -218,15 +225,48 @@ func (s *RemoteShard) StageMetrics(ctx context.Context) ([]stage.Metrics, error)
 	return out, nil
 }
 
-// Traffic fetches the shard's raw segment→estimate snapshot.
-// encoding/json round-trips the float64 fields bit-exactly, so the
-// coordinator's merged map matches an in-process merge byte for byte.
-func (s *RemoteShard) Traffic(ctx context.Context) (map[road.SegmentID]traffic.Estimate, error) {
-	out := make(map[road.SegmentID]traffic.Estimate)
-	if err := s.cli.getJSON(ctx, "/internal/v1/traffic", &out); err != nil {
+// Traffic fetches the shard's versioned segment→estimate snapshot,
+// revalidating the cached one with If-None-Match so an unchanged shard
+// answers 304 and ships no body. encoding/json round-trips the float64
+// fields bit-exactly, so the coordinator's merged map matches an
+// in-process merge byte for byte. The returned snapshot carries only
+// Version and Estimates (see Shard.Traffic); it is shared across calls
+// and must not be mutated.
+func (s *RemoteShard) Traffic(ctx context.Context) (*traffic.Snapshot, error) {
+	s.trafficMu.Lock()
+	cached := s.lastTraffic
+	s.trafficMu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cli.baseURL+"/internal/v1/traffic", nil)
+	if err != nil {
 		return nil, s.unavailable("server: traffic from", err)
 	}
-	return out, nil
+	if cached != nil {
+		req.Header.Set("If-None-Match", trafficETag(cached.Version))
+	}
+	resp, err := s.cli.http.Do(req)
+	if err != nil {
+		return nil, s.unavailable("server: traffic from", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return cached, nil
+	case http.StatusOK:
+		var out shardTrafficJSON
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, s.unavailable("server: traffic from", err)
+		}
+		if out.Estimates == nil {
+			out.Estimates = map[road.SegmentID]traffic.Estimate{}
+		}
+		snap := &traffic.Snapshot{Version: out.Version, Estimates: out.Estimates}
+		s.trafficMu.Lock()
+		s.lastTraffic = snap
+		s.trafficMu.Unlock()
+		return snap, nil
+	default:
+		return nil, s.unavailable("server: traffic from", fmt.Errorf("status %d", resp.StatusCode))
+	}
 }
 
 // TrafficSegment reads one segment's estimate from the shard.

@@ -43,8 +43,13 @@ type Shard interface {
 	Stats(ctx context.Context) (Stats, error)
 	// StageMetrics snapshots the shard's per-stage instrumentation.
 	StageMetrics(ctx context.Context) ([]stage.Metrics, error)
-	// Traffic snapshots the shard's segment estimates.
-	Traffic(ctx context.Context) (map[road.SegmentID]traffic.Estimate, error)
+	// Traffic returns the shard's current versioned estimate snapshot.
+	// Version and Estimates are always populated; the per-segment delta
+	// maps travel only on locally-published snapshots (a RemoteShard
+	// reconstructs Version + Estimates from the wire and leaves them
+	// nil — the coordinator diffs its own merged view instead). The
+	// snapshot is immutable: callers must not modify its maps.
+	Traffic(ctx context.Context) (*traffic.Snapshot, error)
 	// TrafficSegment reads one segment's estimate, if this shard has one.
 	TrafficSegment(ctx context.Context, sid road.SegmentID) (traffic.Estimate, bool, error)
 	// Advance drives the shard's estimator clock.
@@ -85,8 +90,8 @@ func (s localShard) StageMetrics(context.Context) ([]stage.Metrics, error) {
 	return s.b.StageMetrics(), nil
 }
 
-func (s localShard) Traffic(context.Context) (map[road.SegmentID]traffic.Estimate, error) {
-	return s.b.Traffic(), nil
+func (s localShard) Traffic(context.Context) (*traffic.Snapshot, error) {
+	return s.b.TrafficSnapshot(), nil
 }
 
 func (s localShard) TrafficSegment(_ context.Context, sid road.SegmentID) (traffic.Estimate, bool, error) {

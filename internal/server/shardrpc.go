@@ -28,7 +28,11 @@ import (
 //	POST /internal/v1/scatter         fold a cross-shard observation
 //	                                  group, exactly once per key
 //	POST /internal/v1/advance         drive the estimator clock
-//	GET  /internal/v1/traffic         raw segment→estimate snapshot
+//	GET  /internal/v1/traffic         versioned segment→estimate snapshot
+//	                                  ({version, estimates}; answers with
+//	                                  ETag + X-Busprobe-Traffic-Version and
+//	                                  304 on If-None-Match, so a coordinator
+//	                                  polling an idle shard moves no body)
 //	GET  /internal/v1/traffic/segment one segment's estimate
 //	GET  /internal/v1/stats           work counters
 //	GET  /internal/v1/pipeline        per-stage instrumentation
@@ -70,6 +74,15 @@ type scatterResponseJSON struct {
 // advanceRequestJSON drives the shard's estimator watermark.
 type advanceRequestJSON struct {
 	NowS float64 `json:"nowS"`
+}
+
+// shardTrafficJSON is one shard's versioned snapshot on the wire. Only
+// the version and the estimate map travel: the coordinator diffs its
+// own merged view to maintain delta state, so shipping the shard-local
+// change maps would be dead weight on every fan-in.
+type shardTrafficJSON struct {
+	Version   uint64                              `json:"version"`
+	Estimates map[road.SegmentID]traffic.Estimate `json:"estimates"`
 }
 
 // segmentLookupJSON answers a single-segment read; Found false means
@@ -250,7 +263,11 @@ func NewShardHandler(b *Backend, hc HandlerConfig) http.Handler {
 	})
 
 	mux.HandleFunc("/internal/v1/traffic", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, b.Traffic())
+		snap := b.TrafficSnapshot()
+		if trafficHeaders(w, r, snap.Version) {
+			return
+		}
+		writeJSON(w, http.StatusOK, shardTrafficJSON{Version: snap.Version, Estimates: snap.Estimates})
 	})
 
 	mux.HandleFunc("/internal/v1/traffic/segment", func(w http.ResponseWriter, r *http.Request) {

@@ -290,7 +290,7 @@ func BenchmarkExtParticipationSweep(b *testing.B) {
 	var rep eval.Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = eval.ExtParticipationSweep(l, []int{5, 22}, uint64(i+1))
+		rep, err = eval.ExtParticipationSweep(context.Background(), l, []int{5, 22}, uint64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}

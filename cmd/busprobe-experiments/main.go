@@ -180,7 +180,7 @@ func run(quick bool, seed uint64, days int) error {
 	if quick {
 		sweep = []int{5, 15}
 	}
-	if rep, err = eval.ExtParticipationSweep(lab, sweep, seed); err != nil {
+	if rep, err = eval.ExtParticipationSweep(context.Background(), lab, sweep, seed); err != nil {
 		return err
 	}
 	fmt.Println(rep)
@@ -197,7 +197,7 @@ func run(quick bool, seed uint64, days int) error {
 	if quick {
 		rates = []float64{0, 0.2}
 	}
-	if rep, _, err = eval.FaultSweep(lab, faultCfg, rates); err != nil {
+	if rep, _, err = eval.FaultSweep(context.Background(), lab, faultCfg, rates); err != nil {
 		return err
 	}
 	fmt.Println(rep)

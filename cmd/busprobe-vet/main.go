@@ -1,7 +1,10 @@
 // Command busprobe-vet runs the repository's custom analyzer suite:
 // determinism (nowallclock), canonical paper constants (paperconst),
-// lock discipline (lockorder), and persistence-path error handling
-// (errcheckio). See DESIGN.md §6e for the enforced invariants and the
+// lock discipline (lockorder), persistence-path error handling
+// (errcheckio), and the four type-aware invariants — annotated lock
+// guards (guardedby), map-iteration determinism (maporder), context
+// threading (ctxpropagate), and snapshot immutability (snapshotmut).
+// See DESIGN.md §6e/§6j for the enforced invariants and the
 // //lint:allow escape-hatch convention.
 //
 // Two ways to run it:
@@ -9,9 +12,15 @@
 //	go run ./cmd/busprobe-vet ./...            # standalone, fast
 //	go build -o bin/busprobe-vet ./cmd/busprobe-vet
 //	go vet -vettool=bin/busprobe-vet ./...     # the CI path
+//
+// Standalone-only flags: -json emits machine-readable findings on
+// stdout; -tier=syntactic or -tier=typed restricts the suite to one
+// tier (CI times the tiers separately). Tier selection is not offered
+// under go vet, whose result cache keys on the binary alone.
 package main
 
 import (
+	"fmt"
 	"os"
 
 	"busprobe/internal/lint"
@@ -19,5 +28,22 @@ import (
 )
 
 func main() {
-	os.Exit(driver.Main(lint.Suite()))
+	suite := lint.Suite()
+	args := os.Args[:1]
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-tier=syntactic", "--tier=syntactic":
+			suite = lint.Syntactic()
+		case "-tier=typed", "--tier=typed":
+			suite = lint.Typed()
+		default:
+			if len(a) > 6 && a[:6] == "-tier=" {
+				fmt.Fprintln(os.Stderr, "busprobe-vet: unknown tier in", a) //lint:allow errcheckio a CLI cannot report a failed stderr write anywhere
+				os.Exit(3)
+			}
+			args = append(args, a)
+		}
+	}
+	os.Args = args
+	os.Exit(driver.Main(suite))
 }

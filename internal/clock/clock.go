@@ -44,8 +44,8 @@ func Since(c Clock, t time.Time) time.Duration {
 // use (stage hooks run from many goroutines).
 type Fake struct {
 	mu   sync.Mutex
-	now  time.Time
-	step time.Duration
+	now  time.Time     //lint:guardedby mu
+	step time.Duration //lint:guardedby mu
 }
 
 // NewFake returns a Fake starting at start that advances by step per

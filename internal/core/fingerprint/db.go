@@ -29,10 +29,10 @@ type Match struct {
 // database update model.
 type DB struct {
 	mu      sync.RWMutex
-	entries map[transit.StopID]cellular.Fingerprint
+	entries map[transit.StopID]cellular.Fingerprint //lint:guardedby mu
 	// index maps cell ID -> stops whose fingerprint contains it; see
 	// index.go.
-	index   map[cellular.CellID][]transit.StopID
+	index   map[cellular.CellID][]transit.StopID //lint:guardedby mu
 	scoring Scoring
 	gamma   float64
 }
@@ -77,10 +77,10 @@ func (db *DB) Put(stop transit.StopID, fp cellular.Fingerprint) error {
 	copy(cp, fp)
 	db.mu.Lock()
 	if old, ok := db.entries[stop]; ok {
-		db.indexRemove(stop, old)
+		db.indexRemoveLocked(stop, old)
 	}
 	db.entries[stop] = cp
-	db.indexAdd(stop, cp)
+	db.indexAddLocked(stop, cp)
 	db.mu.Unlock()
 	return nil
 }
@@ -94,7 +94,7 @@ func (db *DB) Delete(stop transit.StopID) bool {
 	if !ok {
 		return false
 	}
-	db.indexRemove(stop, fp)
+	db.indexRemoveLocked(stop, fp)
 	delete(db.entries, stop)
 	return true
 }
@@ -172,7 +172,7 @@ func (db *DB) MatchAll(sample cellular.Fingerprint) []Match {
 // zero-overlap stops (which score exactly 0) cannot change the result.
 func (db *DB) matchIndexedLocked(sample cellular.Fingerprint) []Match {
 	var out []Match
-	for _, stop := range db.candidateStops(sample) {
+	for _, stop := range db.candidateStopsLocked(sample) {
 		fp := db.entries[stop]
 		score := Similarity(sample, fp, db.scoring)
 		if score >= db.gamma {

@@ -19,16 +19,16 @@ import (
 // when γ > 0; results are identical to the full scan, which the tests
 // assert.
 
-// indexAdd registers a fingerprint's cells. Caller holds the write lock.
-func (db *DB) indexAdd(stop transit.StopID, fp cellular.Fingerprint) {
+// indexAddLocked registers a fingerprint's cells. Caller holds the write lock.
+func (db *DB) indexAddLocked(stop transit.StopID, fp cellular.Fingerprint) {
 	for _, c := range fp {
 		db.index[c] = append(db.index[c], stop)
 	}
 }
 
-// indexRemove unregisters a fingerprint's cells. Caller holds the write
+// indexRemoveLocked unregisters a fingerprint's cells. Caller holds the write
 // lock.
-func (db *DB) indexRemove(stop transit.StopID, fp cellular.Fingerprint) {
+func (db *DB) indexRemoveLocked(stop transit.StopID, fp cellular.Fingerprint) {
 	for _, c := range fp {
 		list := db.index[c]
 		out := list[:0]
@@ -45,9 +45,9 @@ func (db *DB) indexRemove(stop transit.StopID, fp cellular.Fingerprint) {
 	}
 }
 
-// candidateStops returns the stops sharing at least one cell ID with the
+// candidateStopsLocked returns the stops sharing at least one cell ID with the
 // sample, deduplicated and sorted. Caller holds a read lock.
-func (db *DB) candidateStops(sample cellular.Fingerprint) []transit.StopID {
+func (db *DB) candidateStopsLocked(sample cellular.Fingerprint) []transit.StopID {
 	seen := make(map[transit.StopID]bool)
 	var out []transit.StopID
 	for _, c := range sample {

@@ -13,7 +13,7 @@ import (
 func candidates(db *DB, sample cellular.Fingerprint) []transit.StopID {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.candidateStops(sample)
+	return db.candidateStopsLocked(sample)
 }
 
 func TestCandidateStopsAfterReplace(t *testing.T) {

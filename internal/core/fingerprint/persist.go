@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"busprobe/internal/cellular"
 	"busprobe/internal/transit"
@@ -53,11 +54,9 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	}
 	db.mu.RUnlock()
 	// Deterministic output: sort rows by stop.
-	for i := 1; i < len(out.Entries); i++ {
-		for j := i; j > 0 && out.Entries[j].Stop < out.Entries[j-1].Stop; j-- {
-			out.Entries[j], out.Entries[j-1] = out.Entries[j-1], out.Entries[j]
-		}
-	}
+	sort.Slice(out.Entries, func(i, j int) bool {
+		return out.Entries[i].Stop < out.Entries[j].Stop
+	})
 	cw := &countingWriter{w: w}
 	enc := json.NewEncoder(cw)
 	if err := enc.Encode(out); err != nil {

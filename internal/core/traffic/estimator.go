@@ -91,12 +91,12 @@ type Estimator struct {
 	model     Model
 	periodS   float64
 	driftPerS float64
-	segs      map[road.SegmentID]*segState
+	segs      map[road.SegmentID]*segState //lint:guardedby mu
 	// watermarkIdx is the exclusive upper window index due for folding:
 	// windows below it are complete. It advances with observation and
 	// Advance timestamps and never retreats.
-	watermarkIdx int64
-	lateDropped  int
+	watermarkIdx int64 //lint:guardedby mu
+	lateDropped  int   //lint:guardedby mu
 	// snap is the published copy-on-write state; Get/Snapshot/View load
 	// it without locking. Mutators swap it under mu, so versions are
 	// monotone.

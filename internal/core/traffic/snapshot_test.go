@@ -84,9 +84,9 @@ func TestNextSnapshotRemovalAndReappearance(t *testing.T) {
 
 func TestDeltaSince(t *testing.T) {
 	s := EmptySnapshot()
-	s = NextSnapshot(s, map[road.SegmentID]Estimate{3: est(30, 1), 1: est(40, 1)}) // v1
+	s = NextSnapshot(s, map[road.SegmentID]Estimate{3: est(30, 1), 1: est(40, 1)})                // v1
 	s = NextSnapshot(s, map[road.SegmentID]Estimate{3: est(30, 1), 1: est(40, 1), 2: est(50, 1)}) // v2
-	s = NextSnapshot(s, map[road.SegmentID]Estimate{3: est(31, 2), 2: est(50, 1)}) // v3: 3 changes, 1 removed
+	s = NextSnapshot(s, map[road.SegmentID]Estimate{3: est(31, 2), 2: est(50, 1)})                // v3: 3 changes, 1 removed
 
 	changed, removed := s.DeltaSince(0)
 	if want := []road.SegmentID{2, 3}; !reflect.DeepEqual(changed, want) {
@@ -209,8 +209,8 @@ func TestEstimatorConcurrentReadersSeeMonotoneVersions(t *testing.T) {
 	}
 	for i := 0; i < 200; i++ {
 		obs := Observation{
-			Segments:   []road.SegmentID{road.SegmentID(i % 5)},
-			LengthM:    500, FreeKmh: 50,
+			Segments: []road.SegmentID{road.SegmentID(i % 5)},
+			LengthM:  500, FreeKmh: 50,
 			BTTSeconds: 60 + float64(i%30),
 			TimeS:      float64(i) * 40,
 		}

@@ -394,7 +394,7 @@ func TestExtArrivalPrediction(t *testing.T) {
 }
 
 func TestExtParticipationSweep(t *testing.T) {
-	rep, err := ExtParticipationSweep(lab(t), []int{4, 16}, 9)
+	rep, err := ExtParticipationSweep(context.Background(), lab(t), []int{4, 16}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestExtParticipationSweep(t *testing.T) {
 		t.Errorf("trips did not grow: %v -> %v",
 			rep.Metric("n4_trips"), rep.Metric("n16_trips"))
 	}
-	if _, err := ExtParticipationSweep(lab(t), nil, 9); err == nil {
+	if _, err := ExtParticipationSweep(context.Background(), lab(t), nil, 9); err == nil {
 		t.Error("want error for empty sweep")
 	}
 }

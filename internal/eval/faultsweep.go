@@ -38,8 +38,9 @@ type FaultSweepPoint struct {
 // stop-visit recall versus the clean run, and traffic-map error versus
 // the simulation's ground-truth speeds. The paper's deployment rode a
 // best-effort cellular uplink; this is the graceful-degradation curve
-// that deployment implicitly relied on.
-func FaultSweep(l *Lab, base sim.CampaignConfig, dropRates []float64) (Report, []FaultSweepPoint, error) {
+// that deployment implicitly relied on. The caller's ctx bounds every
+// campaign in the sweep.
+func FaultSweep(ctx context.Context, l *Lab, base sim.CampaignConfig, dropRates []float64) (Report, []FaultSweepPoint, error) {
 	if len(dropRates) == 0 {
 		dropRates = []float64{0, 0.1, 0.2, 0.4}
 	}
@@ -52,7 +53,7 @@ func FaultSweep(l *Lab, base sim.CampaignConfig, dropRates []float64) (Report, [
 			cfg.Faults.Seed = cfg.Seed ^ 0xfa5
 		}
 		cfg.UploadRetry = phone.DefaultRetryConfig(cfg.Seed ^ 0x7e7)
-		run, err := RunCampaign(context.Background(), l, cfg, 0)
+		run, err := RunCampaign(ctx, l, cfg, 0)
 		if err != nil {
 			return Report{}, nil, err
 		}
@@ -92,7 +93,7 @@ func FaultSweep(l *Lab, base sim.CampaignConfig, dropRates []float64) (Report, [
 				bare.Faults.Seed = bare.Seed ^ 0xfa5
 			}
 			bare.UploadRetry = phone.RetryConfig{}
-			bareRun, err := RunCampaign(context.Background(), l, bare, 0)
+			bareRun, err := RunCampaign(ctx, l, bare, 0)
 			if err != nil {
 				return Report{}, nil, err
 			}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestFaultSweepShape(t *testing.T) {
 	cfg.UploadBatchSize = 8
 	cfg.Seed = 5
 
-	rep, points, err := FaultSweep(l, cfg, []float64{0, 0.5})
+	rep, points, err := FaultSweep(context.Background(), l, cfg, []float64{0, 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}

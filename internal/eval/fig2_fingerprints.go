@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"busprobe/internal/cellular"
@@ -126,11 +127,7 @@ func Fig2cCrossSimilarity(l *Lab, routes []transit.RouteID, runs int, seed uint6
 		entries = append(entries, entry{pid: pid, stop: tdb.Platform(pid).Stop, fp: fps[0]})
 	}
 	// Deterministic order.
-	for i := 1; i < len(entries); i++ {
-		for j := i; j > 0 && entries[j].pid < entries[j-1].pid; j-- {
-			entries[j], entries[j-1] = entries[j-1], entries[j]
-		}
-	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pid < entries[j].pid })
 
 	overall := &stats.ECDF{}
 	effective := &stats.ECDF{}

@@ -14,7 +14,8 @@ import (
 // bus riders' participation for consistent and good performance") with
 // data: sweep the participant count and measure what the crowd size buys
 // — traffic-map coverage, freshness, and accuracy against ground truth.
-func ExtParticipationSweep(l *Lab, participants []int, seed uint64) (Report, error) {
+// The caller's ctx bounds every campaign in the sweep.
+func ExtParticipationSweep(ctx context.Context, l *Lab, participants []int, seed uint64) (Report, error) {
 	if len(participants) == 0 {
 		return Report{}, fmt.Errorf("eval: empty participant sweep")
 	}
@@ -29,7 +30,7 @@ func ExtParticipationSweep(l *Lab, participants []int, seed uint64) (Report, err
 		cfg.IntensiveFromDay = 0
 		cfg.IntensiveTripsPerDay = 5
 		cfg.Seed = seed ^ uint64(n)*0x9e37
-		run, err := RunCampaign(context.Background(), l, cfg, 300)
+		run, err := RunCampaign(ctx, l, cfg, 300)
 		if err != nil {
 			return Report{}, err
 		}

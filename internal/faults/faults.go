@@ -120,11 +120,11 @@ type Injector struct {
 	next phone.Uploader
 
 	mu       sync.Mutex
-	rng      *stats.RNG
-	attempts map[string]int
-	queue    []held
-	seq      int
-	stats    Stats
+	rng      *stats.RNG     //lint:guardedby mu
+	attempts map[string]int //lint:guardedby mu
+	queue    []held         //lint:guardedby mu
+	seq      int            //lint:guardedby mu
+	stats    Stats          //lint:guardedby mu
 }
 
 // NewInjector wraps next with the configured fault model.

@@ -21,9 +21,9 @@ type Transport struct {
 	FailRate float64
 
 	mu       sync.Mutex
-	rng      *stats.RNG
-	attempts int
-	failed   int
+	rng      *stats.RNG //lint:guardedby mu
+	attempts int        //lint:guardedby mu
+	failed   int        //lint:guardedby mu
 }
 
 // NewTransport returns a transport failing attempts at failRate.

@@ -21,12 +21,12 @@ type wireCounter struct {
 	rec    *LatencyRecorder
 
 	mu        sync.Mutex
-	offered   int
-	delivered int
-	duplicate int
-	failed    int
-	requests  int
-	firstFail string
+	offered   int    //lint:guardedby mu
+	delivered int    //lint:guardedby mu
+	duplicate int    //lint:guardedby mu
+	failed    int    //lint:guardedby mu
+	requests  int    //lint:guardedby mu
+	firstFail string //lint:guardedby mu
 }
 
 var _ phone.Uploader = (*wireCounter)(nil)

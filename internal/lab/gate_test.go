@@ -113,9 +113,9 @@ func TestLatencyRecorderFakeClock(t *testing.T) {
 			rec.Stop(start)
 		}
 	}
-	observe(time.Millisecond, 90)     // bucket (0.0005, 0.001]
-	observe(40*time.Millisecond, 9)   // bucket (0.02, 0.05]
-	observe(800*time.Millisecond, 1)  // bucket (0.5, 1]
+	observe(time.Millisecond, 90)    // bucket (0.0005, 0.001]
+	observe(40*time.Millisecond, 9)  // bucket (0.02, 0.05]
+	observe(800*time.Millisecond, 1) // bucket (0.5, 1]
 
 	s := rec.Summary()
 	if s.Count != 100 {

@@ -32,7 +32,7 @@ type Proc struct {
 // pipe-copying goroutines the exec package runs.
 type lockedBuffer struct {
 	mu  sync.Mutex
-	buf bytes.Buffer
+	buf bytes.Buffer //lint:guardedby mu
 }
 
 // Write implements io.Writer.

@@ -229,7 +229,7 @@ func (e *env) bootServer(ctx context.Context, name string, extra ...string) (*se
 
 // shutdownCtx is the cleanup-path context for deferred Shutdowns.
 func (e *env) shutdownCtx() (context.Context, context.CancelFunc) {
-	return context.WithTimeout(context.Background(), e.opts.DrainTimeout)
+	return context.WithTimeout(context.Background(), e.opts.DrainTimeout) //lint:allow ctxpropagate cleanup must drain even after the scenario ctx is cancelled; bounded by DrainTimeout
 }
 
 // checkDrain SIGTERMs a process and records the graceful-drain checks

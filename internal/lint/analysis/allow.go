@@ -46,6 +46,27 @@ func (p *Pass) fileOf(pos token.Pos) *ast.File {
 	return nil
 }
 
+// MalformedAllows returns the positions of //lint:allow comments in f
+// that lack a justification after the analyzer name. The allow index
+// ignores such comments (they suppress nothing), and the drivers
+// report each one as an "allowcheck" finding, so a bare escape hatch
+// fails the build loudly instead of silently not taking effect.
+func MalformedAllows(f *ast.File) []token.Pos {
+	var out []token.Pos
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			if len(strings.Fields(strings.TrimPrefix(text, allowPrefix))) < 2 {
+				out = append(out, c.Pos())
+			}
+		}
+	}
+	return out
+}
+
 func buildAllowIndex(fset *token.FileSet, f *ast.File) allowIndex {
 	idx := make(allowIndex)
 	for _, cg := range f.Comments {

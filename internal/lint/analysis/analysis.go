@@ -8,18 +8,21 @@
 // migration — which is deliberate: the analyzer code is the asset, the
 // harness is scaffolding.
 //
-// The suite's analyzers are purely syntactic (they need import tables
-// and statement structure, not type information), so a Pass carries
-// parsed files and position data only. That keeps the driver fast and
-// lets the same Pass be built three ways: from the standalone package
-// walker, from a `go vet -vettool` unit-check config, and from
-// analysistest fixtures.
+// A Pass carries the package's parsed files plus full type information
+// (go/types Info and Package), so analyzers range from purely
+// syntactic (import tables and statement structure) to type-aware
+// (field resolution through Selections, map-type detection, signature
+// inspection). The same Pass is built three ways — by the standalone
+// package walker, by a `go vet -vettool` unit-check config, and by
+// analysistest fixtures — and all three type-check their units, so a
+// finding is identical whichever way the suite runs.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -48,6 +51,14 @@ type Pass struct {
 	// Test-variant suffixes (" [pkg.test]") are stripped by the
 	// drivers before the pass runs.
 	Path string
+	// Pkg is the type-checked package. For a directory holding both a
+	// base package and an external _test package, this is the base.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for every file in
+	// Files (for split test variants, the drivers accumulate both
+	// Checks into the one Info). All three drivers populate it, so
+	// analyzers may rely on it being non-nil.
+	TypesInfo *types.Info
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
 

@@ -14,6 +14,14 @@
 // be matched by a diagnostic — unexpected and missing findings are
 // both test failures, so a fixture proves the analyzer fires AND that
 // its clean lines stay clean.
+//
+// Fixture packages are fully type-checked before the analyzer runs,
+// exactly like real units under the driver: imports of busprobe
+// packages resolve against the enclosing module, everything else
+// against the standard library's source importer. One loader is
+// shared across every Run in the process, so the stdlib cost is paid
+// once per test binary. A fixture that fails to type-check fails the
+// test — fixtures are real code.
 package analysistest
 
 import (
@@ -28,10 +36,32 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"busprobe/internal/lint/analysis"
+	"busprobe/internal/lint/loader"
 )
+
+// sharedLoader memoizes type-checked dependencies across every fixture
+// in the test binary. Guarded by loaderMu: analyzer tests may run from
+// multiple packages' test binaries, but within one binary Run may be
+// called from parallel subtests.
+var (
+	loaderMu     sync.Mutex
+	sharedLoader *loader.Loader
+)
+
+func fixtureLoader() *loader.Loader {
+	if sharedLoader == nil {
+		root, modPath, err := loader.ModuleRoot(TestData())
+		if err != nil {
+			panic(fmt.Sprintf("analysistest: locate module root: %v", err))
+		}
+		sharedLoader = loader.New(token.NewFileSet(), root, modPath)
+	}
+	return sharedLoader
+}
 
 // TestData returns the absolute path of the lint suite's shared
 // testdata directory (internal/lint/testdata), resolved relative to
@@ -66,7 +96,10 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 
 func runOne(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
 	t.Helper()
-	fset := token.NewFileSet()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	ld := fixtureLoader()
+	fset := ld.Fset
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("%s: %v", pkg, err)
@@ -93,13 +126,20 @@ func runOne(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
 		t.Fatalf("%s: fixture package %s has no Go files", pkg, dir)
 	}
 
+	tpkg, info, err := ld.CheckPackage(pkg, files)
+	if err != nil {
+		t.Fatalf("%s: typecheck fixture: %v", pkg, err)
+	}
+
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer: a,
-		Fset:     fset,
-		Files:    files,
-		Path:     pkg,
-		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Path:      pkg,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer %s: %v", pkg, a.Name, err)

@@ -1,0 +1,256 @@
+// Package ctxpropagate locks in PR 5's context threading: cancellation
+// flows from the caller, never materializes mid-stack. Two rules,
+// both resolved through the type checker:
+//
+//  1. context.Background() and context.TODO() are forbidden outside
+//     package main and _test.go files. A Background deep in a library
+//     silently detaches everything below it from the caller's
+//     deadline; the one legitimate root lives in main. Deliberate
+//     detachments (a drain that must finish after the scenario ctx is
+//     canceled, read paths kept ctx-free by design) carry
+//     //lint:allow ctxpropagate <reason> at the call.
+//
+//  2. An exported function or method that blocks — a channel send or
+//     receive, a select with no default, a range over a channel, or a
+//     call to any callee whose signature takes a context.Context —
+//     must itself accept a context.Context, or its callers have no
+//     way to bound it. Receivers of unexported types are skipped
+//     (not public API), as are test files, ServeHTTP (signature fixed
+//     by net/http; the ctx arrives inside the request), and function
+//     literals (goroutine bodies capture their ctx). A select with a
+//     default case is non-blocking admission-gate idiom, not a block.
+//
+// When a function's only ctx source is an allowed Background (rule 1
+// annotated), rule 2 stays quiet: the allow already documents the
+// decision to keep that entry point ctx-free, and demanding a second
+// annotation on the declaration would say nothing new.
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// Analyzer is the ctxpropagate check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc: "flag context.Background/TODO outside main and exported " +
+		"blocking functions without a context parameter",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	inMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+
+	// Rule 1: flag Background/TODO everywhere in the body, closures
+	// included. Track whether an annotated one exists — it doubles as
+	// the documented decision for rule 2.
+	allowedRoot := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := contextRootCall(pass, call)
+		if name == "" || inMain {
+			return true
+		}
+		if pass.Allowed(call.Pos(), "ctxpropagate") {
+			allowedRoot = true
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() detaches this path from the caller's cancellation; thread a ctx parameter instead (or annotate //lint:allow ctxpropagate <reason>)",
+			name)
+		return true
+	})
+
+	// Rule 2: exported blocking API must accept a ctx.
+	if inMain || !fn.Name.IsExported() || !exportedReceiver(fn) ||
+		fn.Name.Name == "ServeHTTP" || hasCtxParam(pass, fn) || allowedRoot {
+		return
+	}
+	if why := blockingOp(pass, fn.Body); why != "" && !pass.Allowed(fn.Name.Pos(), "ctxpropagate") {
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s %s but takes no context.Context; callers cannot bound or cancel it (or annotate //lint:allow ctxpropagate <reason>)",
+			fn.Name.Name, why)
+	}
+}
+
+// contextRootCall returns "Background" or "TODO" when the call is
+// context.Background()/context.TODO() (resolved through the type
+// checker, so aliased imports are seen), or "".
+func contextRootCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := obj.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// exportedReceiver reports whether fn is public API: a plain function,
+// or a method on an exported named type.
+func exportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// hasCtxParam reports whether any of fn's parameters is a
+// context.Context.
+func hasCtxParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	obj := pass.TypesInfo.Defs[fn.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// blockingOp scans a body (function literals excluded — their bodies
+// run on their own goroutines with captured contexts) for the first
+// operation rule 2 considers blocking, returning a description or "".
+func blockingOp(pass *analysis.Pass, body *ast.BlockStmt) string {
+	return blockingOpNode(pass, body)
+}
+
+// blockingOpStmt is blockingOp over a single statement.
+func blockingOpStmt(pass *analysis.Pass, stmt ast.Stmt) string {
+	return blockingOpNode(pass, stmt)
+}
+
+func blockingOpNode(pass *analysis.Pass, root ast.Node) string {
+	why := ""
+	ast.Inspect(root, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			why = "performs a channel send"
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				why = "performs a channel receive"
+				return false
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				why = "selects on channels"
+				return false
+			}
+			// A select with a default never blocks, and its case
+			// channel ops are attempts, not blocks — scan only the
+			// clause bodies.
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						if w := blockingOpStmt(pass, s); w != "" {
+							why = w
+							return false
+						}
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					why = "ranges over a channel"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if calleeTakesCtx(pass, x) {
+				why = "calls a context-taking function"
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// calleeTakesCtx reports whether the call's callee signature includes
+// a context.Context parameter.
+func calleeTakesCtx(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return false // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/ctxpropagate"
+)
+
+// TestCtxPropagateFixture proves Background/TODO roots in library code
+// and exported blocking API without a ctx parameter are flagged, while
+// threaded contexts, unexported helpers, non-blocking selects,
+// ServeHTTP, and allow-documented detachments stay clean.
+func TestCtxPropagateFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxpropagate.Analyzer, "ctxpropagate_a")
+}

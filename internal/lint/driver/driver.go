@@ -14,16 +14,20 @@
 package driver
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"busprobe/internal/lint/analysis"
+	"busprobe/internal/lint/loader"
 )
 
 // Finding is one diagnostic with its position resolved.
@@ -50,8 +54,9 @@ func stderrln(args ...any) {
 // code: 0 clean, 1 findings (standalone), 2 findings (vet protocol),
 // 3 usage or load errors.
 func Main(analyzers []*analysis.Analyzer) int {
-	args := os.Args[1:]
-	for _, a := range args {
+	jsonOut := false
+	var patterns []string
+	for _, a := range os.Args[1:] {
 		switch {
 		case a == "-V=full", a == "--V=full":
 			printVersion()
@@ -61,12 +66,15 @@ func Main(analyzers []*analysis.Analyzer) int {
 			// design (invariants are not tunable per invocation).
 			fmt.Println("[]")
 			return 0
+		case a == "-json", a == "--json":
+			jsonOut = true
+		default:
+			patterns = append(patterns, a)
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		return unitcheck(analyzers, args[0])
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return unitcheck(analyzers, patterns[0])
 	}
-	patterns := args
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -80,8 +88,15 @@ func Main(analyzers []*analysis.Analyzer) int {
 		stderrln("busprobe-vet:", err)
 		return 3
 	}
-	for _, f := range findings {
-		stderrln(f)
+	if jsonOut {
+		if err := WriteJSON(os.Stdout, wd, findings); err != nil {
+			stderrln("busprobe-vet:", err)
+			return 3
+		}
+	} else {
+		for _, f := range findings {
+			stderrln(f)
+		}
 	}
 	if len(findings) > 0 {
 		return 1
@@ -89,14 +104,51 @@ func Main(analyzers []*analysis.Analyzer) int {
 	return 0
 }
 
+// jsonFinding is the machine-readable diagnostic record the -json flag
+// emits, one per finding, in the same deterministic file/line/column
+// order the human output uses.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as an indented JSON array. File paths are
+// made relative to dir when possible, so CI artifacts compare equal
+// across checkouts.
+func WriteJSON(w io.Writer, dir string, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		name := f.Position.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			File:     name,
+			Line:     f.Position.Line,
+			Col:      f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // AnalyzePatterns loads the packages matching the ./...-style patterns
 // relative to dir and runs every analyzer over each, returning
 // position-sorted findings. It resolves import paths against the
 // enclosing module's go.mod, so analyzer package exemptions
 // ("busprobe/internal/clock", the defining packages of paperconst)
-// behave exactly as they do under go vet.
+// behave exactly as they do under go vet. Every package is fully
+// type-checked (one loader shared across the walk, so dependencies and
+// the standard library are checked once), and the pass each analyzer
+// receives carries the resulting Pkg and TypesInfo.
 func AnalyzePatterns(analyzers []*analysis.Analyzer, dir string, patterns []string) ([]Finding, error) {
-	root, modPath, err := moduleRoot(dir)
+	root, modPath, err := loader.ModuleRoot(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +156,7 @@ func AnalyzePatterns(analyzers []*analysis.Analyzer, dir string, patterns []stri
 	if err != nil {
 		return nil, err
 	}
+	ld := loader.New(token.NewFileSet(), root, modPath)
 	var findings []Finding
 	for _, pkgDir := range dirs {
 		rel, err := filepath.Rel(root, pkgDir)
@@ -114,7 +167,7 @@ func AnalyzePatterns(analyzers []*analysis.Analyzer, dir string, patterns []stri
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		fs, err := analyzeDir(analyzers, pkgDir, importPath)
+		fs, err := analyzeDir(analyzers, ld, pkgDir, importPath)
 		if err != nil {
 			return nil, err
 		}
@@ -134,39 +187,50 @@ func AnalyzePatterns(analyzers []*analysis.Analyzer, dir string, patterns []stri
 }
 
 // analyzeDir parses one package directory (tests included — analyzers
-// exempt _test.go themselves where appropriate) and runs the suite.
-func analyzeDir(analyzers []*analysis.Analyzer, dir, importPath string) ([]Finding, error) {
+// exempt _test.go themselves where appropriate), type-checks it
+// through the shared loader, and runs the suite.
+func analyzeDir(analyzers []*analysis.Analyzer, ld *loader.Loader, dir, importPath string) ([]Finding, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, e.Name()), err)
+			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
 		return nil, nil
 	}
-	return runAnalyzers(analyzers, fset, files, importPath)
+	pkg, info, err := ld.CheckPackage(importPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return runAnalyzers(analyzers, ld.Fset, files, importPath, pkg, info)
 }
 
-// runAnalyzers applies each analyzer to one parsed package.
-func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, importPath string) ([]Finding, error) {
+// runAnalyzers applies each analyzer to one type-checked package, then
+// appends an "allowcheck" finding for every //lint:allow comment that
+// lacks a justification — a bare allow suppresses nothing, so it must
+// fail the build rather than masquerade as an exemption.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, importPath string, pkg *types.Package, info *types.Info) ([]Finding, error) {
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    files,
-			Path:     importPath,
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Path:      importPath,
+			Pkg:       pkg,
+			TypesInfo: info,
 			Report: func(d analysis.Diagnostic) {
 				findings = append(findings, Finding{
 					Position: fset.Position(d.Pos),
@@ -179,33 +243,16 @@ func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, importPath, err)
 		}
 	}
+	for _, f := range files {
+		for _, pos := range analysis.MalformedAllows(f) {
+			findings = append(findings, Finding{
+				Position: fset.Position(pos),
+				Analyzer: "allowcheck",
+				Message:  "//lint:allow without a justification suppresses nothing; add a reason after the analyzer name",
+			})
+		}
+	}
 	return findings, nil
-}
-
-// moduleRoot walks up from dir to the enclosing go.mod and returns the
-// root directory and module path.
-func moduleRoot(dir string) (root, modPath string, err error) {
-	d, err := filepath.Abs(dir)
-	if err != nil {
-		return "", "", err
-	}
-	for {
-		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
-		if err == nil {
-			for _, line := range strings.Split(string(data), "\n") {
-				line = strings.TrimSpace(line)
-				if rest, ok := strings.CutPrefix(line, "module "); ok {
-					return d, strings.TrimSpace(rest), nil
-				}
-			}
-			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
-		}
-		parent := filepath.Dir(d)
-		if parent == d {
-			return "", "", fmt.Errorf("no go.mod found above %s", dir)
-		}
-		d = parent
-	}
 }
 
 // matchPackageDirs expands ./...-style patterns into package

@@ -1,25 +1,23 @@
 package driver
 
 import (
+	"bytes"
+	"encoding/json"
+	"go/token"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"busprobe/internal/lint"
 	"busprobe/internal/lint/analysis"
-	"busprobe/internal/lint/errcheckio"
-	"busprobe/internal/lint/lockorder"
-	"busprobe/internal/lint/nowallclock"
-	"busprobe/internal/lint/paperconst"
+	"busprobe/internal/lint/loader"
 )
 
+// suite is the full eight-analyzer stack the production drivers run.
 func suite() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
-		nowallclock.Analyzer,
-		paperconst.Analyzer,
-		lockorder.Analyzer,
-		errcheckio.Analyzer,
-	}
+	return lint.Suite()
 }
 
 // repoRoot walks up from the test's working directory to go.mod.
@@ -29,7 +27,7 @@ func repoRoot(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	root, _, err := moduleRoot(wd)
+	root, _, err := loader.ModuleRoot(wd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +77,10 @@ func now() time.Time { return time.Now() }
 // "pkg [pkg.test]" import-path variant, and honor VetxOnly.
 func TestUnitcheckProtocol(t *testing.T) {
 	dir := t.TempDir()
+	// The config below carries no PackageFile table, so the unit
+	// checker falls back to source-loading imports against the
+	// enclosing module — give the scratch dir one.
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
 	src := filepath.Join(dir, "p.go")
 	writeFile(t, src, `package pkg
 
@@ -128,6 +130,7 @@ func now() time.Time { return time.Now() }
 // test binary must not be flagged for reading the wall clock.
 func TestUnitcheckExemptImportPathVariant(t *testing.T) {
 	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module busprobe2\n\ngo 1.22\n")
 	writeFile(t, filepath.Join(dir, "clock.go"), `package clock
 
 import "time"
@@ -145,6 +148,173 @@ func now() time.Time { return time.Now() }
 }`)
 	if code := unitcheck(suite(), cfg); code != 0 {
 		t.Fatalf("exit = %d, want 0 (clock package is exempt)", code)
+	}
+}
+
+// TestGoVetPlantedViolations proves each type-aware analyzer fires
+// through the real `go vet -vettool` path — the go command's own
+// handshake, vet.cfg files, and export-data type inputs — not just the
+// standalone walker. One scratch module, one planted violation per
+// analyzer.
+func TestGoVetPlantedViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vet tool and runs go vet")
+	}
+	root := repoRoot(t)
+	tool := filepath.Join(t.TempDir(), "busprobe-vet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/busprobe-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build vet tool: %v\n%s", err, out)
+	}
+
+	// The scratch module's path sits under busprobe/ so it may import
+	// the repo's internal packages (snapshotmut keys on the real
+	// traffic.Snapshot type); the replace directive resolves the
+	// dependency to the local checkout, no network involved.
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), `module busprobe/scratch
+
+go 1.22
+
+require busprobe v0.0.0
+
+replace busprobe => `+root+"\n")
+	writeFile(t, filepath.Join(dir, "gb", "gb.go"), `package gb
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int //lint:guardedby mu
+}
+
+func (c *C) Bump() { c.n++ }
+`)
+	writeFile(t, filepath.Join(dir, "mo", "mo.go"), `package mo
+
+import (
+	"fmt"
+	"io"
+)
+
+func Dump(w io.Writer, m map[int]string) error {
+	for k, v := range m {
+		if _, err := fmt.Fprintf(w, "%d=%s\n", k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`)
+	writeFile(t, filepath.Join(dir, "cp", "cp.go"), `package cp
+
+import "context"
+
+func Detach() error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+`)
+	writeFile(t, filepath.Join(dir, "sm", "sm.go"), `package sm
+
+import (
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/road"
+)
+
+func Poke(s *traffic.Snapshot, sid road.SegmentID, est traffic.Estimate) {
+	s.Estimates[sid] = est
+}
+`)
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on planted violations:\n%s", out)
+	}
+	for _, want := range []string{"guardedby:", "maporder:", "ctxpropagate:", "snapshotmut:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q finding:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteJSON checks the -json rendering: deterministic order is the
+// caller's (AnalyzePatterns sorts), paths inside dir become relative
+// with forward slashes, paths outside stay absolute.
+func TestWriteJSON(t *testing.T) {
+	dir := t.TempDir()
+	findings := []Finding{
+		{
+			Position: token.Position{Filename: filepath.Join(dir, "pkg", "a.go"), Line: 3, Column: 7},
+			Analyzer: "nowallclock",
+			Message:  "time.Now read",
+		},
+		{
+			Position: token.Position{Filename: "/elsewhere/b.go", Line: 10, Column: 1},
+			Analyzer: "maporder",
+			Message:  "unsorted range",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, dir, findings); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2", len(got))
+	}
+	if got[0].File != "pkg/a.go" || got[0].Line != 3 || got[0].Col != 7 || got[0].Analyzer != "nowallclock" {
+		t.Errorf("first record = %+v", got[0])
+	}
+	if got[1].File != "/elsewhere/b.go" || got[1].Analyzer != "maporder" {
+		t.Errorf("second record = %+v", got[1])
+	}
+}
+
+// TestMalformedAllowFailsBuild proves a bare //lint:allow (no
+// justification) both fails to suppress the underlying finding and
+// adds an allowcheck finding of its own.
+func TestMalformedAllowFailsBuild(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "pkg", "p.go"), `package pkg
+
+import "time"
+
+func now() time.Time {
+	return time.Now() //lint:allow nowallclock
+}
+`)
+	findings, err := AnalyzePatterns(suite(), dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAllowcheck, sawOriginal bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "allowcheck":
+			sawAllowcheck = true
+		case "nowallclock":
+			sawOriginal = true
+		}
+	}
+	if !sawAllowcheck {
+		t.Errorf("no allowcheck finding for bare //lint:allow: %v", findings)
+	}
+	if !sawOriginal {
+		t.Errorf("bare //lint:allow suppressed the finding it cannot justify: %v", findings)
 	}
 }
 

@@ -10,14 +10,18 @@
 //  2. `<binary> -flags` — a JSON description of supported flags (the
 //     suite has none, so it prints []).
 //  3. `<binary> <objdir>/vet.cfg` once per package — a JSON config
-//     naming the package's Go files; the tool analyzes them, writes
-//     the facts file the config asks for, prints diagnostics to
-//     stderr, and exits 2 when it found anything.
+//     naming the package's Go files and its dependencies' export-data
+//     files; the tool parses and type-checks the unit, writes the
+//     facts file the config asks for, prints diagnostics to stderr,
+//     and exits 2 when it found anything.
 //
-// The suite's analyzers are purely syntactic and exchange no facts
-// across packages, so the facts output is an empty placeholder; it
-// must still be written, because the go command treats a missing
-// output as a tool failure.
+// The suite's analyzers exchange no facts across packages, so the
+// facts output is an empty placeholder; it must still be written,
+// because the go command treats a missing output as a tool failure.
+// Type information, by contrast, is rebuilt per unit: dependency types
+// come from the export files the go command already compiled
+// (PackageFile/ImportMap), so only the unit's own files are
+// type-checked from source.
 package driver
 
 import (
@@ -25,20 +29,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"busprobe/internal/lint/analysis"
+	"busprobe/internal/lint/loader"
 )
 
 // vetConfig mirrors the fields of the go command's vet.cfg that the
-// suite consumes (the full config also carries type-checking inputs —
-// ImportMap, PackageFile, Standard — which syntactic analyzers do not
-// need).
+// suite consumes, including the type-checking inputs: ImportMap
+// resolves the unit's import spellings to canonical package paths
+// (vendoring, test variants), PackageFile locates each dependency's
+// compiled export data, and Standard marks stdlib packages.
 type vetConfig struct {
 	ID           string
 	Compiler     string
@@ -48,10 +56,49 @@ type vetConfig struct {
 	GoFiles      []string
 	NonGoFiles   []string
 	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
 	VetxOnly     bool
 	VetxOutput   string
 
 	SucceedOnTypecheckFailure bool
+}
+
+// unitImporter resolves the unit's imports: through the go command's
+// export-data files when the vet.cfg provides them (the `go vet` path
+// — no dependency is ever re-type-checked), falling back to a source
+// loader rooted at the unit's enclosing module for minimal configs
+// that omit type inputs (the hand-written configs the protocol tests
+// drive the tool with).
+func unitImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export file for %q", path)
+		}
+		return os.Open(file)
+	})
+	var ld *loader.Loader
+	return loader.Func(func(path string) (*types.Package, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, ok := cfg.PackageFile[path]; ok {
+			return gc.Import(path)
+		}
+		if ld == nil {
+			root, modPath, err := loader.ModuleRoot(cfg.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("import %q: no export file and no enclosing module: %w", path, err)
+			}
+			ld = loader.New(fset, root, modPath)
+		}
+		return ld.Import(path)
+	})
 }
 
 // unitcheck runs one vet.cfg invocation and returns the exit code.
@@ -104,7 +151,28 @@ func unitcheck(analyzers []*analysis.Analyzer, cfgPath string) int {
 		}
 		files = append(files, f)
 	}
-	findings, err := runAnalyzers(analyzers, fset, files, importPath)
+
+	// Type-check the unit. The go command hands each test variant to
+	// the tool as its own unit (base, in-package test, external test),
+	// so unlike the standalone walker there is no package split here —
+	// one Check covers exactly the files of this unit.
+	info := loader.NewInfo()
+	tc := &types.Config{Importer: unitImporter(fset, &cfg)}
+	if strings.HasPrefix(cfg.GoVersion, "go1") {
+		tc.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tc.Check(importPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// go vet runs alongside the compiler, which reports the
+			// error with better context; the tool stays quiet.
+			return 0
+		}
+		stderrln("busprobe-vet: typecheck:", err)
+		return 3
+	}
+
+	findings, err := runAnalyzers(analyzers, fset, files, importPath, pkg, info)
 	if err != nil {
 		stderrln("busprobe-vet:", err)
 		return 3

@@ -1,0 +1,346 @@
+// Package guardedby enforces annotated lock invariants: a struct
+// field carrying
+//
+//	//lint:guardedby <mutex>
+//
+// (on the field's line or in its doc comment, naming a sibling mutex
+// field) may only be accessed while that mutex is held. The walk is
+// the same defer-aware held-set scan lockorder uses — x.Lock()/
+// x.RLock() add the rendered receiver, x.Unlock()/x.RUnlock() remove
+// it, a deferred unlock holds to function end, and branches are
+// scanned with a copy of the set — but the access side is resolved
+// through the type checker: every selector expression that
+// types.Info.Selections says lands on an annotated field must have
+// "<base>.<mutex>" in the held set, where <base> is the rendering of
+// the expression the field was selected from. String-matching the
+// lock expression keeps the check aligned with lockorder's receiver
+// rendering, so `b.statsMu.Lock(); b.stats.offered++` pairs up and a
+// bare `b.stats.offered++` is flagged.
+//
+// Exemptions, in the spirit of Google's checklocks annotations:
+//
+//   - functions whose name ends in "Locked" (the caller holds the
+//     lock by contract — the repo's settleLocked/publishLocked idiom)
+//   - constructors (name prefixed new/New/open/Open/make/Make): the
+//     value is unpublished, so no lock can or need be held
+//   - _test.go files (tests reach into structs directly; the race
+//     detector covers them)
+//   - composite-literal field keys (initializing a fresh value is not
+//     an access to shared state)
+//
+// RLock is treated as holding the guard for reads and writes alike —
+// the suite's annotated fields all sit behind plain sync.Mutex, so
+// the read/write distinction is deliberately out of scope.
+//
+// Function literals are scanned with a copy of the enclosing held set:
+// a comparator passed to sort.Slice under the lock is checked as
+// locked code, while a closure that takes the lock itself is tracked
+// through its own Lock statements.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "flag accesses to //lint:guardedby-annotated struct fields " +
+		"without the named mutex held",
+	Run: run,
+}
+
+const guardPrefix = "lint:guardedby"
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	w := &walker{pass: pass, guards: guards}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || exemptFunc(fn.Name.Name) {
+				continue
+			}
+			w.scanStmts(fn.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// exemptFunc reports whether a function's body is outside the check:
+// "Locked"-suffixed helpers run under the caller's lock by contract,
+// and constructors initialize fields before the value is shared.
+func exemptFunc(name string) bool {
+	if strings.HasSuffix(name, "Locked") {
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "new") ||
+		strings.HasPrefix(lower, "open") ||
+		strings.HasPrefix(lower, "make")
+}
+
+// collectGuards finds every //lint:guardedby annotation in the
+// package's struct declarations and maps the annotated field objects
+// to the named guard field.
+func collectGuards(pass *analysis.Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardName(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardName extracts the mutex name from a field's doc or trailing
+// comment, or "" when the field carries no annotation.
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, guardPrefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, guardPrefix))
+			if len(fields) >= 1 {
+				return fields[0]
+			}
+		}
+	}
+	return ""
+}
+
+// walker carries the per-package state for the held-set scan.
+type walker struct {
+	pass   *analysis.Pass
+	guards map[types.Object]string
+}
+
+// scanStmts walks one statement list in order, maintaining the set of
+// held locks as rendered receiver strings ("b.statsMu"). Mirrors
+// lockorder's walk: nested blocks get a copy of the set, a deferred
+// unlock stays held.
+func (w *walker) scanStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if recv, method, ok := lockCall(stmt); ok {
+			switch method {
+			case "Lock", "RLock":
+				held[recv] = true
+				continue
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+				continue
+			}
+		}
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			// defer x.Unlock() keeps the lock held to function end.
+			// Other deferred calls run after the critical section; a
+			// deferred closure is scanned as its own scope below.
+			if recv, method, ok := lockCall(&ast.ExprStmt{X: d.Call}); ok &&
+				(method == "Unlock" || method == "RUnlock") {
+				_ = recv
+				continue
+			}
+		}
+		w.checkStmt(stmt, held)
+		w.scanNested(stmt, held)
+	}
+}
+
+// scanNested recurses into compound statements with a copy of the
+// held set.
+func (w *walker) scanNested(stmt ast.Stmt, held map[string]bool) {
+	recurse := func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		w.scanStmts(body.List, copyHeld(held))
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		w.scanStmts(s.List, copyHeld(held))
+	case *ast.IfStmt:
+		recurse(s.Body)
+		if s.Else != nil {
+			w.scanNested(s.Else, held)
+		}
+	case *ast.ForStmt:
+		recurse(s.Body)
+	case *ast.RangeStmt:
+		recurse(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.scanNested(s.Stmt, held)
+	}
+}
+
+// checkStmt inspects the expressions of one statement for guarded
+// field accesses. Nested blocks are left to scanNested (they need
+// their own held-set copies); function literals are scanned here as
+// fresh scopes seeded with a copy of the current held set.
+func (w *walker) checkStmt(stmt ast.Stmt, held map[string]bool) {
+	switch stmt.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Headers of these (init/cond expressions) rarely touch guarded
+		// fields and their bodies are handled by scanNested; checking
+		// the header too would double-visit the body. Check only the
+		// header expressions.
+		w.checkHeader(stmt, held)
+		return
+	}
+	w.checkExprTree(stmt, held)
+}
+
+// checkHeader checks the non-body expressions of a compound statement.
+func (w *walker) checkHeader(stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.checkExprTree(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExprTree(s.Cond, held)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.checkExprTree(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExprTree(s.Cond, held)
+		}
+		if s.Post != nil {
+			w.checkExprTree(s.Post, held)
+		}
+	case *ast.RangeStmt:
+		w.checkExprTree(s.X, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.checkExprTree(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExprTree(s.Tag, held)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.checkExprTree(s.Init, held)
+		}
+		w.checkExprTree(s.Assign, held)
+	}
+}
+
+// checkExprTree inspects one node's expression tree for guarded-field
+// selectors, descending into function literals as fresh scopes.
+func (w *walker) checkExprTree(node ast.Node, held map[string]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.scanStmts(x.Body.List, copyHeld(held))
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(x, held)
+		}
+		return true
+	})
+}
+
+// checkAccess resolves one selector through the type checker and
+// reports it if it lands on an annotated field whose guard is not in
+// the held set.
+func (w *walker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	selection := w.pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	guard, ok := w.guards[selection.Obj()]
+	if !ok {
+		return
+	}
+	base := analysis.ExprString(sel.X)
+	want := base + "." + guard
+	if held[want] {
+		return
+	}
+	if w.pass.Allowed(sel.Pos(), "guardedby") {
+		return
+	}
+	w.pass.Reportf(sel.Pos(),
+		"%s.%s is guarded by %s but accessed without %s held (or annotate //lint:allow guardedby <reason>)",
+		base, sel.Sel.Name, guard, want)
+}
+
+// lockCall decomposes a statement of the form x.Lock()/x.Unlock()
+// (and RLock/RUnlock) into the receiver's rendering and the method.
+func lockCall(stmt ast.Stmt) (recv, method string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return analysis.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

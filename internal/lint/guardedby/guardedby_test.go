@@ -1,0 +1,16 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/guardedby"
+)
+
+// TestGuardedByFixture proves annotated fields are flagged when
+// accessed without the named mutex and accepted under Lock /
+// defer-Unlock, in Locked-suffixed helpers and constructors, and with
+// justified allows.
+func TestGuardedByFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "guardedby_a")
+}

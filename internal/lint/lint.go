@@ -5,22 +5,49 @@
 // also runs it standalone (`go run ./cmd/busprobe-vet ./...`), and the
 // suite-over-repo test in the driver package keeps the tree clean
 // between CI runs.
+//
+// The suite has two tiers. The syntactic four (nowallclock,
+// paperconst, lockorder, errcheckio) need only parsed files; the
+// type-aware four (guardedby, maporder, ctxpropagate, snapshotmut)
+// resolve fields, signatures, and map-ness through the go/types
+// information every driver now attaches to the pass. Syntactic() and
+// Typed() expose the split so CI can time the tiers separately;
+// Suite() remains the everything list in reporting order.
 package lint
 
 import (
 	"busprobe/internal/lint/analysis"
+	"busprobe/internal/lint/ctxpropagate"
 	"busprobe/internal/lint/errcheckio"
+	"busprobe/internal/lint/guardedby"
 	"busprobe/internal/lint/lockorder"
+	"busprobe/internal/lint/maporder"
 	"busprobe/internal/lint/nowallclock"
 	"busprobe/internal/lint/paperconst"
+	"busprobe/internal/lint/snapshotmut"
 )
 
-// Suite returns the busprobe-vet analyzers in reporting order.
-func Suite() []*analysis.Analyzer {
+// Syntactic returns the analyzers that consume only parsed syntax.
+func Syntactic() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nowallclock.Analyzer,
 		paperconst.Analyzer,
 		lockorder.Analyzer,
 		errcheckio.Analyzer,
 	}
+}
+
+// Typed returns the analyzers that require type information.
+func Typed() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		guardedby.Analyzer,
+		maporder.Analyzer,
+		ctxpropagate.Analyzer,
+		snapshotmut.Analyzer,
+	}
+}
+
+// Suite returns the full busprobe-vet suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return append(Syntactic(), Typed()...)
 }

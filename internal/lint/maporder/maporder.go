@@ -1,0 +1,245 @@
+// Package maporder protects the repo's byte-identity guarantee at the
+// source: a `range` over a map whose iteration order can escape into
+// output is flagged unless the escaping data is sorted. Go randomizes
+// map iteration order per run, so one unsorted range in an encoder
+// turns /v1/traffic into a coin flip — the exact failure class the
+// conformance harness exists to catch, found here at compile time
+// instead.
+//
+// The map-ness of the ranged expression is resolved through the type
+// checker (types.Info.Types, underlying *types.Map), so ranging a
+// named map type or a map-valued field is seen for what it is. Inside
+// such a loop two escape shapes are flagged:
+//
+//   - an order-preserving write: fmt.Fprint*/fmt.Print*, a
+//     Write/WriteString/WriteByte/WriteRune method, or an Encode call.
+//     Whatever the sink — an http response, a strings.Builder, a
+//     hash — the bytes land in iteration order, so this is always a
+//     finding.
+//   - a self-append (`rows = append(rows, …)`) to a variable declared
+//     outside the loop: the slice accumulates in iteration order. This
+//     is clean only if the function visibly sorts that variable
+//     somewhere — a call whose callee name contains "sort" (sort.Slice,
+//     sort.Strings, slices.SortFunc, the repo's sortRows helper) with
+//     the variable as an argument or receiver. Appends to loop-local
+//     variables are ignored; they die with the iteration.
+//
+// The "sorted somewhere in the function" rule is deliberately
+// position-insensitive: the repo's idiom is range-append-sort
+// (http.go's /v1/traffic rows, the obs registry's family walk), and
+// demanding the sort lexically after the loop would buy precision the
+// idiom never exploits. A map range that only feeds another map, or
+// aggregates (sums, counters), has no escaping order and is clean.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"busprobe/internal/lint/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map ranges whose iteration order escapes into output " +
+		"without a sort",
+	Run: run,
+}
+
+// writeMethods are method names that emit their arguments in call
+// order onto some sink.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
+// fmtPrinters are fmt functions that write through an io.Writer or
+// stdout in call order.
+var fmtPrinters = map[string]bool{
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+	"Print":    true,
+	"Printf":   true,
+	"Println":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc audits one function body: collect the set of expressions
+// the function sorts, then flag every map-range escape not covered by
+// it.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorted := collectSorted(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMapType(pass, rng.X) {
+			return true
+		}
+		checkLoop(pass, rng, sorted)
+		return true
+	})
+}
+
+// collectSorted returns the renderings of every expression the
+// function passes to a sorting call: any call whose callee name
+// contains "sort" (case-insensitive) contributes its receiver and its
+// identifier/selector arguments. That covers sort.Slice(rows, …),
+// sort.Strings(keys), slices.SortFunc(fams, …), a custom sortRows
+// helper, and a Sort method on a named slice type.
+func collectSorted(body *ast.BlockStmt) map[string]bool {
+	sorted := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			name = fn.Name
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+			if strings.Contains(strings.ToLower(name), "sort") {
+				sorted[analysis.ExprString(fn.X)] = true
+			}
+		default:
+			return true
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			// sort.Strings/Ints/Float64s spell the element type, not
+			// "sort" — the package qualifier carries the intent.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); !ok || analysis.ExprString(sel.X) != "sort" {
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			switch arg.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				sorted[analysis.ExprString(arg)] = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// checkLoop flags the escape shapes inside one map-range body.
+// Function literals are not descended into: a closure's execution
+// order is not the loop's (and sort comparators would self-flag).
+func checkLoop(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[string]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if target := writeSink(x); target != "" && !pass.Allowed(x.Pos(), "maporder") {
+				pass.Reportf(x.Pos(),
+					"map iteration order written to %s inside range over %s; iterate a sorted key slice instead (or annotate //lint:allow maporder <reason>)",
+					target, analysis.ExprString(rng.X))
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, rng, x, sorted)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `target = append(target, …)` accumulations into
+// variables declared outside the loop when nothing in the function
+// sorts the target.
+func checkAppend(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, sorted map[string]bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || len(call.Args) == 0 {
+			continue
+		}
+		target := analysis.ExprString(as.Lhs[i])
+		if target != analysis.ExprString(call.Args[0]) {
+			continue // not a self-append accumulation
+		}
+		if declaredInside(pass, as.Lhs[i], rng) {
+			continue // loop-local; dies with the iteration
+		}
+		if sorted[target] {
+			continue
+		}
+		if pass.Allowed(as.Pos(), "maporder") {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"%s accumulates in map iteration order from range over %s and is never sorted; sort %s before it is read, or iterate sorted keys (or annotate //lint:allow maporder <reason>)",
+			target, analysis.ExprString(rng.X), target)
+	}
+}
+
+// declaredInside reports whether the append target resolves to a
+// variable whose declaration lies within the range statement itself.
+func declaredInside(pass *analysis.Pass, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false // selector targets are fields — always outer
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End()
+}
+
+// writeSink classifies a call inside the loop as an order-preserving
+// write and returns the sink's rendering, or "".
+func writeSink(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if base, okBase := sel.X.(*ast.Ident); okBase && base.Name == "fmt" && fmtPrinters[sel.Sel.Name] {
+		if strings.HasPrefix(sel.Sel.Name, "F") && len(call.Args) > 0 {
+			return analysis.ExprString(call.Args[0])
+		}
+		return "stdout"
+	}
+	if writeMethods[sel.Sel.Name] {
+		return analysis.ExprString(sel.X)
+	}
+	return ""
+}
+
+// isMapType reports whether the ranged expression's type is a map.
+func isMapType(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/maporder"
+)
+
+// TestMapOrderFixture proves map-range escapes (sink writes, unsorted
+// self-appends) are flagged while the range-append-sort idiom,
+// loop-local slices, aggregations, and justified allows stay clean.
+func TestMapOrderFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "maporder_a")
+}

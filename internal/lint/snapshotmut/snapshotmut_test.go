@@ -1,0 +1,16 @@
+package snapshotmut_test
+
+import (
+	"testing"
+
+	"busprobe/internal/lint/analysistest"
+	"busprobe/internal/lint/snapshotmut"
+)
+
+// TestSnapshotMutFixture proves writes to snapshot-owned maps —
+// direct, aliased, or after publication into a Snapshot literal — are
+// flagged while the copy-before-write idiom, accessor clones, reads,
+// and justified allows stay clean.
+func TestSnapshotMutFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), snapshotmut.Analyzer, "snapshotmut_a")
+}

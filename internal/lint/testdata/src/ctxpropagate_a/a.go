@@ -1,0 +1,118 @@
+// Package ctxpropagate_a is the fixture for the ctxpropagate analyzer:
+// context.Background/TODO in library code and exported blocking API
+// without a ctx parameter are flagged; threaded contexts, unexported
+// helpers, non-blocking selects, ServeHTTP, and justified allows are
+// not.
+package ctxpropagate_a
+
+import (
+	"context"
+	"net/http"
+)
+
+type Server struct {
+	jobs chan int
+	gate chan struct{}
+}
+
+type worker struct {
+	jobs chan int
+}
+
+// rootInLibrary materializes a context mid-stack: rule 1.
+func rootInLibrary() error {
+	ctx := context.Background() // want `context\.Background\(\) detaches this path from the caller's cancellation`
+	return ctx.Err()
+}
+
+// todoInLibrary is the same finding for TODO.
+func todoInLibrary() error {
+	ctx := context.TODO() // want `context\.TODO\(\) detaches this path from the caller's cancellation`
+	return ctx.Err()
+}
+
+// Enqueue is exported and performs a channel send with no ctx: rule 2.
+func (s *Server) Enqueue(job int) { // want `exported Enqueue performs a channel send but takes no context\.Context`
+	s.jobs <- job
+}
+
+// Next is exported and receives: rule 2.
+func (s *Server) Next() int { // want `exported Next performs a channel receive but takes no context\.Context`
+	return <-s.jobs
+}
+
+// Wait selects with no default: rule 2.
+func (s *Server) Wait(done chan struct{}) { // want `exported Wait selects on channels but takes no context\.Context`
+	select {
+	case <-done:
+	case j := <-s.jobs:
+		_ = j
+	}
+}
+
+// Drain ranges over a channel: rule 2.
+func (s *Server) Drain() int { // want `exported Drain ranges over a channel but takes no context\.Context`
+	n := 0
+	for range s.jobs {
+		n++
+	}
+	return n
+}
+
+// Process calls a context-taking callee but offers its own callers no
+// way to bound it: rule 2.
+func (s *Server) Process() error { // want `exported Process calls a context-taking function but takes no context\.Context`
+	return process(context.TODO(), 1) // want `context\.TODO\(\) detaches this path`
+}
+
+func process(ctx context.Context, job int) error {
+	_ = job
+	return ctx.Err()
+}
+
+// EnqueueCtx threads a ctx: clean.
+func (s *Server) EnqueueCtx(ctx context.Context, job int) error {
+	select {
+	case s.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryEnqueue uses the non-blocking admission-gate idiom (select with
+// default): clean.
+func (s *Server) TryEnqueue(job int) bool {
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// enqueue is unexported: not public API, rule 2 does not apply.
+func (s *Server) enqueue(job int) {
+	s.jobs <- job
+}
+
+// Push is exported but its receiver type is not: skipped.
+func (w *worker) Push(job int) {
+	w.jobs <- job
+}
+
+// ServeHTTP has its signature fixed by net/http; the ctx arrives
+// inside the request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.jobs <- 0
+	_ = r.Context()
+}
+
+// DetachedRead documents its ctx-free contract with an allow on the
+// Background root; the annotation also quiets rule 2 on the
+// declaration.
+func (s *Server) DetachedRead() int {
+	ctx := context.Background() //lint:allow ctxpropagate read path stays ctx-free by design, bounded by transport timeout
+	_ = ctx
+	return <-s.jobs
+}

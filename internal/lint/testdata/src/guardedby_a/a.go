@@ -1,0 +1,101 @@
+// Package guardedby_a is the fixture for the guardedby analyzer:
+// annotated fields accessed without the named mutex are flagged;
+// accesses under Lock/defer-Unlock, in Locked-suffixed helpers and
+// constructors, and justified allows are not.
+package guardedby_a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //lint:guardedby mu
+
+	statsMu sync.Mutex
+	stats   map[string]int //lint:guardedby statsMu
+
+	free int // unannotated: never checked
+}
+
+// newCounter is a constructor: fields are initialized before the value
+// is shared, so no lock is required.
+func newCounter() *counter {
+	c := &counter{}
+	c.stats = make(map[string]int)
+	c.n = 0
+	return c
+}
+
+func (c *counter) bumpBare() {
+	c.n++ // want `c\.n is guarded by mu but accessed without c\.mu held`
+}
+
+func (c *counter) bumpHeld() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) bumpDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// wrongLock holds the other mutex: the guard names a specific sibling.
+func (c *counter) wrongLock() {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.n++ // want `c\.n is guarded by mu but accessed without c\.mu held`
+}
+
+// afterRelease: the held set shrinks at Unlock.
+func (c *counter) afterRelease() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want `c\.n is guarded by mu but accessed without c\.mu held`
+}
+
+// mapGuard: a second guard pairs with its own fields, and branch
+// bodies inherit a copy of the held set.
+func (c *counter) mapGuard(k string) int {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if v, ok := c.stats[k]; ok {
+		return v
+	}
+	c.stats[k] = 1
+	return 1
+}
+
+// closureUnderLock: a function literal created while the lock is held
+// is checked as locked code.
+func (c *counter) closureUnderLock() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() { c.n++ }
+}
+
+// bareClosure: a literal with no lock in scope is flagged.
+func (c *counter) bareClosure() func() {
+	return func() {
+		c.n++ // want `c\.n is guarded by mu but accessed without c\.mu held`
+	}
+}
+
+// resetLocked runs under the caller's lock by contract (Locked
+// suffix) and is exempt.
+func (c *counter) resetLocked() {
+	c.n = 0
+	c.stats = nil
+}
+
+// justified carries an allow with a reason.
+func (c *counter) justified() int {
+	return c.n //lint:allow guardedby snapshot read tolerated: monotone counter, staleness is fine
+}
+
+// unannotated fields are never checked.
+func (c *counter) freeAccess() {
+	c.free++
+}

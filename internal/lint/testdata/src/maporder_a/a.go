@@ -1,0 +1,93 @@
+// Package maporder_a is the fixture for the maporder analyzer: map
+// ranges whose iteration order escapes into output (writes to a sink,
+// unsorted self-appends) are flagged; sorted accumulations, loop-local
+// slices, aggregations, and justified allows are not.
+package maporder_a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+type row struct {
+	ID   int
+	Text string
+}
+
+// writeUnsorted streams entries in map order: always a finding.
+func writeUnsorted(w io.Writer, m map[int]string) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%d=%s\n", k, v) // want `map iteration order written to w inside range over m`
+	}
+}
+
+// builderUnsorted hits the Write-method shape on a strings.Builder.
+func builderUnsorted(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `map iteration order written to b inside range over m`
+	}
+	return b.String()
+}
+
+// accumulateUnsorted self-appends into an escaping slice that is never
+// sorted.
+func accumulateUnsorted(m map[int]string) []row {
+	var rows []row
+	for k, v := range m {
+		rows = append(rows, row{ID: k, Text: v}) // want `rows accumulates in map iteration order from range over m and is never sorted`
+	}
+	return rows
+}
+
+// accumulateSorted is the repo's range-append-sort idiom: clean.
+func accumulateSorted(m map[int]string) []row {
+	var rows []row
+	for k, v := range m {
+		rows = append(rows, row{ID: k, Text: v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return rows
+}
+
+// sortedKeys iterates a sorted key slice — the recommended shape.
+func sortedKeys(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// loopLocal appends to a slice declared inside the loop: it dies with
+// the iteration, no order escapes.
+func loopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		total += len(doubled)
+	}
+	return total
+}
+
+// aggregate has no escaping order at all: clean.
+func aggregate(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// justified carries an allow with a reason.
+func justified(w io.Writer, m map[int]string) {
+	for _, v := range m {
+		fmt.Fprintln(w, v) //lint:allow maporder debug dump, order is irrelevant to the reader
+	}
+}

@@ -1,0 +1,79 @@
+// Package snapshotmut_a is the fixture for the snapshotmut analyzer:
+// writes to maps reachable from a published traffic.Snapshot — direct,
+// through an alias, or after publishing a map into a Snapshot literal —
+// are flagged; copies, fresh maps, reads, and justified allows are not.
+package snapshotmut_a
+
+import (
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/road"
+)
+
+// directWrite mutates a snapshot's map in place.
+func directWrite(s *traffic.Snapshot, sid road.SegmentID, est traffic.Estimate) {
+	s.Estimates[sid] = est // want `map owned by a traffic\.Snapshot assigned through \(s\.Estimates\) outside its constructor`
+}
+
+// directDelete removes a key from a snapshot's map.
+func directDelete(s *traffic.Snapshot, sid road.SegmentID) {
+	delete(s.RemovedAt, sid) // want `map owned by a traffic\.Snapshot deleted from \(s\.RemovedAt\) outside its constructor`
+}
+
+// fieldWrite replaces a snapshot field wholesale.
+func fieldWrite(s *traffic.Snapshot) {
+	s.ChangedAt = nil // want `field s\.ChangedAt of a traffic\.Snapshot assigned outside its constructor`
+}
+
+// versionBump mutates the version counter of a published snapshot.
+func versionBump(s *traffic.Snapshot) {
+	s.Version++ // want `field s\.Version of a traffic\.Snapshot incremented outside its constructor`
+}
+
+// aliasWrite writes through a local alias of the snapshot's map.
+func aliasWrite(s *traffic.Snapshot, sid road.SegmentID, est traffic.Estimate) {
+	m := s.Estimates
+	m[sid] = est // want `m aliases a traffic\.Snapshot map and is assigned through without copying first`
+}
+
+// copyBeforeWrite is the sanctioned idiom: reassigning the alias from
+// a fresh map clears the taint.
+func copyBeforeWrite(s *traffic.Snapshot, sid road.SegmentID, est traffic.Estimate) map[road.SegmentID]traffic.Estimate {
+	m := s.Estimates
+	m = make(map[road.SegmentID]traffic.Estimate, len(s.Estimates))
+	m[sid] = est
+	return m
+}
+
+// cloneWrite mutates a copy returned by an accessor: call results are
+// never snapshot-backed by contract.
+func cloneWrite(s *traffic.Snapshot, sid road.SegmentID, est traffic.Estimate) {
+	m := s.CloneEstimates()
+	m[sid] = est
+}
+
+// constructThenMutate publishes a map into a Snapshot literal and then
+// keeps writing to it — the classic construct-then-tweak bug.
+func constructThenMutate(sid road.SegmentID, est traffic.Estimate) *traffic.Snapshot {
+	m := map[road.SegmentID]traffic.Estimate{}
+	snap := &traffic.Snapshot{Version: 1, Estimates: m}
+	m[sid] = est // want `m aliases a traffic\.Snapshot map and is assigned through without copying first`
+	return snap
+}
+
+// buildThenPublish writes first and publishes last: clean.
+func buildThenPublish(sid road.SegmentID, est traffic.Estimate) *traffic.Snapshot {
+	m := map[road.SegmentID]traffic.Estimate{}
+	m[sid] = est
+	return traffic.NextSnapshot(traffic.EmptySnapshot(), m)
+}
+
+// readOnly never writes: clean.
+func readOnly(s *traffic.Snapshot, sid road.SegmentID) (traffic.Estimate, bool) {
+	est, ok := s.Estimates[sid]
+	return est, ok
+}
+
+// justified carries an allow with a reason.
+func justified(s *traffic.Snapshot, sid road.SegmentID, est traffic.Estimate) {
+	s.Estimates[sid] = est //lint:allow snapshotmut test-only fixture seeding before the snapshot is shared
+}

@@ -84,7 +84,7 @@ type family struct {
 // family/series maps, never a user callback or a channel operation.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family //lint:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

@@ -59,12 +59,12 @@ type Tracer struct {
 	clk clock.Clock
 
 	mu      sync.Mutex
-	seq     map[string]int
-	ring    []Span
-	next    int // ring write cursor
-	full    bool
-	sink    io.Writer
-	emitted int64
+	seq     map[string]int //lint:guardedby mu
+	ring    []Span         //lint:guardedby mu
+	next    int            //lint:guardedby mu ring write cursor
+	full    bool           //lint:guardedby mu
+	sink    io.Writer      //lint:guardedby mu
+	emitted int64          //lint:guardedby mu
 }
 
 // NewTracer returns a tracer holding up to capacity spans (<= 0 uses

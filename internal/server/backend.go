@@ -173,16 +173,16 @@ type Backend struct {
 	// guards the work counters, and the estimator and fingerprint DB
 	// carry their own internal synchronization.
 	dedupMu sync.Mutex
-	seen    map[string]bool
-	journal *Journal
+	seen    map[string]bool //lint:guardedby dedupMu
+	journal *Journal        //lint:guardedby dedupMu
 
 	statsMu sync.Mutex
-	stats   Stats
+	stats   Stats //lint:guardedby statsMu
 
 	// gate bounds concurrently admitted batch ingests (nil = unbounded);
 	// admission holds the per-stage-style counters for /v1/pipeline.
 	gate      chan struct{}
-	admission stage.Metrics
+	admission stage.Metrics //lint:guardedby statsMu
 
 	// Scatter topology, set before any ingestion (by a Coordinator or a
 	// shard process) and read-only afterwards. obsOwner names the shard
@@ -203,7 +203,7 @@ type Backend struct {
 	// scatter RPC — or a peer replaying its journal after a restart —
 	// returns the recorded outcome instead of double-counting reports.
 	scatterMu   sync.Mutex
-	scatterSeen map[string]stage.EstimateOutput
+	scatterSeen map[string]stage.EstimateOutput //lint:guardedby scatterMu
 
 	// obsCore / obsShard are set by RegisterObs (before any ingestion,
 	// read-only afterwards): the observability core this backend reports

@@ -21,8 +21,8 @@ import (
 // durable representation, since trips are small and processing is fast.
 type Journal struct {
 	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	f  *os.File      //lint:guardedby mu
+	w  *bufio.Writer //lint:guardedby mu
 }
 
 // OpenJournal opens (creating if needed) a journal for appending.

@@ -44,7 +44,7 @@ type RemoteShard struct {
 	// from this shard. Traffic revalidates it with If-None-Match, so an
 	// idle shard answers 304 and no estimate body crosses the wire.
 	trafficMu   sync.Mutex
-	lastTraffic *traffic.Snapshot
+	lastTraffic *traffic.Snapshot //lint:guardedby trafficMu
 }
 
 var _ Shard = (*RemoteShard)(nil)

@@ -273,7 +273,7 @@ func TestTrafficDefensiveCopies(t *testing.T) {
 	for sid := range m {
 		m[sid] = traffic.Estimate{SpeedKmh: -1}
 	}
-	m[road.SegmentID(1 << 20)] = traffic.Estimate{}
+	m[road.SegmentID(1<<20)] = traffic.Estimate{}
 	if got := trafficBytes(t, b); !bytes.Equal(got, want) {
 		t.Fatal("mutating Backend.Traffic()'s return corrupted /v1/traffic")
 	}

@@ -10,6 +10,21 @@
 //	                [-max-inflight-batches N] [-request-timeout SECONDS]
 //	                [-pprof] [-drain-timeout SECONDS]
 //	                [-shard-id N] [-shard-addrs URL,URL,...]
+//	                [-store-dir DIR] [-snapshot-every N] [-segment-bytes N]
+//	                [-recovery-report FILE]
+//
+// Durability. -store-dir enables the log-structured store: every
+// accepted trip (and received cross-shard scatter group) appends to an
+// active segment under <dir>/shardN/ (a monolith is shard 0), segments
+// seal at -segment-bytes, and every -snapshot-every records a
+// checkpoint captures the full pipeline state at a segment boundary
+// and compacts the log behind it — so restart cost is O(tail), not
+// O(history). On boot each shard recovers from its newest intact
+// snapshot plus tail replay, falling back one snapshot (or to a full
+// replay) on corruption; the per-shard outcome prints and, with
+// -recovery-report, lands in a JSON artifact. A legacy -journal file
+// found next to a virgin store is migrated in as its first segment.
+// The old single-file -journal mode (no -store-dir) still works.
 //
 // Process topology. By default one process hosts everything: a
 // monolith (-shards 1) or N in-process shards behind an in-process
@@ -60,11 +75,14 @@ import (
 	"syscall"
 	"time"
 
+	"encoding/json"
+
 	"busprobe/internal/clock"
 	"busprobe/internal/core/fingerprint"
 	"busprobe/internal/obs"
 	"busprobe/internal/server"
 	"busprobe/internal/sim"
+	"busprobe/internal/store"
 )
 
 func main() {
@@ -85,6 +103,10 @@ func main() {
 	drainTimeout := flag.Float64("drain-timeout", 10, "seconds to drain in-flight requests on SIGTERM before forcing exit")
 	shardID := flag.Int("shard-id", -1, "run as shard process N of the -shard-addrs topology (-1 = not a shard process)")
 	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard process base URLs, in shard order; with -shard-id runs that shard, without it runs a stateless coordinator tier over them")
+	storeDir := flag.String("store-dir", "", "log-structured store base directory (per-shard stores under <dir>/shardN/); replaces -journal, which is migrated in if present")
+	snapshotEvery := flag.Int("snapshot-every", 50000, "records appended between automatic checkpoints (0 = checkpoint only on shutdown)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "sealed-segment size threshold in bytes (0 = 4 MiB default)")
+	recoveryReport := flag.String("recovery-report", "", "write the boot recovery report as JSON to this file")
 	flag.Parse()
 
 	if err := run(topology{
@@ -93,6 +115,8 @@ func main() {
 		ingestWorkers: *ingestWorkers, maxInflight: *maxInflight,
 		reqTimeoutS: *reqTimeout, pprofOn: *pprofOn, drainTimeoutS: *drainTimeout,
 		shardID: *shardID, shardAddrs: splitAddrs(*shardAddrs),
+		storeDir: *storeDir, snapshotEvery: *snapshotEvery,
+		segmentBytes: *segmentBytes, recoveryReport: *recoveryReport,
 	}); err != nil {
 		log.Println(err)
 		os.Exit(1)
@@ -115,6 +139,21 @@ type topology struct {
 	drainTimeoutS float64
 	shardID       int
 	shardAddrs    []string
+
+	storeDir       string
+	snapshotEvery  int
+	segmentBytes   int64
+	recoveryReport string
+}
+
+// storeOpts derives one shard's store options from the topology.
+func (t topology) storeOpts(dir string) store.Options {
+	return store.Options{
+		Dir:           dir,
+		SegmentBytes:  t.segmentBytes,
+		SnapshotEvery: t.snapshotEvery,
+		Clock:         clock.Wall{},
+	}
 }
 
 // splitAddrs parses the -shard-addrs list, dropping empty entries.
@@ -174,6 +213,10 @@ func run(t topology) error {
 	fmt.Printf("fingerprint DB: %d stops surveyed\n", fpdb.Len())
 	hc := server.HandlerConfig{Obs: core, Pprof: pprofOn}
 	var handler http.Handler
+	// Store-backed shards: each backend here checkpoints when its store
+	// signals (and once more on drain), and its log closes on exit.
+	var storeBackends []*server.Backend
+	var storeLogs []*server.StoreLog
 	switch {
 	case t.shardID >= 0:
 		// Shard process: one region shard of the -shard-addrs topology,
@@ -182,7 +225,24 @@ func run(t topology) error {
 		if err != nil {
 			return err
 		}
-		if journalPath != "" {
+		if t.storeDir != "" {
+			legacy := ""
+			if journalPath != "" {
+				legacy = journalPaths(journalPath, len(t.shardAddrs))[t.shardID]
+			}
+			dir := server.ShardStoreDir(t.storeDir, t.shardID)
+			rec, err := server.RecoverBackendStore(ctx, t.storeOpts(dir), legacy, b)
+			if err != nil {
+				return err
+			}
+			recs := []*server.StoreRecovery{rec}
+			printRecovery(recs)
+			if err := writeRecoveryReport(t.recoveryReport, recs); err != nil {
+				return err
+			}
+			storeBackends = append(storeBackends, b)
+			storeLogs = append(storeLogs, rec.Log())
+		} else if journalPath != "" {
 			// Each shard process journals (and replays) only its own
 			// <path>.shardN file: trips in it were routed here by a
 			// coordinator, and replay re-scatters cross-shard groups
@@ -210,6 +270,9 @@ func run(t topology) error {
 		if journalPath != "" {
 			return fmt.Errorf("-journal belongs to the shard processes in multi-process mode")
 		}
+		if t.storeDir != "" {
+			return fmt.Errorf("-store-dir belongs to the shard processes in multi-process mode")
+		}
 		coord, err := server.NewRemoteCoordinator(cfg, world.Transit, fpdb, t.shardAddrs)
 		if err != nil {
 			return err
@@ -232,7 +295,27 @@ func run(t topology) error {
 		if err != nil {
 			return err
 		}
-		if journalPath != "" {
+		if t.storeDir != "" {
+			var legacies []string
+			if journalPath != "" {
+				legacies = journalPaths(journalPath, shards)
+			}
+			recs, err := coord.RecoverStores(ctx, t.storeDir, t.storeOpts(""), legacies)
+			if err != nil {
+				return err
+			}
+			printRecovery(recs)
+			if err := writeRecoveryReport(t.recoveryReport, recs); err != nil {
+				return err
+			}
+			for i, b := range coord.Shards() {
+				if recs[i].Log() == nil {
+					continue
+				}
+				storeBackends = append(storeBackends, b)
+				storeLogs = append(storeLogs, recs[i].Log())
+			}
+		} else if journalPath != "" {
 			// Replay through the coordinator, not the owning shard:
 			// routing is content-deterministic, so trips land back on
 			// their home shards even if the shard count changed since
@@ -267,6 +350,11 @@ func run(t topology) error {
 	if pprofOn {
 		fmt.Println("pprof: serving /debug/pprof/")
 	}
+	// One snapshotter per store-backed shard: when SnapshotEvery records
+	// have appended, checkpoint that shard (seal + snapshot + compact).
+	for i := range storeBackends {
+		go snapshotter(ctx, storeBackends[i], storeLogs[i])
+	}
 	srv := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
@@ -286,7 +374,67 @@ func run(t topology) error {
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	// Final checkpoint: the drained state lands in a snapshot so the
+	// next boot restarts in O(tail)≈O(1) instead of replaying history.
+	for i, b := range storeBackends {
+		if err := b.Checkpoint(); err != nil {
+			log.Printf("warning: final checkpoint: %v", err)
+		}
+		if err := storeLogs[i].Close(); err != nil {
+			log.Printf("warning: close store: %v", err)
+		}
+	}
 	fmt.Println("shutdown complete")
+	return nil
+}
+
+// snapshotter checkpoints one store-backed shard whenever its store
+// signals that enough records have appended since the last snapshot.
+func snapshotter(ctx context.Context, b *server.Backend, l *server.StoreLog) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-l.Store().SnapshotDue():
+			if err := b.Checkpoint(); err != nil {
+				log.Printf("warning: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// printRecovery summarizes each shard's store recovery on the boot log.
+func printRecovery(recs []*server.StoreRecovery) {
+	for _, r := range recs {
+		if r.Err != "" {
+			fmt.Printf("store shard %d: RECOVERY FAILED: %s (shard starts fresh)\n", r.Shard, r.Err)
+			continue
+		}
+		fmt.Printf("store shard %d: %s — %d trips replayed, %d skipped, %d scatter groups refolded (%d segments walked)\n",
+			r.Shard, r.Report.Mode, r.TripsReplayed, r.TripsSkipped, r.ScatterReplayed, r.Report.SegmentsReplayed)
+		if r.Report.Migrated {
+			fmt.Printf("store shard %d: legacy journal migrated into the store\n", r.Shard)
+		}
+		for _, n := range r.Report.Notes {
+			fmt.Printf("store shard %d: note: %s\n", r.Shard, n)
+		}
+	}
+}
+
+// writeRecoveryReport lands the per-shard recovery outcomes as a JSON
+// artifact (CI uploads it; operators diff it across boots).
+func writeRecoveryReport(path string, recs []*server.StoreRecovery) error {
+	if path == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write recovery report: %w", err)
+	}
+	fmt.Printf("recovery report written to %s\n", path)
 	return nil
 }
 

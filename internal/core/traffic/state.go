@@ -1,0 +1,181 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"busprobe/internal/road"
+)
+
+// State is the estimator's complete durable state, shaped for JSON.
+// Everything a restarted estimator needs to continue producing
+// byte-identical estimates is here: the fold watermark, every
+// segment's belief and retained window reports, and the published
+// snapshot's version bookkeeping (so watch clients see a monotone
+// version across the restart). Configuration — the transit model, the
+// update period, the drift rate — is deliberately NOT state: it comes
+// from the deployment, and importing state into a differently
+// configured estimator is the operator's decision.
+//
+// All slices are sorted (segments by ID, windows by index, speeds
+// ascending as the estimator keeps them), so exporting twice from the
+// same estimator yields byte-identical JSON.
+type State struct {
+	// WatermarkIdx is the exclusive upper window index already due for
+	// folding.
+	WatermarkIdx int64 `json:"watermarkIdx"`
+	// LateDropped counts reports that arrived after compaction
+	// discarded their window.
+	LateDropped int `json:"lateDropped,omitempty"`
+	// Segments is the per-segment belief + window state, ascending by
+	// segment ID.
+	Segments []SegmentState `json:"segments"`
+	// SnapVersion is the published snapshot's version at export.
+	SnapVersion uint64 `json:"snapVersion"`
+	// ChangedAt/RemovedAt restore the snapshot's per-segment version
+	// marks, ascending by segment ID.
+	ChangedAt []VersionMark `json:"changedAt,omitempty"`
+	RemovedAt []VersionMark `json:"removedAt,omitempty"`
+}
+
+// SegmentState is one road segment's estimator state.
+type SegmentState struct {
+	Segment road.SegmentID `json:"segment"`
+	// Hist is the fused belief as of the watermark.
+	Hist Estimate `json:"hist"`
+	// Base / BaseIdx checkpoint the belief at the last Compact.
+	Base    Estimate `json:"base"`
+	BaseIdx int64    `json:"baseIdx"`
+	// FoldedIdx is the exclusive upper window index folded into Hist.
+	FoldedIdx int64 `json:"foldedIdx"`
+	// Windows are the retained report sets, ascending by index.
+	Windows []WindowState `json:"windows,omitempty"`
+}
+
+// WindowState is one update window's speed reports, sorted ascending.
+type WindowState struct {
+	Idx    int64     `json:"idx"`
+	Speeds []float64 `json:"speeds"`
+}
+
+// VersionMark records the snapshot version at which one segment last
+// changed (or was removed).
+type VersionMark struct {
+	Segment road.SegmentID `json:"segment"`
+	Version uint64         `json:"version"`
+}
+
+// ExportState settles every pending fold and returns the estimator's
+// durable state. The export is a deep copy — the estimator keeps
+// running and the caller owns the result.
+func (e *Estimator) ExportState() *State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Settle first so the export never carries a dirty flag: the state
+	// is then a pure function of the report multiset and watermark.
+	if e.settleAllLocked() {
+		e.publishLocked()
+	}
+	st := &State{
+		WatermarkIdx: e.watermarkIdx,
+		LateDropped:  e.lateDropped,
+		Segments:     make([]SegmentState, 0, len(e.segs)),
+	}
+	for sid, seg := range e.segs {
+		ss := SegmentState{
+			Segment:   sid,
+			Hist:      seg.hist,
+			Base:      seg.base,
+			BaseIdx:   seg.baseIdx,
+			FoldedIdx: seg.foldedIdx,
+			Windows:   make([]WindowState, 0, len(seg.windows)),
+		}
+		for idx, speeds := range seg.windows {
+			ss.Windows = append(ss.Windows, WindowState{Idx: idx, Speeds: append([]float64(nil), speeds...)})
+		}
+		sort.Slice(ss.Windows, func(i, j int) bool { return ss.Windows[i].Idx < ss.Windows[j].Idx })
+		st.Segments = append(st.Segments, ss)
+	}
+	sort.Slice(st.Segments, func(i, j int) bool { return st.Segments[i].Segment < st.Segments[j].Segment })
+	snap := e.snap.Load()
+	st.SnapVersion = snap.Version
+	st.ChangedAt = marksOf(snap.ChangedAt)
+	st.RemovedAt = marksOf(snap.RemovedAt)
+	return st
+}
+
+// ImportState replaces the estimator's state wholesale with a
+// previously exported one and republishes the snapshot at its exported
+// version, so readers (and watch clients holding a since-version)
+// observe exactly the pre-export map. Import into a freshly
+// constructed estimator — importing over live state discards it.
+func (e *Estimator) ImportState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("traffic: import nil state")
+	}
+	segs := make(map[road.SegmentID]*segState, len(st.Segments))
+	for _, ss := range st.Segments {
+		if _, dup := segs[ss.Segment]; dup {
+			return fmt.Errorf("traffic: import: duplicate segment %d", ss.Segment)
+		}
+		if ss.FoldedIdx < ss.BaseIdx {
+			return fmt.Errorf("traffic: import: segment %d folded below its base", ss.Segment)
+		}
+		seg := &segState{
+			hist:      ss.Hist,
+			base:      ss.Base,
+			baseIdx:   ss.BaseIdx,
+			foldedIdx: ss.FoldedIdx,
+			windows:   make(map[int64][]float64, len(ss.Windows)),
+		}
+		for _, w := range ss.Windows {
+			if _, dup := seg.windows[w.Idx]; dup {
+				return fmt.Errorf("traffic: import: segment %d window %d duplicated", ss.Segment, w.Idx)
+			}
+			if !sort.Float64sAreSorted(w.Speeds) {
+				return fmt.Errorf("traffic: import: segment %d window %d speeds unsorted", ss.Segment, w.Idx)
+			}
+			seg.windows[w.Idx] = append([]float64(nil), w.Speeds...)
+		}
+		segs[ss.Segment] = seg
+	}
+	estimates := make(map[road.SegmentID]Estimate, len(segs))
+	for sid, seg := range segs {
+		if seg.hist.Reports > 0 {
+			estimates[sid] = seg.hist
+		}
+	}
+	snap := &Snapshot{
+		Version:   st.SnapVersion,
+		Estimates: estimates,
+		ChangedAt: marksToMap(st.ChangedAt),
+		RemovedAt: marksToMap(st.RemovedAt),
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.segs = segs
+	e.watermarkIdx = st.WatermarkIdx
+	e.lateDropped = st.LateDropped
+	e.snap.Store(snap)
+	return nil
+}
+
+func marksOf(m map[road.SegmentID]uint64) []VersionMark {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]VersionMark, 0, len(m))
+	for sid, v := range m {
+		out = append(out, VersionMark{Segment: sid, Version: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Segment < out[j].Segment })
+	return out
+}
+
+func marksToMap(marks []VersionMark) map[road.SegmentID]uint64 {
+	out := make(map[road.SegmentID]uint64, len(marks))
+	for _, m := range marks {
+		out[m.Segment] = m.Version
+	}
+	return out
+}

@@ -107,6 +107,7 @@ func Scenarios() []Scenario {
 		scenarioSharded,
 		scenarioShardProcs,
 		scenarioDrain,
+		scenarioRestart,
 		scenarioReadStorm,
 		scenarioSurge,
 	}

@@ -169,12 +169,21 @@ type Backend struct {
 
 	// The backend's mutable state is split across independent locks so
 	// ingestion never serializes against query traffic: dedupMu guards
-	// the duplicate-suppression set and the journal handle, statsMu
+	// the duplicate-suppression set and the trip log handle, statsMu
 	// guards the work counters, and the estimator and fingerprint DB
 	// carry their own internal synchronization.
 	dedupMu sync.Mutex
 	seen    map[string]bool //lint:guardedby dedupMu
-	journal *Journal        //lint:guardedby dedupMu
+	journal TripLog         //lint:guardedby dedupMu
+
+	// checkpointMu is the checkpoint consistency cut: every trip holds
+	// the read side across admission (log append) AND fold, so under the
+	// write side no trip can be on one side of a segment boundary with
+	// its estimator effect on the other. Received cross-shard scatters
+	// take scatterMu instead (Checkpoint holds both; FoldScatter must
+	// never block on checkpointMu or two shards checkpointing while
+	// scattering to each other would deadlock).
+	checkpointMu sync.RWMutex
 
 	statsMu sync.Mutex
 	stats   Stats //lint:guardedby statsMu
@@ -197,13 +206,18 @@ type Backend struct {
 	obsOwner   func(traffic.Observation) (int, bool)
 	obsScatter func(ctx context.Context, owner int, key string, obs []traffic.Observation) (stage.EstimateOutput, error)
 
-	// scatterMu guards scatterSeen, the idempotency record of cross-
-	// shard scatter groups folded into THIS backend's estimator. A
-	// group's key is derived from (trip ID, owner shard), so a retried
-	// scatter RPC — or a peer replaying its journal after a restart —
-	// returns the recorded outcome instead of double-counting reports.
+	// scatterMu guards scatterSeen — the idempotency record of cross-
+	// shard scatter groups folded into THIS backend's estimator — and
+	// scatterLog, the store these received groups persist to. A group's
+	// key is derived from (trip ID, owner shard), so a retried scatter
+	// RPC — or a peer replaying its log after a restart — returns the
+	// recorded outcome instead of double-counting reports. FoldScatter
+	// holds scatterMu across dup-check → append → fold → record, making
+	// the group's durability and its estimator effect atomic against a
+	// checkpoint (which seals and exports under the same lock).
 	scatterMu   sync.Mutex
 	scatterSeen map[string]stage.EstimateOutput //lint:guardedby scatterMu
+	scatterLog  *StoreLog                       //lint:guardedby scatterMu
 
 	// obsCore / obsShard are set by RegisterObs (before any ingestion,
 	// read-only afterwards): the observability core this backend reports
@@ -342,6 +356,18 @@ func (b *Backend) Upload(ctx context.Context, trip probe.Trip) error {
 // a trace ID gets its deterministic one (obs.TripTrace), and the whole
 // run is bracketed by a "trip" span after the per-stage spans.
 func (b *Backend) ProcessTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error) {
+	// Hold the checkpoint cut's read side across admit→fold so a
+	// checkpoint never splits this trip's log record from its estimator
+	// effect. The batch path takes the same lock once per batch and
+	// calls processTrip directly.
+	b.checkpointMu.RLock()
+	defer b.checkpointMu.RUnlock()
+	return b.processTrip(ctx, trip)
+}
+
+// processTrip is ProcessTrip without the checkpoint read lock; callers
+// must hold it.
+func (b *Backend) processTrip(ctx context.Context, trip probe.Trip) (ProcessedTrip, error) {
 	ctx = b.tripCtx(ctx, trip)
 	span := b.startSpan()
 	if err := b.admit(ctx, trip); err != nil {
@@ -542,25 +568,42 @@ func scatterKey(tripID string, owner int) string {
 // folded returns its recorded outcome without touching the estimator.
 // Keys are retained for the backend's lifetime (the same order of
 // growth as the trip dedup set); an empty key bypasses the record.
-// Duplicate suppression assumes one in-flight scatter per key at a
-// time, which the home shard guarantees — it scatters a trip's groups
-// sequentially and retries synchronously.
-func (b *Backend) FoldScatter(ctx context.Context, key string, obs []traffic.Observation) stage.EstimateOutput {
+// With a store attached, the group is persisted (a "scatter" record in
+// THIS shard's log) before folding — the originating trip lives in a
+// peer's log, so without the local record a restart would lose the
+// fold. An append failure aborts before the estimator is touched; the
+// home shard's retry re-delivers under the same key. The whole
+// sequence holds scatterMu, so a checkpoint (same lock) always cuts
+// between whole groups.
+func (b *Backend) FoldScatter(ctx context.Context, key string, obs []traffic.Observation) (stage.EstimateOutput, error) {
+	return b.foldScatter(ctx, key, obs, true)
+}
+
+// foldScatterReplay refolds a scatter record read back from this
+// shard's own log during recovery: same dedup and fold, no re-append.
+func (b *Backend) foldScatterReplay(ctx context.Context, key string, obs []traffic.Observation) stage.EstimateOutput {
+	out, _ := b.foldScatter(ctx, key, obs, false)
+	return out
+}
+
+func (b *Backend) foldScatter(ctx context.Context, key string, obs []traffic.Observation, persist bool) (stage.EstimateOutput, error) {
+	b.scatterMu.Lock()
+	defer b.scatterMu.Unlock()
 	if key != "" {
-		b.scatterMu.Lock()
-		out, dup := b.scatterSeen[key]
-		b.scatterMu.Unlock()
-		if dup {
-			return out
+		if out, dup := b.scatterSeen[key]; dup {
+			return out, nil
+		}
+	}
+	if persist && b.scatterLog != nil && key != "" {
+		if err := b.scatterLog.AppendScatter(ctx, key, obs); err != nil {
+			return stage.EstimateOutput{}, err
 		}
 	}
 	out := b.pipe.Estimate.Run(ctx, stage.EstimateInput{Observations: obs})
 	if key != "" {
-		b.scatterMu.Lock()
 		b.scatterSeen[key] = out
-		b.scatterMu.Unlock()
 	}
-	return out
+	return out, nil
 }
 
 // onlineUpdate refreshes stop fingerprints from confidently mapped
@@ -609,12 +652,15 @@ func (b *Backend) onlineUpdate(trip probe.Trip, clusters []cluster.Cluster, mapp
 }
 
 // AttachJournal makes the backend append every accepted trip to the
-// journal. Attach AFTER ReplayJournal, or replayed trips would be
-// re-journaled.
+// legacy single-file journal. Attach AFTER ReplayJournal, or replayed
+// trips would be re-journaled. New deployments attach a store instead
+// (AttachStore / RecoverBackendStore).
 func (b *Backend) AttachJournal(j *Journal) {
-	b.dedupMu.Lock()
-	b.journal = j
-	b.dedupMu.Unlock()
+	var l TripLog
+	if j != nil {
+		l = j
+	}
+	b.AttachTripLog(l)
 }
 
 // Advance drives the estimator's periodic refresh from the caller's

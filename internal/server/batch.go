@@ -43,9 +43,16 @@ func (b *Backend) ProcessTrips(ctx context.Context, trips []probe.Trip, workers 
 	if workers > len(trips) {
 		workers = len(trips)
 	}
+	// One checkpoint read lock covers the whole batch — all three
+	// phases, so a checkpoint cut falls between batches, never between a
+	// trip's log record and its fold. The serial path below must call
+	// processTrip (not ProcessTrip) to avoid a nested RLock, which could
+	// deadlock against a writer queued between the two acquisitions.
+	b.checkpointMu.RLock()
+	defer b.checkpointMu.RUnlock()
 	if b.cfg.OnlineUpdate || workers == 1 {
 		for i, trip := range trips {
-			out, err := b.ProcessTrip(ctx, trip)
+			out, err := b.processTrip(ctx, trip)
 			res[i] = TripResult{Trip: out, Err: err}
 		}
 		return res
@@ -86,7 +93,7 @@ func (b *Backend) ProcessTrips(ctx context.Context, trips []probe.Trip, workers 
 	}
 	for i := range trips {
 		if admitted[i] {
-			idx <- i
+			idx <- i //lint:allow lockorder bounded send: the phase-2 workers drain idx until close, so this cannot block past the batch's own compute
 		}
 	}
 	close(idx)

@@ -45,12 +45,12 @@ func runChaosCampaign(t *testing.T, w *sim.World, fcfg faults.Config, retry phon
 }
 
 // trafficBytes renders the /v1/traffic response of any serving API.
-func trafficBytes(t *testing.T, b API) []byte {
-	t.Helper()
+func trafficBytes(tb testing.TB, b API) []byte {
+	tb.Helper()
 	rec := httptest.NewRecorder()
 	Handler(b).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/traffic", nil))
 	if rec.Code != http.StatusOK {
-		t.Fatalf("/v1/traffic status = %d", rec.Code)
+		tb.Fatalf("/v1/traffic status = %d", rec.Code)
 	}
 	return rec.Body.Bytes()
 }

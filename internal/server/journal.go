@@ -12,6 +12,7 @@ import (
 
 	"busprobe/internal/phone"
 	"busprobe/internal/probe"
+	"busprobe/internal/store"
 )
 
 // Journal is an append-only JSON-lines log of uploaded trips. The
@@ -71,38 +72,45 @@ type TripProcessor interface {
 // ReplayJournal feeds every journaled trip through the sink's pipeline.
 // The journal is line-oriented, so a torn final line from a crash — or a
 // corrupt line anywhere in the file — skips that record and keeps
-// replaying; malformed lines and pipeline rejections (duplicates,
-// invalid trips) are counted, not fatal. Only an unreadable file is an
-// error.
+// replaying; malformed lines, oversized lines (longer than any upload
+// the server accepts, so they can only be corruption), and pipeline
+// rejections (duplicates, invalid trips) are counted, not fatal. Only
+// an unreadable file is an error.
 func ReplayJournal(ctx context.Context, path string, sink TripProcessor) (replayed, skipped int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("server: open journal: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), maxUploadBytes)
-	for sc.Scan() {
+	torn, oversized, err := store.ForEachLine(f, maxUploadBytes, func(raw []byte) error {
 		if err := ctx.Err(); err != nil {
-			return replayed, skipped, fmt.Errorf("server: replay canceled: %w", err)
+			return fmt.Errorf("server: replay canceled: %w", err)
 		}
-		line := bytes.TrimSpace(sc.Bytes())
+		line := bytes.TrimSpace(raw)
 		if len(line) == 0 {
-			continue
+			return nil
 		}
 		var trip probe.Trip
 		if err := json.Unmarshal(line, &trip); err != nil {
 			skipped++
-			continue
+			return nil
 		}
 		if _, err := sink.ProcessTrip(ctx, trip); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
 			skipped++
-			continue
+			return nil
 		}
 		replayed++
+		return nil
+	})
+	skipped += oversized
+	if torn {
+		skipped++
 	}
-	if err := sc.Err(); err != nil {
-		return replayed, skipped, fmt.Errorf("server: read journal: %w", err)
+	if err != nil {
+		return replayed, skipped, err
 	}
 	return replayed, skipped, nil
 }
@@ -121,6 +129,10 @@ type ReplayReport struct {
 	Replayed int
 	// Skipped counts malformed lines and pipeline rejections.
 	Skipped int
+	// Err records a failure reading this shard's file. The other
+	// shards' journals still replay; the deployment boots degraded
+	// rather than dark.
+	Err string
 }
 
 // ReplayJournals replays a multi-process deployment's journal files in
@@ -128,7 +140,10 @@ type ReplayReport struct {
 // file is recorded, not fatal: shard processes journal independently,
 // so a shard that never took a trip (or was added since the last run)
 // simply has no file yet. Torn or corrupt lines inside a file are
-// skipped per ReplayJournal. Only an unreadable existing file aborts.
+// skipped per ReplayJournal. An unreadable file is recorded on its
+// shard's report (Err) and the remaining shards keep replaying — one
+// lost disk must not take down the whole city's recovery. Only
+// cancellation aborts the walk.
 func ReplayJournals(ctx context.Context, paths []string, sink TripProcessor) ([]ReplayReport, error) {
 	out := make([]ReplayReport, len(paths))
 	for i, p := range paths {
@@ -140,7 +155,10 @@ func ReplayJournals(ctx context.Context, paths []string, sink TripProcessor) ([]
 		r, s, err := ReplayJournal(ctx, p, sink)
 		out[i].Replayed, out[i].Skipped = r, s
 		if err != nil {
-			return out, err
+			if ctx.Err() != nil {
+				return out, err
+			}
+			out[i].Err = err.Error()
 		}
 	}
 	return out, nil

@@ -147,6 +147,109 @@ func TestReplaySkipsCorruptMiddleLine(t *testing.T) {
 	}
 }
 
+func TestReplaySkipsOversizedLine(t *testing.T) {
+	// A line longer than any upload the server accepts can only be
+	// corruption (the append path never writes one). It must cost only
+	// itself — not the whole replay, as the old scanner-based reader
+	// did when sc.Err() surfaced ErrTooLong.
+	w := testWorld(t)
+	b := testBackend(t, w)
+	path := filepath.Join(t.TempDir(), "trips.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := rideTrip(t, w, 0, 0, 5, "over-1")
+	if err := j.Append(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, maxUploadBytes+16)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	huge[len(huge)-1] = '\n'
+	if _, err := f.Write(huge); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := rideTrip(t, w, 1, 0, 5, "over-2")
+	if err := j.Append(context.Background(), last); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, skipped, err := ReplayJournal(context.Background(), path, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 2 {
+		t.Errorf("replayed = %d, want 2 (records after the oversized line must survive)", replayed)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the oversized line)", skipped)
+	}
+}
+
+func TestReplayJournalsContinuesPastUnreadableShard(t *testing.T) {
+	// One shard's unreadable journal must not abort the whole
+	// multi-shard replay: its failure lands on its own report and the
+	// remaining shards still rebuild.
+	w := testWorld(t)
+	b := testBackend(t, w)
+	dir := t.TempDir()
+	paths := []string{
+		filepath.Join(dir, "trips.jsonl.shard0"),
+		filepath.Join(dir, "trips.jsonl.shard1"),
+		filepath.Join(dir, "trips.jsonl.shard2"),
+	}
+	for i, p := range paths {
+		if i == 1 {
+			// Exists but unreadable as a journal: a directory.
+			if err := os.Mkdir(p, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		j, err := OpenJournal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trip, _ := rideTrip(t, w, i%2, 0, 5, fmt.Sprintf("shard-%d", i))
+		if err := j.Append(context.Background(), trip); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err := ReplayJournals(context.Background(), paths, b)
+	if err != nil {
+		t.Fatalf("unreadable shard aborted the replay: %v", err)
+	}
+	if reports[0].Replayed != 1 || reports[0].Err != "" {
+		t.Errorf("shard 0: %+v, want 1 replayed and no error", reports[0])
+	}
+	if reports[1].Err == "" {
+		t.Error("shard 1's unreadable journal left no error on its report")
+	}
+	if reports[2].Replayed != 1 || reports[2].Err != "" {
+		t.Errorf("shard 2: %+v, want 1 replayed and no error (must run after the failed shard)", reports[2])
+	}
+}
+
 func TestReplayMissingFile(t *testing.T) {
 	w := testWorld(t)
 	b := testBackend(t, w)

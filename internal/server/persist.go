@@ -1,0 +1,529 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/probe"
+	"busprobe/internal/server/stage"
+	"busprobe/internal/store"
+)
+
+// TripLog is the backend's durable trip sink: admit() appends every
+// accepted upload before processing it. Both the legacy single-file
+// *Journal and the log-structured *StoreLog satisfy it.
+type TripLog interface {
+	Append(ctx context.Context, trip probe.Trip) error
+}
+
+var (
+	_ TripLog = (*Journal)(nil)
+	_ TripLog = (*StoreLog)(nil)
+)
+
+// PersistentStateSchema versions the snapshot state blob. A snapshot
+// carrying another schema is skipped down the recovery ladder.
+const PersistentStateSchema = "busprobe-state/1"
+
+// PersistentState is the backend's complete durable state: everything
+// a snapshot must capture so that "import state + replay tail" equals
+// "replay everything". All slices are sorted, so exporting twice from
+// a quiesced backend is byte-identical.
+type PersistentState struct {
+	// Schema is PersistentStateSchema.
+	Schema string `json:"schema"`
+	// Seen is the dedup set: every accepted trip ID, ascending.
+	Seen []string `json:"seen"`
+	// Scatter is the cross-shard fold idempotency record, ascending by
+	// key: replayed or retried scatter groups with a recorded key
+	// return the recorded outcome instead of folding twice.
+	Scatter []ScatterOutcome `json:"scatter,omitempty"`
+	// Stats are the work counters at export.
+	Stats Stats `json:"stats"`
+	// Estimator is the traffic estimator's window/belief state.
+	Estimator *traffic.State `json:"estimator"`
+}
+
+// ScatterOutcome is one recorded cross-shard fold.
+type ScatterOutcome struct {
+	Key string               `json:"key"`
+	Out stage.EstimateOutput `json:"out"`
+}
+
+// ExportState captures the backend's durable state. Safe to call on a
+// live backend, but only a checkpoint-quiesced export (Checkpoint) is
+// guaranteed consistent with a segment boundary — a concurrent trip
+// could otherwise land its journal record and its fold on opposite
+// sides of the export.
+func (b *Backend) ExportState() *PersistentState {
+	b.scatterMu.Lock()
+	defer b.scatterMu.Unlock()
+	return b.exportStateScatterLocked()
+}
+
+// exportStateScatterLocked builds the state document. Callers hold
+// scatterMu; the other locks are taken (and released) per field.
+func (b *Backend) exportStateScatterLocked() *PersistentState {
+	st := &PersistentState{Schema: PersistentStateSchema, Estimator: b.est.ExportState()}
+	b.dedupMu.Lock()
+	st.Seen = make([]string, 0, len(b.seen))
+	for id := range b.seen {
+		st.Seen = append(st.Seen, id)
+	}
+	b.dedupMu.Unlock()
+	sort.Strings(st.Seen)
+	b.statsMu.Lock()
+	st.Stats = b.stats
+	b.statsMu.Unlock()
+	if len(b.scatterSeen) > 0 {
+		st.Scatter = make([]ScatterOutcome, 0, len(b.scatterSeen))
+		for k, out := range b.scatterSeen {
+			st.Scatter = append(st.Scatter, ScatterOutcome{Key: k, Out: out})
+		}
+		sort.Slice(st.Scatter, func(i, j int) bool { return st.Scatter[i].Key < st.Scatter[j].Key })
+	}
+	return st
+}
+
+// ImportState replaces the backend's durable state wholesale with a
+// previously exported one. Import into a freshly constructed backend
+// before attaching any log and before any ingestion; a failed import
+// leaves the backend untouched.
+func (b *Backend) ImportState(st *PersistentState) error {
+	if st == nil {
+		return fmt.Errorf("server: import nil state")
+	}
+	if st.Schema != PersistentStateSchema {
+		return fmt.Errorf("server: state schema %q, want %q", st.Schema, PersistentStateSchema)
+	}
+	seen := make(map[string]bool, len(st.Seen))
+	for _, id := range st.Seen {
+		seen[id] = true
+	}
+	scatter := make(map[string]stage.EstimateOutput, len(st.Scatter))
+	for _, sc := range st.Scatter {
+		if _, dup := scatter[sc.Key]; dup {
+			return fmt.Errorf("server: state has duplicate scatter key %q", sc.Key)
+		}
+		scatter[sc.Key] = sc.Out
+	}
+	if st.Estimator == nil {
+		return fmt.Errorf("server: state has no estimator")
+	}
+	if err := b.est.ImportState(st.Estimator); err != nil {
+		return err
+	}
+	b.dedupMu.Lock()
+	b.seen = seen
+	b.dedupMu.Unlock()
+	b.scatterMu.Lock()
+	b.scatterSeen = scatter
+	b.scatterMu.Unlock()
+	b.statsMu.Lock()
+	b.stats = st.Stats
+	b.statsMu.Unlock()
+	return nil
+}
+
+// storeRecord is the store's record envelope. Kind "trip" carries one
+// accepted upload; kind "scatter" carries one cross-shard observation
+// group received for folding. A line with no kind is a legacy journal
+// record: a bare trip JSON object, as migrated single-file journals
+// contain.
+type storeRecord struct {
+	Kind string                `json:"kind,omitempty"`
+	Trip *probe.Trip           `json:"trip,omitempty"`
+	Key  string                `json:"key,omitempty"`
+	Obs  []traffic.Observation `json:"obs,omitempty"`
+}
+
+const (
+	recKindTrip    = "trip"
+	recKindScatter = "scatter"
+)
+
+// decodeStoreRecord parses one record line, handling the legacy
+// bare-trip form. ok is false for lines that are not records at all.
+func decodeStoreRecord(line []byte) (storeRecord, bool) {
+	var rec storeRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return storeRecord{}, false
+	}
+	switch rec.Kind {
+	case recKindTrip:
+		if rec.Trip == nil {
+			return storeRecord{}, false
+		}
+		return rec, true
+	case recKindScatter:
+		return rec, true
+	case "":
+		// Legacy journal line: the whole object is the trip.
+		var trip probe.Trip
+		if err := json.Unmarshal(line, &trip); err != nil {
+			return storeRecord{}, false
+		}
+		return storeRecord{Kind: recKindTrip, Trip: &trip}, true
+	default:
+		// A record kind from the future: skip, never guess.
+		return storeRecord{}, false
+	}
+}
+
+// StoreLog adapts a *store.Store to the backend's append points: trips
+// on the upload path (TripLog) and scatter groups on the cross-shard
+// fold path. Safe for concurrent use (the store serializes appends).
+type StoreLog struct {
+	s *store.Store
+}
+
+// NewStoreLog wraps an open store.
+func NewStoreLog(s *store.Store) *StoreLog { return &StoreLog{s: s} }
+
+// Store exposes the underlying store (checkpointing, tests).
+func (l *StoreLog) Store() *store.Store { return l.s }
+
+// Append implements TripLog: one "trip" record line.
+func (l *StoreLog) Append(ctx context.Context, trip probe.Trip) error {
+	line, err := json.Marshal(storeRecord{Kind: recKindTrip, Trip: &trip})
+	if err != nil {
+		return fmt.Errorf("server: encode trip record: %w", err)
+	}
+	return l.s.Append(ctx, line)
+}
+
+// AppendScatter persists one received cross-shard observation group
+// under its idempotency key, so the receiving shard's own replay
+// restores folds whose originating trip lives in a peer's log.
+func (l *StoreLog) AppendScatter(ctx context.Context, key string, obs []traffic.Observation) error {
+	line, err := json.Marshal(storeRecord{Kind: recKindScatter, Key: key, Obs: obs})
+	if err != nil {
+		return fmt.Errorf("server: encode scatter record: %w", err)
+	}
+	return l.s.Append(ctx, line)
+}
+
+// Close flushes and closes the underlying store.
+func (l *StoreLog) Close() error { return l.s.Close() }
+
+// AttachStore wires both of the backend's append points to the store
+// log: accepted trips and received scatter groups. Attach AFTER
+// recovery, like AttachJournal — RecoverBackendStore sequences this
+// (scatter appends first, trip appends after replay).
+func (b *Backend) AttachStore(l *StoreLog) {
+	b.attachScatterLog(l)
+	b.AttachTripLog(l)
+}
+
+// AttachTripLog makes the backend append every accepted trip to the
+// log. Attach AFTER replay, or replayed trips would be re-journaled.
+func (b *Backend) AttachTripLog(l TripLog) {
+	b.dedupMu.Lock()
+	b.journal = l
+	b.dedupMu.Unlock()
+}
+
+// attachScatterLog makes FoldScatter persist received groups.
+func (b *Backend) attachScatterLog(l *StoreLog) {
+	b.scatterMu.Lock()
+	b.scatterLog = l
+	b.scatterMu.Unlock()
+}
+
+// Checkpoint writes a snapshot at a sealed segment boundary and
+// compacts the store behind it. The sequence quiesces ingestion for
+// the seal + export only (trips hold checkpointMu.RLock across
+// admit→fold, received scatters hold scatterMu across append→fold, so
+// under both write locks no record can land on one side of the
+// boundary with its fold on the other); the snapshot write and the
+// compaction run after the locks drop.
+func (b *Backend) Checkpoint() error {
+	b.scatterMu.Lock()
+	sl := b.scatterLog
+	b.scatterMu.Unlock()
+	if sl == nil {
+		return fmt.Errorf("server: checkpoint without an attached store")
+	}
+	b.checkpointMu.Lock()
+	b.scatterMu.Lock() //lint:allow lockorder deliberate checkpointMu>scatterMu order, the only place both are held; FoldScatter takes scatterMu alone so the cut cannot deadlock
+	upTo, err := sl.s.Seal()
+	var blob []byte
+	if err == nil {
+		blob, err = json.Marshal(b.exportStateScatterLocked())
+	}
+	b.scatterMu.Unlock()
+	b.checkpointMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := sl.s.WriteSnapshot(upTo, blob); err != nil {
+		return err
+	}
+	_, err = sl.s.Compact()
+	return err
+}
+
+// ShardStoreDir names one shard's store directory under a deployment's
+// base store directory. Every topology uses it — a monolith is shard 0
+// — so converting a monolith to a sharded deployment (or back) finds
+// the data where it expects it. Changing the shard COUNT invalidates
+// snapshots and logs (trips would replay onto different owners);
+// recover such a deployment by replaying every shard's store through a
+// coordinator with the new count, into fresh directories.
+func ShardStoreDir(base string, shard int) string {
+	return filepath.Join(base, fmt.Sprintf("shard%d", shard))
+}
+
+// StoreRecovery is one backend's recovery outcome: the store-level
+// report plus the pipeline-level replay counts.
+type StoreRecovery struct {
+	// Shard is the backend's shard index (0 for a monolith).
+	Shard int `json:"shard"`
+	// Report is the store's recovery report (mode, snapshot used,
+	// segments walked, corruption notes).
+	Report store.Report `json:"report"`
+	// TripsReplayed counts tail trips accepted by the pipeline.
+	TripsReplayed int `json:"tripsReplayed"`
+	// TripsSkipped counts tail lines that were not replayable trips:
+	// undecodable records and pipeline rejections (duplicates already
+	// covered by the snapshot never occur on an intact store — the
+	// checkpoint cut is exact — so a nonzero rejection count here means
+	// a degraded recovery re-walked records a snapshot already covers).
+	TripsSkipped int `json:"tripsSkipped"`
+	// ScatterReplayed counts received-scatter records refolded.
+	ScatterReplayed int `json:"scatterReplayed"`
+	// SnapshotImported reports that a snapshot state blob was loaded.
+	SnapshotImported bool `json:"snapshotImported"`
+	// Err records a per-shard recovery failure (degraded boot: the
+	// other shards keep recovering).
+	Err string `json:"err,omitempty"`
+
+	log *StoreLog
+}
+
+// Log returns the opened store log (attached to the backend by the
+// recovery that produced this).
+func (r *StoreRecovery) Log() *StoreLog { return r.log }
+
+// RecoverBackendStore restores one backend from its store directory
+// and leaves the store attached and appending:
+//
+//  1. A legacy single-file journal at legacyJournal (if any, and only
+//     into a virgin store) is migrated in as the first segment.
+//  2. The recovery ladder picks a snapshot; its state imports into the
+//     backend. A checksum-valid snapshot whose state fails to decode
+//     falls all the way to a full replay.
+//  3. The scatter log attaches, then the tail replays in record order:
+//     trips re-process (their cross-shard groups re-scatter under the
+//     original idempotency keys; the shard's own replayed scatter
+//     records fold without re-appending), so after replay the backend
+//     is byte-identical to one that never crashed.
+//  4. The store opens for appending (trimming any torn tail) and the
+//     trip log attaches.
+//
+// The backend must be freshly constructed. The error return is for
+// failures that leave the backend unusable (directory unreadable,
+// store unopenable); data-level corruption degrades inside the report
+// instead.
+func RecoverBackendStore(ctx context.Context, opts store.Options, legacyJournal string, b *Backend) (*StoreRecovery, error) {
+	rec := &StoreRecovery{Shard: b.shardIdx}
+	migrated, err := store.MigrateLegacy(opts.Dir, legacyJournal)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := store.PlanRecovery(opts)
+	if err != nil {
+		return nil, err
+	}
+	plan.Report.Migrated = migrated
+	if plan.State != nil {
+		var st PersistentState
+		ierr := json.Unmarshal(plan.State, &st)
+		if ierr == nil {
+			ierr = b.ImportState(&st)
+		}
+		if ierr != nil {
+			// The blob passed its checksum but this build cannot use it
+			// (schema change). Fall to the ladder's bottom rung.
+			full := opts
+			full.SkipSnapshots = true
+			plan, err = store.PlanRecovery(full)
+			if err != nil {
+				return nil, err
+			}
+			plan.Report.Migrated = migrated
+			plan.Report.Notes = append(plan.Report.Notes,
+				fmt.Sprintf("snapshot state not importable (%v); fell back to full replay", ierr))
+		} else {
+			rec.SnapshotImported = true
+		}
+	}
+	if err := recoverReplay(ctx, plan, b, rec); err != nil {
+		return nil, err
+	}
+	s, err := store.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	rec.log = NewStoreLog(s)
+	b.attachScatterLog(rec.log)
+	b.AttachTripLog(rec.log)
+	rec.Report = plan.Report
+	return rec, nil
+}
+
+// recoverReplay walks the planned tail through the backend's pipeline.
+// Scatter appends during replay go to peers only: re-processing this
+// shard's own trips re-scatters their cross-shard groups (the
+// receiving backend records them durably, or suppresses them as
+// duplicates), while this shard's own received-scatter records refold
+// locally without re-appending.
+func recoverReplay(ctx context.Context, plan *store.Recovery, b *Backend, rec *StoreRecovery) error {
+	return plan.Replay(ctx, func(line []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r, ok := decodeStoreRecord(line)
+		if !ok {
+			rec.TripsSkipped++
+			return nil
+		}
+		switch r.Kind {
+		case recKindTrip:
+			if _, err := b.ProcessTrip(ctx, *r.Trip); err != nil {
+				if ctx.Err() != nil {
+					return err
+				}
+				rec.TripsSkipped++
+				return nil
+			}
+			rec.TripsReplayed++
+		case recKindScatter:
+			b.foldScatterReplay(ctx, r.Key, r.Obs)
+			rec.ScatterReplayed++
+		}
+		return nil
+	})
+}
+
+// RecoverStores restores every in-process shard of a coordinator from
+// per-shard store directories under base (ShardStoreDir), phase by
+// phase so cross-shard scatters replayed by one shard land on peers
+// that have already imported their snapshots:
+//
+//	phase 1: every shard migrates + plans + imports its snapshot and
+//	         attaches its scatter log;
+//	phase 2: every shard replays its tail in shard order;
+//	phase 3: trip logs attach.
+//
+// A shard whose recovery fails is recorded (Err) and left fresh — the
+// remaining shards still recover (degraded boot, matching the
+// degraded-read philosophy). The error return is reserved for context
+// cancellation.
+func (c *Coordinator) RecoverStores(ctx context.Context, base string, opts store.Options, legacyJournals []string) ([]*StoreRecovery, error) {
+	recs := make([]*StoreRecovery, len(c.backends))
+	plans := make([]*store.Recovery, len(c.backends))
+	for i, b := range c.backends {
+		if b == nil {
+			return nil, fmt.Errorf("server: shard %d is remote; it recovers its own store", i)
+		}
+		recs[i] = &StoreRecovery{Shard: i}
+		shardOpts := opts
+		shardOpts.Dir = ShardStoreDir(base, i)
+		legacy := ""
+		if i < len(legacyJournals) {
+			legacy = legacyJournals[i]
+		}
+		plan, err := planShardRecovery(shardOpts, legacy, b, recs[i])
+		if err != nil {
+			recs[i].Err = err.Error()
+			continue
+		}
+		plans[i] = plan
+		s, err := store.Open(shardOpts)
+		if err != nil {
+			recs[i].Err = err.Error()
+			plans[i] = nil
+			continue
+		}
+		recs[i].log = NewStoreLog(s)
+		b.attachScatterLog(recs[i].log)
+	}
+	for i, plan := range plans {
+		if plan == nil {
+			continue
+		}
+		if err := recoverReplay(ctx, plan, c.backends[i], recs[i]); err != nil {
+			if ctx.Err() != nil {
+				return recs, err
+			}
+			recs[i].Err = err.Error()
+		}
+		recs[i].Report = plan.Report
+	}
+	for i := range plans {
+		if plans[i] == nil || recs[i].log == nil {
+			continue
+		}
+		c.backends[i].AttachTripLog(recs[i].log)
+	}
+	return recs, nil
+}
+
+// planShardRecovery is RecoverBackendStore's plan+import prefix,
+// shared by the coordinator's phased variant.
+func planShardRecovery(opts store.Options, legacyJournal string, b *Backend, rec *StoreRecovery) (*store.Recovery, error) {
+	migrated, err := store.MigrateLegacy(opts.Dir, legacyJournal)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := store.PlanRecovery(opts)
+	if err != nil {
+		return nil, err
+	}
+	plan.Report.Migrated = migrated
+	if plan.State == nil {
+		rec.Report = plan.Report
+		return plan, nil
+	}
+	var st PersistentState
+	ierr := json.Unmarshal(plan.State, &st)
+	if ierr == nil {
+		ierr = b.ImportState(&st)
+	}
+	if ierr != nil {
+		full := opts
+		full.SkipSnapshots = true
+		plan, err = store.PlanRecovery(full)
+		if err != nil {
+			return nil, err
+		}
+		plan.Report.Migrated = migrated
+		plan.Report.Notes = append(plan.Report.Notes,
+			fmt.Sprintf("snapshot state not importable (%v); fell back to full replay", ierr))
+	} else {
+		rec.SnapshotImported = true
+	}
+	rec.Report = plan.Report
+	return plan, nil
+}
+
+// AttachStores gives each in-process shard its own store log (one per
+// shard, in shard order), both append points. Attach AFTER recovery,
+// as with AttachJournals.
+func (c *Coordinator) AttachStores(ls []*StoreLog) error {
+	if len(ls) != len(c.shards) {
+		return fmt.Errorf("server: %d store logs for %d shards", len(ls), len(c.shards))
+	}
+	for i, b := range c.backends {
+		if b == nil {
+			return fmt.Errorf("server: shard %d is remote; it persists in its own process", i)
+		}
+		b.AttachStore(ls[i])
+	}
+	return nil
+}

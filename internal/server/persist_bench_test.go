@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"busprobe/internal/clock"
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/probe"
+	"busprobe/internal/sim"
+	"busprobe/internal/store"
+)
+
+// The restart benchmark: how long a store-backed backend takes to come
+// back after a crash, with and without a snapshot. The committed
+// BENCH_store.json anchors the headline property — at 10⁵ replayed
+// trips, a snapshot restart must be at least minSpeedupX faster than a
+// full replay — and carries the smoke tolerances CI gates PRs against
+// at a smaller scale (see TestStoreBenchSmoke).
+
+// storeBenchPath is the committed baseline, relative to this package.
+const storeBenchPath = "../../BENCH_store.json"
+
+// storeBenchSchema versions the baseline document.
+const storeBenchSchema = "busprobe-store-bench/1"
+
+// storeBenchBaseline is the committed BENCH_store.json document.
+type storeBenchBaseline struct {
+	Schema string `json:"schema"`
+	Note   string `json:"note"`
+	// Trips is the corpus size the headline numbers were measured at.
+	Trips int `json:"trips"`
+	// TailTrips is how many trips landed after the last checkpoint —
+	// the tail a snapshot restart replays.
+	TailTrips int `json:"tailTrips"`
+	// FullReplayS / SnapshotRestartS are the measured recovery times.
+	FullReplayS      float64 `json:"fullReplayS"`
+	SnapshotRestartS float64 `json:"snapshotRestartS"`
+	// SpeedupX = FullReplayS / SnapshotRestartS.
+	SpeedupX float64 `json:"speedupX"`
+	// MinSpeedupX is the acceptance floor the committed numbers must
+	// clear (the PR contract: >= 10 at >= 1e5 trips).
+	MinSpeedupX float64 `json:"minSpeedupX"`
+	// SmokeTrips / SmokeMinSpeedupX shape the CI smoke gate: a cheap
+	// re-measurement at SmokeTrips must still show SmokeMinSpeedupX.
+	SmokeTrips       int     `json:"smokeTrips"`
+	SmokeMinSpeedupX float64 `json:"smokeMinSpeedupX"`
+}
+
+func loadStoreBaseline(tb testing.TB) storeBenchBaseline {
+	tb.Helper()
+	data, err := os.ReadFile(storeBenchPath)
+	if err != nil {
+		tb.Fatalf("committed store baseline: %v", err)
+	}
+	var base storeBenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		tb.Fatalf("parse %s: %v", storeBenchPath, err)
+	}
+	if base.Schema != storeBenchSchema {
+		tb.Fatalf("%s schema %q, want %q", storeBenchPath, base.Schema, storeBenchSchema)
+	}
+	return base
+}
+
+// benchWorld is twinWorld for any testing.TB (benchmarks included).
+func benchWorld(tb testing.TB) (*sim.World, *fingerprint.DB) {
+	tb.Helper()
+	w, err := sim.TwinCityWorld(5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fpdb, err := BuildFingerprintDB(w.Cells, w.Transit, 4, DefaultConfig(), 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w, fpdb
+}
+
+// benchCorpus expands the recorded twin-city corpus to n trips by
+// cloning with rewritten IDs: each clone is a distinct upload to the
+// dedup set but costs no extra simulation time to produce.
+func benchCorpus(tb testing.TB, w *sim.World, n int) []probe.Trip {
+	tb.Helper()
+	cfg := sim.DefaultCampaignConfig()
+	cfg.Days = 2
+	cfg.Participants = 14
+	cfg.Seed = 11
+	seed, _, err := sim.RecordTrips(context.Background(), w, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(seed) == 0 {
+		tb.Fatal("empty seed corpus")
+	}
+	out := make([]probe.Trip, 0, n)
+	for len(out) < n {
+		for _, tr := range seed {
+			if len(out) >= n {
+				break
+			}
+			c := tr
+			c.ID = fmt.Sprintf("%s~x%d", tr.ID, len(out))
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func benchStoreOpts(dir string, skipSnapshots bool) store.Options {
+	return store.Options{
+		Dir:           dir,
+		Clock:         clock.NewFake(time.Unix(1_700_000_000, 0), 0),
+		SkipSnapshots: skipSnapshots,
+	}
+}
+
+// prepareRestartDir builds the store a crashed server would leave
+// behind: the whole corpus appended, with one checkpoint taken
+// tailTrips from the end. The same directory serves both recovery
+// modes — SkipSnapshots flips a full replay of the identical records.
+func prepareRestartDir(tb testing.TB, w *sim.World, fpdb *fingerprint.DB, dir string, trips []probe.Trip, tailTrips int) {
+	tb.Helper()
+	bk, err := NewBackend(DefaultConfig(), w.Transit, fpdb)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec, err := RecoverBackendStore(context.Background(), benchStoreOpts(dir, false), "", bk)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cut := len(trips) - tailTrips
+	for _, tr := range trips[:cut] {
+		if _, err := bk.ProcessTrip(context.Background(), tr); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := bk.Checkpoint(); err != nil {
+		tb.Fatal(err)
+	}
+	for _, tr := range trips[cut:] {
+		if _, err := bk.ProcessTrip(context.Background(), tr); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := rec.Log().Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// recoverOnce rebuilds a fresh backend from dir and returns the
+// recovery wall time.
+func recoverOnce(tb testing.TB, w *sim.World, fpdb *fingerprint.DB, dir string, skipSnapshots bool) (time.Duration, *Backend, *StoreRecovery) {
+	tb.Helper()
+	bk, err := NewBackend(DefaultConfig(), w.Transit, fpdb)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now() //lint:allow nowallclock the benchmark measures real restart wall time; the recovered pipeline itself runs on the injected fake clock
+	rec, err := RecoverBackendStore(context.Background(), benchStoreOpts(dir, skipSnapshots), "", bk)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start) //lint:allow nowallclock real elapsed time is the measurement under test
+	if err := rec.Log().Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return elapsed, bk, rec
+}
+
+// restartTrips picks the benchmark corpus size: BUSPROBE_RESTART_TRIPS
+// overrides the quick default (the committed baseline is measured at
+// 1e5; see TestStoreBenchMeasure).
+func restartTrips() int {
+	if s := os.Getenv("BUSPROBE_RESTART_TRIPS"); s != "" {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 5000
+}
+
+// BenchmarkRestart times crash recovery from one prepared store
+// directory in both modes. Run the committed headline scale with
+// BUSPROBE_RESTART_TRIPS=100000.
+func BenchmarkRestart(b *testing.B) {
+	n := restartTrips()
+	tail := n / 100
+	if tail < 1 {
+		tail = 1
+	}
+	w, fpdb := benchWorld(b)
+	trips := benchCorpus(b, w, n)
+	dir := b.TempDir()
+	prepareRestartDir(b, w, fpdb, dir, trips, tail)
+
+	b.Run("snapshot-tail", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			elapsed, _, rec := recoverOnce(b, w, fpdb, dir, false)
+			if rec.Report.Mode != "snapshot+tail" {
+				b.Fatalf("mode %q, want snapshot+tail", rec.Report.Mode)
+			}
+			b.ReportMetric(elapsed.Seconds(), "s/restart")
+		}
+	})
+	b.Run("full-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			elapsed, _, rec := recoverOnce(b, w, fpdb, dir, true)
+			if rec.Report.Mode != "full-replay" {
+				b.Fatalf("mode %q, want full-replay", rec.Report.Mode)
+			}
+			b.ReportMetric(elapsed.Seconds(), "s/restart")
+		}
+	})
+}
+
+// measureRestart runs the benchmark protocol once at n trips and
+// returns both recovery times, after proving the two recovered
+// backends serve byte-identical traffic (a speedup over a wrong
+// restart would be worthless).
+func measureRestart(tb testing.TB, n int) (full, snap time.Duration, tail int) {
+	tb.Helper()
+	tail = n / 100
+	if tail < 1 {
+		tail = 1
+	}
+	w, fpdb := benchWorld(tb)
+	trips := benchCorpus(tb, w, n)
+	dir := tb.TempDir()
+	prepareRestartDir(tb, w, fpdb, dir, trips, tail)
+
+	snap, snapBk, snapRec := recoverOnce(tb, w, fpdb, dir, false)
+	if snapRec.Report.Mode != "snapshot+tail" || !snapRec.SnapshotImported {
+		tb.Fatalf("snapshot recovery degraded: %+v", snapRec.Report)
+	}
+	if snapRec.TripsReplayed > tail {
+		tb.Fatalf("snapshot restart replayed %d trips, expected <= tail of %d", snapRec.TripsReplayed, tail)
+	}
+	full, fullBk, fullRec := recoverOnce(tb, w, fpdb, dir, true)
+	if fullRec.Report.Mode != "full-replay" {
+		tb.Fatalf("forced full replay ran in mode %q", fullRec.Report.Mode)
+	}
+	if fullRec.TripsReplayed != n {
+		tb.Fatalf("full replay replayed %d trips of %d", fullRec.TripsReplayed, n)
+	}
+	snapBk.Advance(3 * clock.DayS)
+	fullBk.Advance(3 * clock.DayS)
+	if sb, fb := trafficBytes(tb, snapBk), trafficBytes(tb, fullBk); string(sb) != string(fb) {
+		tb.Fatal("snapshot and full-replay recoveries disagree on /v1/traffic")
+	}
+	return full, snap, tail
+}
+
+// TestStoreBenchBaseline gates the committed BENCH_store.json: the
+// headline numbers must be internally consistent and clear the PR
+// acceptance floor (>= 10x at >= 1e5 trips). It reads the file only —
+// re-measurement is TestStoreBenchSmoke's job.
+func TestStoreBenchBaseline(t *testing.T) {
+	base := loadStoreBaseline(t)
+	if base.Trips < 100000 {
+		t.Errorf("baseline measured at %d trips, want >= 100000", base.Trips)
+	}
+	if base.MinSpeedupX < 10 {
+		t.Errorf("baseline floor %.1fx, the PR contract is >= 10x", base.MinSpeedupX)
+	}
+	if base.SnapshotRestartS <= 0 || base.FullReplayS <= 0 {
+		t.Fatalf("non-positive timings: full %.4fs snap %.4fs", base.FullReplayS, base.SnapshotRestartS)
+	}
+	ratio := base.FullReplayS / base.SnapshotRestartS
+	if diff := ratio - base.SpeedupX; diff > 0.1 || diff < -0.1 {
+		t.Errorf("speedupX %.2f inconsistent with timings (%.2f)", base.SpeedupX, ratio)
+	}
+	if base.SpeedupX < base.MinSpeedupX {
+		t.Errorf("committed speedup %.2fx under the %.1fx floor", base.SpeedupX, base.MinSpeedupX)
+	}
+	if base.SmokeTrips <= 0 || base.SmokeMinSpeedupX <= 1 {
+		t.Errorf("smoke gate unset: trips %d, min %.2fx", base.SmokeTrips, base.SmokeMinSpeedupX)
+	}
+}
+
+// TestStoreBenchSmoke re-measures the restart speedup at the
+// baseline's smoke scale and gates it against the committed tolerance.
+// Opt-in (CI's store-bench-smoke step): set BUSPROBE_STORE_BENCH=smoke.
+func TestStoreBenchSmoke(t *testing.T) {
+	if os.Getenv("BUSPROBE_STORE_BENCH") != "smoke" {
+		t.Skip("set BUSPROBE_STORE_BENCH=smoke to run the gated smoke measurement")
+	}
+	base := loadStoreBaseline(t)
+	full, snap, tail := measureRestart(t, base.SmokeTrips)
+	speedup := full.Seconds() / snap.Seconds()
+	t.Logf("smoke: %d trips (tail %d): full %.4fs, snapshot %.4fs, %.1fx (floor %.1fx)",
+		base.SmokeTrips, tail, full.Seconds(), snap.Seconds(), speedup, base.SmokeMinSpeedupX)
+	if speedup < base.SmokeMinSpeedupX {
+		t.Errorf("smoke speedup %.2fx under the committed %.2fx floor", speedup, base.SmokeMinSpeedupX)
+	}
+}
+
+// TestStoreBenchMeasure produces BENCH_store.json. Opt-in: set
+// BUSPROBE_STORE_BENCH=full (and optionally BUSPROBE_RESTART_TRIPS,
+// default 100000); the document lands at BUSPROBE_STORE_BENCH_OUT or
+// the committed path.
+func TestStoreBenchMeasure(t *testing.T) {
+	if os.Getenv("BUSPROBE_STORE_BENCH") != "full" {
+		t.Skip("set BUSPROBE_STORE_BENCH=full to regenerate the baseline")
+	}
+	n := 100000
+	if s := os.Getenv("BUSPROBE_RESTART_TRIPS"); s != "" {
+		fmt.Sscanf(s, "%d", &n) //lint:allow errcheckio a malformed override falls back to the default scale below
+	}
+	if n < 100000 {
+		t.Fatalf("baseline must be measured at >= 1e5 trips, got %d", n)
+	}
+	full, snap, tail := measureRestart(t, n)
+	base := storeBenchBaseline{
+		Schema: storeBenchSchema,
+		Note: fmt.Sprintf("Measured %s on the dev container via TestStoreBenchMeasure: one store of %d replayed trips, checkpoint %d trips from the end. Smoke gate re-measures at smokeTrips on every PR (store-bench-smoke).",
+			time.Now().Format("2006-01-02"), n, tail), //lint:allow nowallclock the baseline note records the real measurement date, like the other BENCH_* notes
+		Trips:            n,
+		TailTrips:        tail,
+		FullReplayS:      roundS(full),
+		SnapshotRestartS: roundS(snap),
+		SpeedupX:         roundX(full.Seconds() / snap.Seconds()),
+		MinSpeedupX:      10,
+		SmokeTrips:       4000,
+		SmokeMinSpeedupX: 5,
+	}
+	out := os.Getenv("BUSPROBE_STORE_BENCH_OUT")
+	if out == "" {
+		out = storeBenchPath
+	}
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: full %.4fs, snapshot %.4fs, %.1fx", filepath.Clean(out), full.Seconds(), snap.Seconds(), base.SpeedupX)
+}
+
+func roundS(d time.Duration) float64 { return float64(d.Milliseconds()) / 1000 }
+
+func roundX(x float64) float64 { return float64(int(x*10)) / 10 }

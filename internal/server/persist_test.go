@@ -1,0 +1,456 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"busprobe/internal/clock"
+	"busprobe/internal/core/fingerprint"
+	"busprobe/internal/core/traffic"
+	"busprobe/internal/faults"
+	"busprobe/internal/road"
+	"busprobe/internal/sim"
+	"busprobe/internal/store"
+)
+
+// storeTestOpts sizes segments small enough that a modest corpus rolls
+// through several of them.
+func storeTestOpts(dir string) store.Options {
+	return store.Options{
+		Dir:          dir,
+		SegmentBytes: 32 << 10,
+		Clock:        clock.NewFake(time.Unix(1_700_000_000, 0), 0),
+	}
+}
+
+// twinFixture caches the twin world per test.
+type twinFixture struct {
+	world *sim.World
+	fpdb  *fingerprint.DB
+}
+
+func newTwinFixture(t *testing.T) *twinFixture {
+	t.Helper()
+	w, fpdb := twinWorld(t)
+	return &twinFixture{world: w, fpdb: fpdb}
+}
+
+// recoverFresh builds a new backend over the twin world and recovers it
+// from dir, returning the backend and its recovery.
+func recoverFresh(t *testing.T, fx *twinFixture, dir string, legacy string) (*Backend, *StoreRecovery) {
+	t.Helper()
+	b, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverBackendStore(context.Background(), storeTestOpts(dir), legacy, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, rec
+}
+
+// TestStoreRestartByteIdentical is the tentpole acceptance property for
+// the monolith: process a corpus against a store-backed backend with a
+// mid-stream checkpoint, reboot from the directory, and the served
+// traffic map must be byte-identical to an uninterrupted in-memory run.
+func TestStoreRestartByteIdentical(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+	if len(trips) < 20 {
+		t.Fatalf("corpus too small (%d trips) to cut meaningfully", len(trips))
+	}
+	cut := len(trips) / 2
+
+	// Reference: uninterrupted, no persistence.
+	ref, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+	if len(ref.Traffic()) == 0 {
+		t.Fatal("corpus produced no estimates; the test is vacuous")
+	}
+
+	dir := t.TempDir()
+	first, rec := recoverFresh(t, fx, dir, "")
+	if rec.Report.Mode != "fresh" {
+		t.Fatalf("virgin dir recovered in mode %q, want fresh", rec.Report.Mode)
+	}
+	replayInto(t, first, trips[:cut])
+	if err := first.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, first, trips[cut:])
+	if err := rec.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, rec2 := recoverFresh(t, fx, dir, "")
+	if rec2.Report.Mode != "snapshot+tail" {
+		t.Fatalf("recovered in mode %q, want snapshot+tail (report: %+v)", rec2.Report.Mode, rec2.Report)
+	}
+	if !rec2.SnapshotImported {
+		t.Fatal("no snapshot state imported")
+	}
+	if rec2.TripsReplayed == 0 {
+		t.Fatal("tail replay touched no trips; the checkpoint cut is untested")
+	}
+	if rec2.TripsReplayed >= len(trips) {
+		t.Fatalf("replayed %d trips of %d — the snapshot saved nothing", rec2.TripsReplayed, len(trips))
+	}
+	second.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, second); !bytes.Equal(got, want) {
+		t.Error("recovered /v1/traffic differs from the uninterrupted run")
+	}
+	if ws, rs := ref.Stats(), second.Stats(); ws != rs {
+		t.Errorf("recovered stats %+v, want %+v", rs, ws)
+	}
+}
+
+// TestStoreFullReplayWithoutSnapshot: a store that never checkpointed
+// recovers by full replay and still serves the identical map.
+func TestStoreFullReplayWithoutSnapshot(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+
+	ref, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+
+	dir := t.TempDir()
+	first, rec := recoverFresh(t, fx, dir, "")
+	replayInto(t, first, trips)
+	if err := rec.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+	second, rec2 := recoverFresh(t, fx, dir, "")
+	if rec2.Report.Mode != "full-replay" {
+		t.Fatalf("recovered in mode %q, want full-replay", rec2.Report.Mode)
+	}
+	second.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, second); !bytes.Equal(got, want) {
+		t.Error("full-replay /v1/traffic differs from the uninterrupted run")
+	}
+}
+
+// TestStoreSnapshotSchemaFallback: a snapshot whose blob passes its
+// checksum but does not decode as PersistentState (a schema from
+// another build) must drop recovery to a full replay, not fail boot.
+func TestStoreSnapshotSchemaFallback(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+
+	dir := t.TempDir()
+	first, rec := recoverFresh(t, fx, dir, "")
+	replayInto(t, first, trips)
+	// Seal and snapshot by hand with a foreign blob.
+	s := rec.Log().Store()
+	upTo, err := s.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(upTo, []byte(`{"schema":"busprobe-state/999"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+
+	second, rec2 := recoverFresh(t, fx, dir, "")
+	if rec2.Report.Mode != "full-replay" {
+		t.Fatalf("recovered in mode %q, want full-replay (report: %+v)", rec2.Report.Mode, rec2.Report)
+	}
+	if rec2.SnapshotImported {
+		t.Fatal("foreign snapshot state reported as imported")
+	}
+	second.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, second); !bytes.Equal(got, want) {
+		t.Error("fallback /v1/traffic differs from the uninterrupted run")
+	}
+}
+
+// TestStoreScatterDurability: a cross-shard scatter group persisted in
+// the receiving shard's log must survive a restart even though its
+// originating trip lives elsewhere — the fold is rebuilt from the
+// "scatter" record, dedup key intact.
+func TestStoreScatterDurability(t *testing.T) {
+	fx := newTwinFixture(t)
+	dir := t.TempDir()
+	first, rec := recoverFresh(t, fx, dir, "")
+	group := []traffic.Observation{{
+		Segments: []road.SegmentID{2}, LengthM: 500, FreeKmh: 40, BTTSeconds: 70, TimeS: 60,
+	}}
+	if _, err := first.FoldScatter(context.Background(), "t1#0", group); err != nil {
+		t.Fatal(err)
+	}
+	first.Advance(3600)
+	want, ok := first.TrafficSegment(2)
+	if !ok || want.Reports == 0 {
+		t.Fatalf("scatter did not fold: %+v", want)
+	}
+	if err := rec.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, rec2 := recoverFresh(t, fx, dir, "")
+	if rec2.ScatterReplayed != 1 {
+		t.Fatalf("ScatterReplayed = %d, want 1 (report: %+v)", rec2.ScatterReplayed, rec2.Report)
+	}
+	second.Advance(3600)
+	got, ok := second.TrafficSegment(2)
+	if !ok || got != want {
+		t.Fatalf("recovered scatter estimate %+v, want %+v", got, want)
+	}
+	// The idempotency record survived too: re-delivery must not re-fold.
+	out, err := second.FoldScatter(context.Background(), "t1#0", group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Folded == 0 {
+		t.Fatal("replayed key returned a zero outcome, want the recorded one")
+	}
+	second.Advance(7200)
+	if again, _ := second.TrafficSegment(2); again.Reports != got.Reports {
+		t.Fatalf("re-delivered scatter double-counted: %d reports, want %d", again.Reports, got.Reports)
+	}
+}
+
+// TestCoordinatorStoreRecovery: a sharded deployment checkpoints and
+// reboots through per-shard store directories and serves the identical
+// merged map.
+func TestCoordinatorStoreRecovery(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+	cut := len(trips) / 2
+
+	ref := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+
+	base := t.TempDir()
+	first := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	recs, err := first.RecoverStores(context.Background(), base, storeTestOpts(""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, first, trips[:cut])
+	for _, b := range first.Shards() {
+		if err := b.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayInto(t, first, trips[cut:])
+	for _, r := range recs {
+		if r.Err != "" {
+			t.Fatalf("shard %d recovery: %s", r.Shard, r.Err)
+		}
+		if err := r.Log().Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	second := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	recs2, err := second.RecoverStores(context.Background(), base, storeTestOpts(""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayedShards := 0
+	for _, r := range recs2 {
+		if r.Err != "" {
+			t.Fatalf("shard %d recovery: %s", r.Shard, r.Err)
+		}
+		if r.Report.Mode == "snapshot+tail" {
+			replayedShards++
+		}
+	}
+	if replayedShards == 0 {
+		t.Fatal("no shard recovered from a snapshot; the checkpoint path is untested")
+	}
+	second.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, second); !bytes.Equal(got, want) {
+		t.Error("recovered 2-shard /v1/traffic differs from the uninterrupted run")
+	}
+}
+
+// TestStoreLegacyJournalMigration: a deployment carrying a single-file
+// journal boots onto the store by adopting the journal as the first
+// segment, replaying it, and serving the identical map.
+func TestStoreLegacyJournalMigration(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+
+	legacy := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trip := range trips {
+		if err := j.Append(context.Background(), trip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+
+	dir := t.TempDir()
+	b, rec := recoverFresh(t, fx, dir, legacy)
+	if !rec.Report.Migrated {
+		t.Fatal("legacy journal not migrated")
+	}
+	if rec.TripsReplayed != len(trips) {
+		t.Fatalf("replayed %d trips from migrated journal, want %d", rec.TripsReplayed, len(trips))
+	}
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Fatal("legacy journal still present after migration")
+	}
+	b.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, b); !bytes.Equal(got, want) {
+		t.Error("migrated /v1/traffic differs from the uninterrupted run")
+	}
+
+	// The migrated store keeps working: new trips append and a
+	// checkpoint lands.
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, rec2 := recoverFresh(t, fx, dir, legacy)
+	if rec2.Report.Mode != "snapshot+tail" {
+		t.Fatalf("post-migration recovery mode %q, want snapshot+tail", rec2.Report.Mode)
+	}
+	b2.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, b2); !bytes.Equal(got, want) {
+		t.Error("post-migration checkpointed recovery differs")
+	}
+}
+
+// TestCheckpointRequiresStore: a backend without an attached store
+// cannot checkpoint.
+func TestCheckpointRequiresStore(t *testing.T) {
+	fx := newTwinFixture(t)
+	b, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without a store succeeded")
+	}
+}
+
+// TestCheckpointUnderConcurrentIngest: checkpoints racing a concurrent
+// upload stream must neither deadlock nor tear a trip across the cut —
+// recovery still reproduces the uninterrupted map.
+func TestCheckpointUnderConcurrentIngest(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+
+	ref, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+
+	dir := t.TempDir()
+	first, rec := recoverFresh(t, fx, dir, "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := first.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Serial ingestion (order determinism is the reference's property,
+	// not under test here — the race with Checkpoint is).
+	for _, trip := range trips {
+		if _, err := first.ProcessTrip(context.Background(), trip); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := rec.Log().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, _ := recoverFresh(t, fx, dir, "")
+	second.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, second); !bytes.Equal(got, want) {
+		t.Error("recovery after racing checkpoints differs from the uninterrupted run")
+	}
+}
+
+// TestPersistentStateExportDeterministic: two exports from the same
+// quiesced backend must be byte-identical (sorted slices, no map
+// ordering leaks) — the property snapshot round-trips rest on.
+func TestPersistentStateExportDeterministic(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+	b, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, b, trips[:10])
+	group := []traffic.Observation{{
+		Segments: []road.SegmentID{2}, LengthM: 500, FreeKmh: 40, BTTSeconds: 70, TimeS: 60,
+	}}
+	if _, err := b.FoldScatter(context.Background(), "x#1", group); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := json.Marshal(b.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := json.Marshal(b.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("two exports of the same state differ")
+	}
+}

@@ -81,7 +81,7 @@ func (s localShard) IngestBatch(ctx context.Context, trips []probe.Trip) []TripR
 }
 
 func (s localShard) Scatter(ctx context.Context, key string, obs []traffic.Observation) (stage.EstimateOutput, error) {
-	return s.b.FoldScatter(ctx, key, obs), nil
+	return s.b.FoldScatter(ctx, key, obs)
 }
 
 func (s localShard) Stats(context.Context) (Stats, error) { return s.b.Stats(), nil }

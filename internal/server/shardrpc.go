@@ -243,7 +243,13 @@ func NewShardHandler(b *Backend, hc HandlerConfig) http.Handler {
 			http.Error(w, "malformed JSON: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		out := b.FoldScatter(r.Context(), req.Key, req.Observations)
+		out, err := b.FoldScatter(r.Context(), req.Key, req.Observations)
+		if err != nil {
+			// Durability failed before the fold; the home shard retries
+			// under the same key.
+			http.Error(w, "scatter not persisted: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 		writeJSON(w, http.StatusOK, scatterResponseJSON{Folded: out.Folded, Discarded: out.Discarded})
 	})
 

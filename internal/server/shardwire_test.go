@@ -267,8 +267,14 @@ func TestFoldScatterKeyedOnce(t *testing.T) {
 	group := []traffic.Observation{{
 		Segments: []road.SegmentID{2}, LengthM: 500, FreeKmh: 40, BTTSeconds: 70, TimeS: 60,
 	}}
-	first := b.FoldScatter(context.Background(), "k1", group)
-	second := b.FoldScatter(context.Background(), "k1", group)
+	first, err := b.FoldScatter(context.Background(), "k1", group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.FoldScatter(context.Background(), "k1", group)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if first != second {
 		t.Errorf("second fold = %+v, want recorded %+v", second, first)
 	}
@@ -276,8 +282,12 @@ func TestFoldScatterKeyedOnce(t *testing.T) {
 		t.Errorf("estimate stage ran %d times for one key, want 1", runs)
 	}
 	// An empty key bypasses the record: each fold reaches the estimator.
-	b.FoldScatter(context.Background(), "", group)
-	b.FoldScatter(context.Background(), "", group)
+	if _, err := b.FoldScatter(context.Background(), "", group); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.FoldScatter(context.Background(), "", group); err != nil {
+		t.Fatal(err)
+	}
 	if runs := estimateRuns(t, b); runs != 3 {
 		t.Errorf("estimate stage ran %d times, want 3 (unkeyed folds are not deduped)", runs)
 	}

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// MigrateLegacy adopts a legacy single-file JSONL journal as a store's
+// first segment. Only a virgin store migrates — if the directory
+// already holds any segment or snapshot, the legacy file is left
+// untouched (it was migrated on an earlier boot, or the operator mixed
+// configurations and deserves neither file destroyed). The move is a
+// rename when the journal lives on the same filesystem, else a
+// copy-then-remove. Returns true when a migration happened.
+//
+// After migration the legacy records are ordinary active-segment
+// lines: recovery replays them (a torn final line skips as usual) and
+// the store seals and snapshots over them like any other ingest.
+func MigrateLegacy(dir, legacyPath string) (bool, error) {
+	if legacyPath == "" {
+		return false, nil
+	}
+	if _, err := os.Stat(legacyPath); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: stat legacy journal: %w", err)
+	}
+	ls, err := listDir(dir)
+	if err != nil {
+		return false, err
+	}
+	if len(ls.sealed) > 0 || ls.active != nil || len(ls.snaps) > 0 {
+		return false, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	dst := activePath(dir, 1)
+	if err := os.Rename(legacyPath, dst); err == nil {
+		return true, nil
+	}
+	// Cross-filesystem (or exotic) rename failure: copy then remove.
+	if err := copyFile(legacyPath, dst); err != nil {
+		return false, err
+	}
+	if err := os.Remove(legacyPath); err != nil {
+		return true, fmt.Errorf("store: remove migrated journal: %w", err)
+	}
+	return true, nil
+}
+
+// copyFile copies src to dst durably (sync before close).
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("store: migrate journal: %w", err)
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: migrate journal: %w", err)
+	}
+	werr := func() error {
+		if _, err := io.Copy(out, in); err != nil {
+			return err
+		}
+		return out.Sync()
+	}()
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(dst) //lint:allow errcheckio best-effort cleanup; the half-copied destination is rewritten by the next attempt
+		return fmt.Errorf("store: migrate journal: %w", werr)
+	}
+	return nil
+}

@@ -358,6 +358,24 @@ func restartShardProcs(ctx context.Context, e *env, r *Result, rec *LatencyRecor
 		fmt.Sprintf("failed %d of %d (%s)", failed, cut, wc.failDetail()))
 	tallyWire(r, wc)
 
+	// A shard that was routed no trips and received no scatters holds
+	// an empty store and legitimately reboots "fresh". Record which
+	// shards actually ingested records so the reboot checks demand a
+	// replay only from those (defaulting to demanding one if the
+	// pre-kill stats are unreadable).
+	hadRecords := make([]bool, shards)
+	for i := range hadRecords {
+		hadRecords[i] = true
+	}
+	if preRows, err := coord.Client.Shards(ctx); err == nil {
+		for _, st := range preRows {
+			if st.Shard >= 0 && st.Shard < shards {
+				hadRecords[st.Shard] = st.Stats.TripsReceived > 0 ||
+					st.Stats.Observations > 0 || st.Stats.ObsDiscarded > 0
+			}
+		}
+	}
+
 	// The fault: both shard processes die without warning.
 	for i := 0; i < shards; i++ {
 		if err := killProc(ctx, e, shardProcs[i]); err != nil {
@@ -389,7 +407,8 @@ func restartShardProcs(ctx context.Context, e *env, r *Result, rec *LatencyRecor
 		}
 		rc := recs[0]
 		r.check(fmt.Sprintf("shard-procs: shard %d recovers from its store", i),
-			rc.Err == "" && rc.Report.Mode != "fresh", recoverySummary(recs))
+			rc.Err == "" && (rc.Report.Mode != "fresh" || !hadRecords[i]),
+			recoverySummary(recs))
 	}
 	rows, err := coord.Client.Shards(ctx)
 	received := 0

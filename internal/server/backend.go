@@ -10,6 +10,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -219,6 +220,16 @@ type Backend struct {
 	scatterSeen map[string]stage.EstimateOutput //lint:guardedby scatterMu
 	scatterLog  *StoreLog                       //lint:guardedby scatterMu
 
+	// scatterPending records cross-shard groups THIS backend computed
+	// whose delivery to their owner failed: key → (owner, group). They
+	// are retried before every checkpoint export and after recovery,
+	// and the still-undelivered remainder rides inside the snapshot
+	// state (PersistentState.Pending) — once a checkpoint covers the
+	// originating trip's record, compaction may delete the only other
+	// copy, so without this record a transient peer outage would turn
+	// into a permanently missing fold.
+	scatterPending map[string]pendingScatter //lint:guardedby scatterMu
+
 	// obsCore / obsShard are set by RegisterObs (before any ingestion,
 	// read-only afterwards): the observability core this backend reports
 	// into and the shard label its series carry.
@@ -265,8 +276,9 @@ func NewBackend(cfg Config, tdb *transit.DB, fpdb *fingerprint.DB) (*Backend, er
 			MaxSpeedKmh: cfg.MaxSpeedKmh,
 			Hook:        cfg.StageHook,
 		}),
-		seen:        make(map[string]bool),
-		scatterSeen: make(map[string]stage.EstimateOutput),
+		seen:           make(map[string]bool),
+		scatterSeen:    make(map[string]stage.EstimateOutput),
+		scatterPending: make(map[string]pendingScatter),
 	}
 	if cfg.Obs != nil {
 		b.RegisterObs(cfg.Obs, "0")
@@ -424,6 +436,15 @@ func (b *Backend) admit(ctx context.Context, trip probe.Trip) error {
 	// losing durability.
 	if journal != nil {
 		if err := journal.Append(ctx, trip); err != nil {
+			// The trip never became durable: un-mark it so the client's
+			// retry is admitted. A phantom ID here would reject the
+			// retry as a duplicate for the backend's lifetime — and a
+			// snapshot would persist the phantom across restarts,
+			// losing the trip forever. Still under checkpointMu's read
+			// side, so no checkpoint can export between mark and unmark.
+			b.dedupMu.Lock()
+			delete(b.seen, trip.ID)
+			b.dedupMu.Unlock()
 			return err
 		}
 	}
@@ -527,20 +548,27 @@ func (b *Backend) fold(ctx context.Context, w *tripWork) {
 				if owner == b.shardIdx {
 					est = b.pipe.Estimate.Run(ctx, stage.EstimateInput{Observations: byOwner[owner]})
 				} else {
+					key := scatterKey(w.out.TripID, owner)
 					var err error
-					est, err = b.obsScatter(ctx, owner, scatterKey(w.out.TripID, owner), byOwner[owner])
+					est, err = b.obsScatter(ctx, owner, key, byOwner[owner])
 					if err != nil {
 						// The owner is unreachable: the trip is already
 						// admitted and journaled, so its remaining
 						// groups keep folding and the failure surfaces
 						// to the caller. The lost group is not gone —
-						// replaying this shard's journal re-scatters it
-						// under the same key, and the owner's
-						// idempotency record keeps folded groups from
-						// doubling.
+						// log replay re-scatters it under the same key,
+						// and for the day a checkpoint covers the
+						// trip's record (compaction then deletes it)
+						// the group is remembered as pending: retried
+						// before every export and carried inside the
+						// snapshot until the owner acknowledges it. The
+						// owner's idempotency record keeps folded
+						// groups from doubling either way.
+						b.notePendingScatter(key, owner, byOwner[owner])
 						w.err = fmt.Errorf("server: scatter to shard %d: %w", owner, err)
 						continue
 					}
+					b.resolvePendingScatter(key)
 				}
 				folded += est.Folded
 				discarded += est.Discarded
@@ -561,6 +589,73 @@ func (b *Backend) fold(ctx context.Context, w *tripWork) {
 // uniquely — and deterministically across retries and journal replays.
 func scatterKey(tripID string, owner int) string {
 	return tripID + "#" + strconv.Itoa(owner)
+}
+
+// pendingScatter is one cross-shard observation group awaiting
+// re-delivery to its owner shard.
+type pendingScatter struct {
+	owner int
+	obs   []traffic.Observation
+}
+
+// notePendingScatter remembers a group whose delivery failed, keyed by
+// its idempotency key, for retry (RetryPendingScatters) and snapshot
+// export.
+func (b *Backend) notePendingScatter(key string, owner int, group []traffic.Observation) {
+	b.scatterMu.Lock()
+	b.scatterPending[key] = pendingScatter{owner: owner, obs: group}
+	b.scatterMu.Unlock()
+}
+
+// resolvePendingScatter drops a delivered group's pending entry, if
+// any — a replayed trip may re-scatter a group an imported snapshot
+// still lists as pending.
+func (b *Backend) resolvePendingScatter(key string) {
+	b.scatterMu.Lock()
+	delete(b.scatterPending, key)
+	b.scatterMu.Unlock()
+}
+
+// RetryPendingScatters re-delivers cross-shard observation groups
+// whose earlier delivery failed, in key order. A delivered group
+// leaves the pending set and its fold lands in the stats — the
+// original fold never counted it, and if the owner had in fact folded
+// the "lost" delivery, its idempotency record returns that recorded
+// outcome instead of doubling. A failing delivery keeps its entry for
+// the next retry; entries also ride inside snapshots
+// (PersistentState.Pending), so a group whose originating trip record
+// has been compacted away still reaches its owner after a restart.
+// Returns the number of groups still pending.
+func (b *Backend) RetryPendingScatters(ctx context.Context) int {
+	b.scatterMu.Lock()
+	pend := make(map[string]pendingScatter, len(b.scatterPending))
+	for k, p := range b.scatterPending {
+		pend[k] = p
+	}
+	b.scatterMu.Unlock()
+	if len(pend) == 0 || b.obsScatter == nil {
+		return len(pend)
+	}
+	keys := make([]string, 0, len(pend))
+	for k := range pend {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	remaining := 0
+	for _, key := range keys {
+		p := pend[key]
+		out, err := b.obsScatter(ctx, p.owner, key, p.obs)
+		if err != nil {
+			remaining++
+			continue
+		}
+		b.resolvePendingScatter(key)
+		b.statsMu.Lock()
+		b.stats.Observations += out.Folded
+		b.stats.ObsDiscarded += out.Discarded
+		b.statsMu.Unlock()
+	}
+	return remaining
 }
 
 // FoldScatter folds one cross-shard observation group into this

@@ -42,6 +42,13 @@ type PersistentState struct {
 	// key: replayed or retried scatter groups with a recorded key
 	// return the recorded outcome instead of folding twice.
 	Scatter []ScatterOutcome `json:"scatter,omitempty"`
+	// Pending is the cross-shard groups this shard computed whose
+	// delivery to their owner had not succeeded by export time,
+	// ascending by key. A snapshot must carry them: once it covers the
+	// originating trip's record, compaction may delete the only other
+	// copy, and without this field a transient peer outage would turn
+	// into a permanently missing fold on the owner.
+	Pending []PendingScatter `json:"pending,omitempty"`
 	// Stats are the work counters at export.
 	Stats Stats `json:"stats"`
 	// Estimator is the traffic estimator's window/belief state.
@@ -52,6 +59,14 @@ type PersistentState struct {
 type ScatterOutcome struct {
 	Key string               `json:"key"`
 	Out stage.EstimateOutput `json:"out"`
+}
+
+// PendingScatter is one cross-shard observation group still awaiting
+// delivery to its owner shard.
+type PendingScatter struct {
+	Key   string                `json:"key"`
+	Owner int                   `json:"owner"`
+	Obs   []traffic.Observation `json:"obs"`
 }
 
 // ExportState captures the backend's durable state. Safe to call on a
@@ -86,6 +101,13 @@ func (b *Backend) exportStateScatterLocked() *PersistentState {
 		}
 		sort.Slice(st.Scatter, func(i, j int) bool { return st.Scatter[i].Key < st.Scatter[j].Key })
 	}
+	if len(b.scatterPending) > 0 {
+		st.Pending = make([]PendingScatter, 0, len(b.scatterPending))
+		for k, p := range b.scatterPending {
+			st.Pending = append(st.Pending, PendingScatter{Key: k, Owner: p.owner, Obs: p.obs})
+		}
+		sort.Slice(st.Pending, func(i, j int) bool { return st.Pending[i].Key < st.Pending[j].Key })
+	}
 	return st
 }
 
@@ -111,6 +133,13 @@ func (b *Backend) ImportState(st *PersistentState) error {
 		}
 		scatter[sc.Key] = sc.Out
 	}
+	pending := make(map[string]pendingScatter, len(st.Pending))
+	for _, p := range st.Pending {
+		if _, dup := pending[p.Key]; dup {
+			return fmt.Errorf("server: state has duplicate pending scatter key %q", p.Key)
+		}
+		pending[p.Key] = pendingScatter{owner: p.Owner, obs: p.Obs}
+	}
 	if st.Estimator == nil {
 		return fmt.Errorf("server: state has no estimator")
 	}
@@ -122,6 +151,7 @@ func (b *Backend) ImportState(st *PersistentState) error {
 	b.dedupMu.Unlock()
 	b.scatterMu.Lock()
 	b.scatterSeen = scatter
+	b.scatterPending = pending
 	b.scatterMu.Unlock()
 	b.statsMu.Lock()
 	b.stats = st.Stats
@@ -212,8 +242,8 @@ func (l *StoreLog) Close() error { return l.s.Close() }
 
 // AttachStore wires both of the backend's append points to the store
 // log: accepted trips and received scatter groups. Attach AFTER
-// recovery, like AttachJournal — RecoverBackendStore sequences this
-// (scatter appends first, trip appends after replay).
+// recovery, like AttachJournal — RecoverBackendStore and RecoverStores
+// sequence this themselves.
 func (b *Backend) AttachStore(l *StoreLog) {
 	b.attachScatterLog(l)
 	b.AttachTripLog(l)
@@ -248,6 +278,12 @@ func (b *Backend) Checkpoint() error {
 	if sl == nil {
 		return fmt.Errorf("server: checkpoint without an attached store")
 	}
+	// Re-deliver pending cross-shard groups before the cut: this
+	// snapshot may cover (and its compaction delete) the originating
+	// trip records, leaving the exported Pending list as those groups'
+	// only route to their owners. Drain what can be drained; the rest
+	// exports below and retries at the next checkpoint or recovery.
+	b.RetryPendingScatters(context.Background()) //lint:allow ctxpropagate checkpoints run from the snapshotter and shutdown with no request in flight; durability work must not be cut short by a caller's deadline
 	b.checkpointMu.Lock()
 	b.scatterMu.Lock() //lint:allow lockorder deliberate checkpointMu>scatterMu order, the only place both are held; FoldScatter takes scatterMu alone so the cut cannot deadlock
 	upTo, err := sl.s.Seal()
@@ -314,16 +350,24 @@ func (r *StoreRecovery) Log() *StoreLog { return r.log }
 //
 //  1. A legacy single-file journal at legacyJournal (if any, and only
 //     into a virgin store) is migrated in as the first segment.
-//  2. The recovery ladder picks a snapshot; its state imports into the
+//  2. The store opens for appending. Opening comes BEFORE planning
+//     because Open normalizes the directory — a fully-sealed-but-
+//     unrenamed active segment (crash between footer write and
+//     rename) is finished into its sealed name, a torn active tail is
+//     trimmed — and a plan built against the pre-normalization paths
+//     would skip the renamed segment's acked records as "unreadable"
+//     at replay time, after which compaction would delete them.
+//  3. The recovery ladder picks a snapshot; its state imports into the
 //     backend. A checksum-valid snapshot whose state fails to decode
 //     falls all the way to a full replay.
-//  3. The scatter log attaches, then the tail replays in record order:
-//     trips re-process (their cross-shard groups re-scatter under the
-//     original idempotency keys; the shard's own replayed scatter
-//     records fold without re-appending), so after replay the backend
-//     is byte-identical to one that never crashed.
-//  4. The store opens for appending (trimming any torn tail) and the
-//     trip log attaches.
+//  4. The tail replays in record order: trips re-process (their
+//     cross-shard groups re-scatter under the original idempotency
+//     keys; the shard's own replayed scatter records fold without
+//     re-appending), so after replay the backend is byte-identical to
+//     one that never crashed.
+//  5. Both append points attach, and cross-shard groups the snapshot
+//     listed as pending are re-delivered (best-effort: an unreachable
+//     owner keeps them pending for the next checkpoint's retry).
 //
 // The backend must be freshly constructed. The error return is for
 // failures that leave the backend unusable (directory unreadable,
@@ -335,44 +379,23 @@ func RecoverBackendStore(ctx context.Context, opts store.Options, legacyJournal 
 	if err != nil {
 		return nil, err
 	}
-	plan, err := store.PlanRecovery(opts)
-	if err != nil {
-		return nil, err
-	}
-	plan.Report.Migrated = migrated
-	if plan.State != nil {
-		var st PersistentState
-		ierr := json.Unmarshal(plan.State, &st)
-		if ierr == nil {
-			ierr = b.ImportState(&st)
-		}
-		if ierr != nil {
-			// The blob passed its checksum but this build cannot use it
-			// (schema change). Fall to the ladder's bottom rung.
-			full := opts
-			full.SkipSnapshots = true
-			plan, err = store.PlanRecovery(full)
-			if err != nil {
-				return nil, err
-			}
-			plan.Report.Migrated = migrated
-			plan.Report.Notes = append(plan.Report.Notes,
-				fmt.Sprintf("snapshot state not importable (%v); fell back to full replay", ierr))
-		} else {
-			rec.SnapshotImported = true
-		}
-	}
-	if err := recoverReplay(ctx, plan, b, rec); err != nil {
-		return nil, err
-	}
 	s, err := store.Open(opts)
 	if err != nil {
+		return nil, err
+	}
+	plan, err := planShardRecovery(opts, migrated, b, rec)
+	if err == nil {
+		err = recoverReplay(ctx, plan, b, rec)
+	}
+	if err != nil {
+		_ = s.Close() //lint:allow errcheckio best-effort close on a recovery that already failed; the close error cannot outrank the cause
 		return nil, err
 	}
 	rec.log = NewStoreLog(s)
 	b.attachScatterLog(rec.log)
 	b.AttachTripLog(rec.log)
 	rec.Report = plan.Report
+	b.RetryPendingScatters(ctx)
 	return rec, nil
 }
 
@@ -415,10 +438,15 @@ func recoverReplay(ctx context.Context, plan *store.Recovery, b *Backend, rec *S
 // phase so cross-shard scatters replayed by one shard land on peers
 // that have already imported their snapshots:
 //
-//	phase 1: every shard migrates + plans + imports its snapshot and
-//	         attaches its scatter log;
+//	phase 1: every shard migrates, opens its store (normalizing the
+//	         directory BEFORE the plan is built, so the plan's segment
+//	         paths match what is on disk at replay time), plans +
+//	         imports its snapshot, and attaches its scatter log;
 //	phase 2: every shard replays its tail in shard order;
-//	phase 3: trip logs attach.
+//	phase 3: pending cross-shard groups restored from snapshots are
+//	         re-delivered — every peer has imported and replayed by
+//	         now, so deliveries land on recovered estimators;
+//	phase 4: trip logs attach.
 //
 // A shard whose recovery fails is recorded (Err) and left fresh — the
 // remaining shards still recover (degraded boot, matching the
@@ -438,18 +466,23 @@ func (c *Coordinator) RecoverStores(ctx context.Context, base string, opts store
 		if i < len(legacyJournals) {
 			legacy = legacyJournals[i]
 		}
-		plan, err := planShardRecovery(shardOpts, legacy, b, recs[i])
+		migrated, err := store.MigrateLegacy(shardOpts.Dir, legacy)
 		if err != nil {
 			recs[i].Err = err.Error()
 			continue
 		}
-		plans[i] = plan
 		s, err := store.Open(shardOpts)
 		if err != nil {
 			recs[i].Err = err.Error()
-			plans[i] = nil
 			continue
 		}
+		plan, err := planShardRecovery(shardOpts, migrated, b, recs[i])
+		if err != nil {
+			recs[i].Err = err.Error()
+			_ = s.Close() //lint:allow errcheckio best-effort close; the shard boots fresh without a log and the plan error is the cause worth reporting
+			continue
+		}
+		plans[i] = plan
 		recs[i].log = NewStoreLog(s)
 		b.attachScatterLog(recs[i].log)
 	}
@@ -466,6 +499,12 @@ func (c *Coordinator) RecoverStores(ctx context.Context, base string, opts store
 		recs[i].Report = plan.Report
 	}
 	for i := range plans {
+		if plans[i] == nil {
+			continue
+		}
+		c.backends[i].RetryPendingScatters(ctx)
+	}
+	for i := range plans {
 		if plans[i] == nil || recs[i].log == nil {
 			continue
 		}
@@ -474,13 +513,12 @@ func (c *Coordinator) RecoverStores(ctx context.Context, base string, opts store
 	return recs, nil
 }
 
-// planShardRecovery is RecoverBackendStore's plan+import prefix,
-// shared by the coordinator's phased variant.
-func planShardRecovery(opts store.Options, legacyJournal string, b *Backend, rec *StoreRecovery) (*store.Recovery, error) {
-	migrated, err := store.MigrateLegacy(opts.Dir, legacyJournal)
-	if err != nil {
-		return nil, err
-	}
+// planShardRecovery is the shared plan+import step of
+// RecoverBackendStore and the coordinator's phased variant. Callers
+// migrate any legacy journal and Open the store FIRST — Open
+// normalizes the directory, and a plan built before normalization
+// would replay paths that no longer exist.
+func planShardRecovery(opts store.Options, migrated bool, b *Backend, rec *StoreRecovery) (*store.Recovery, error) {
 	plan, err := store.PlanRecovery(opts)
 	if err != nil {
 		return nil, err

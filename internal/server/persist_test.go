@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -14,7 +16,9 @@ import (
 	"busprobe/internal/core/fingerprint"
 	"busprobe/internal/core/traffic"
 	"busprobe/internal/faults"
+	"busprobe/internal/probe"
 	"busprobe/internal/road"
+	"busprobe/internal/server/stage"
 	"busprobe/internal/sim"
 	"busprobe/internal/store"
 )
@@ -428,6 +432,240 @@ func TestCheckpointUnderConcurrentIngest(t *testing.T) {
 // TestPersistentStateExportDeterministic: two exports from the same
 // quiesced backend must be byte-identical (sorted slices, no map
 // ordering leaks) — the property snapshot round-trips rest on.
+// TestRecoverStoresSurvivesPendingSeal: a crash between a segment's
+// footer write and its rename leaves a fully-sealed file under its
+// .active name. Recovery opens the store first (finishing the rename)
+// and only then plans, so the plan never references the vanished
+// .active path — under the old order the whole segment was skipped as
+// unreadable and its acked trips silently lost.
+func TestRecoverStoresSurvivesPendingSeal(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+
+	ref := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+
+	base := t.TempDir()
+	first := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	recs, err := first.RecoverStores(context.Background(), base, storeTestOpts(""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, first, trips)
+	for _, r := range recs {
+		if err := r.Log().Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash-shape each shard directory: seal the active segment but put
+	// it back under its .active name — the on-disk state after a crash
+	// between footer write and rename.
+	crafted := 0
+	for i := range recs {
+		dir := ShardStoreDir(base, i)
+		sealsBefore, err := filepath.Glob(filepath.Join(dir, "*.seal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := store.Open(storeTestOpts(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seals, err := filepath.Glob(filepath.Join(dir, "*.seal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seals) == len(sealsBefore) {
+			continue // this shard's active segment held no records
+		}
+		unrenamed := strings.TrimSuffix(seals[len(seals)-1], ".seal") + ".active"
+		if err := os.Rename(seals[len(seals)-1], unrenamed); err != nil {
+			t.Fatal(err)
+		}
+		actives, err := filepath.Glob(filepath.Join(dir, "*.active"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range actives {
+			if a != unrenamed { // the empty segment Seal rolled to
+				if err := os.Remove(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		crafted++
+	}
+	if crafted == 0 {
+		t.Fatal("no shard had a sealable active segment; the test is vacuous")
+	}
+
+	second := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	recs2, err := second.RecoverStores(context.Background(), base, storeTestOpts(""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, r := range recs2 {
+		if r.Err != "" {
+			t.Fatalf("shard %d recovery: %s", r.Shard, r.Err)
+		}
+		if r.Report.CorruptSegments != 0 {
+			t.Fatalf("shard %d reported %d corrupt segments: %+v", r.Shard, r.Report.CorruptSegments, r.Report)
+		}
+		replayed += r.TripsReplayed
+	}
+	if replayed != len(trips) {
+		t.Fatalf("replayed %d trips of %d — the pending-seal segment was skipped", replayed, len(trips))
+	}
+	second.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, second); !bytes.Equal(got, want) {
+		t.Error("recovered /v1/traffic differs from the uninterrupted run")
+	}
+}
+
+// flakyTripLog fails Append on demand, standing in for a full disk.
+type flakyTripLog struct{ fail bool }
+
+func (l *flakyTripLog) Append(ctx context.Context, trip probe.Trip) error {
+	if l.fail {
+		return errors.New("injected append failure")
+	}
+	return nil
+}
+
+// TestAdmitUnmarksSeenOnJournalFailure: a trip whose journal append
+// fails was never durable, so its ID must not linger in the dedup set
+// — a phantom entry would reject the client's retry forever and a
+// snapshot would persist the phantom, losing the trip across restarts.
+func TestAdmitUnmarksSeenOnJournalFailure(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+	b, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &flakyTripLog{fail: true}
+	b.AttachTripLog(log)
+	ctx := context.Background()
+	if _, err := b.ProcessTrip(ctx, trips[0]); err == nil {
+		t.Fatal("journaling failure did not fail the upload")
+	}
+	if st := b.ExportState(); len(st.Seen) != 0 {
+		t.Fatalf("phantom trip ID exported after journaling failure: %v", st.Seen)
+	}
+	log.fail = false
+	if _, err := b.ProcessTrip(ctx, trips[0]); err != nil {
+		t.Fatalf("retry after journaling failure rejected: %v", err)
+	}
+	if _, err := b.ProcessTrip(ctx, trips[0]); !errors.Is(err, ErrDuplicateTrip) {
+		t.Fatalf("true duplicate not rejected: %v", err)
+	}
+}
+
+// TestPendingScatterDurableAcrossCompaction: observation groups whose
+// cross-shard delivery failed must survive checkpoints that compact
+// away the trip records which produced them. The sender carries them
+// as pending inside its snapshot and recovery retries them, so a
+// reboot with the peer healthy converges on the unfailed map.
+func TestPendingScatterDurableAcrossCompaction(t *testing.T) {
+	fx := newTwinFixture(t)
+	trips := twinCorpus(t, fx.world, faults.Config{})
+	cut := len(trips) / 2
+
+	ref := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	replayInto(t, ref, trips)
+	ref.Advance(3 * clock.DayS)
+	want := trafficBytes(t, ref)
+
+	base := t.TempDir()
+	first := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	recs, err := first.RecoverStores(context.Background(), base, storeTestOpts(""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break cross-shard delivery for the whole first run: every scatter
+	// fails, so the sending shard must remember the group as pending.
+	outage := true
+	for _, b := range first.Shards() {
+		orig := b.obsScatter
+		b.obsScatter = func(ctx context.Context, owner int, key string, obs []traffic.Observation) (stage.EstimateOutput, error) {
+			if outage {
+				return stage.EstimateOutput{}, errors.New("injected scatter outage")
+			}
+			return orig(ctx, owner, key, obs)
+		}
+	}
+	ingest := func(batch []probe.Trip) int {
+		failed := 0
+		for _, trip := range batch {
+			if _, err := first.ProcessTrip(context.Background(), trip); err != nil {
+				failed++
+			}
+		}
+		return failed
+	}
+	if ingest(trips[:cut]) == 0 {
+		t.Fatal("no first-half trip crossed shards; compaction coverage is vacuous")
+	}
+	// Two checkpoints with ingest in between: the second one's
+	// compaction deletes the segments holding the first half's trip
+	// records, so log replay alone can no longer reproduce the failed
+	// groups.
+	for _, b := range first.Shards() {
+		if err := b.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(trips[cut:])
+	for _, b := range first.Shards() {
+		if err := b.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending := 0
+	for _, b := range first.Shards() {
+		pending += len(b.ExportState().Pending)
+	}
+	if pending == 0 {
+		t.Fatal("scatter outage produced no pending groups")
+	}
+	for _, r := range recs {
+		if err := r.Log().Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reboot with scatter healthy: recovery retries the pending groups.
+	second := newTwinCoordinator(t, fx.world, fx.fpdb, 2)
+	recs2, err := second.RecoverStores(context.Background(), base, storeTestOpts(""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs2 {
+		if r.Err != "" {
+			t.Fatalf("shard %d recovery: %s", r.Shard, r.Err)
+		}
+	}
+	for i, b := range second.Shards() {
+		if n := len(b.ExportState().Pending); n != 0 {
+			t.Fatalf("shard %d still holds %d pending groups after recovery retry", i, n)
+		}
+	}
+	second.Advance(3 * clock.DayS)
+	if got := trafficBytes(t, second); !bytes.Equal(got, want) {
+		t.Error("recovered /v1/traffic differs from the unfailed run; pending scatters were lost")
+	}
+}
+
 func TestPersistentStateExportDeterministic(t *testing.T) {
 	fx := newTwinFixture(t)
 	trips := twinCorpus(t, fx.world, faults.Config{})
@@ -442,6 +680,8 @@ func TestPersistentStateExportDeterministic(t *testing.T) {
 	if _, err := b.FoldScatter(context.Background(), "x#1", group); err != nil {
 		t.Fatal(err)
 	}
+	b.notePendingScatter("z#1", 1, group)
+	b.notePendingScatter("a#0", 0, group)
 	a1, err := json.Marshal(b.ExportState())
 	if err != nil {
 		t.Fatal(err)
@@ -452,5 +692,21 @@ func TestPersistentStateExportDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a1, a2) {
 		t.Fatal("two exports of the same state differ")
+	}
+	// Export → import → export round-trips byte-identically, pending
+	// groups included.
+	b2, err := NewBackend(DefaultConfig(), fx.world.Transit, fx.fpdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.ImportState(b.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	a3, err := json.Marshal(b2.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1, a3) {
+		t.Fatal("export→import→export is not identical")
 	}
 }

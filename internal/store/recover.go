@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -87,6 +88,16 @@ func PlanRecovery(opts Options) (*Recovery, error) {
 	if len(segs) == 0 && len(ls.snaps) == 0 {
 		r.Report.Mode = "fresh"
 		return r, nil
+	}
+	// A directory holding nothing but one empty active segment is a
+	// virgin store that has merely been opened: Open creates the active
+	// file eagerly, and recovery paths open the store before planning
+	// so the plan matches the normalized directory.
+	if len(ls.sealed) == 0 && len(ls.snaps) == 0 && len(segs) == 1 && ls.active != nil {
+		if fi, err := os.Stat(ls.active.path); err == nil && fi.Size() == 0 {
+			r.Report.Mode = "fresh"
+			return r, nil
+		}
 	}
 	if opts.SkipSnapshots {
 		r.note("snapshots ignored by request; planning a full replay")
@@ -173,6 +184,35 @@ func (r *Recovery) note(format string, args ...any) {
 	r.Report.Notes = append(r.Report.Notes, fmt.Sprintf(format, args...))
 }
 
+// resolveSegmentPath finds a planned segment's current file. Between
+// planning and replay the segment may have been renamed by Open —
+// which finishes a fully-sealed-but-unrenamed active into its sealed
+// name — or by a concurrent writer rolling the active segment (the
+// coordinator's phased recovery opens every shard's store before the
+// replay phase). The rename preserves every record line, so replaying
+// the renamed file is exact; without the fallback the whole segment's
+// acked records would be skipped as "unreadable" and the next
+// compaction would delete them.
+func (r *Recovery) resolveSegmentPath(sf segFile) string {
+	if _, err := os.Stat(sf.path); err == nil || !os.IsNotExist(err) {
+		return sf.path
+	}
+	var alt string
+	switch {
+	case strings.HasSuffix(sf.path, ".active"):
+		alt = sealedPath(r.opts.Dir, sf.seq)
+	case strings.HasSuffix(sf.path, ".seal"):
+		alt = activePath(r.opts.Dir, sf.seq)
+	default:
+		return sf.path
+	}
+	if _, err := os.Stat(alt); err != nil {
+		return sf.path
+	}
+	r.note("segment %08d renamed to %s since planning; replaying the renamed file", sf.seq, filepath.Base(alt))
+	return alt
+}
+
 // Replay walks the planned segments in order, delivering every record
 // line to fn. Sealed segments are checksum-verified first; a mismatch
 // is counted and noted but the segment's parseable lines still replay
@@ -194,9 +234,10 @@ func (r *Recovery) Replay(ctx context.Context, fn func(rec []byte) error) error 
 // replaySegment replays one segment file. Unreadable files are noted
 // and skipped (degraded boot); only an fn error propagates.
 func (r *Recovery) replaySegment(sf segFile, fn func(rec []byte) error) error {
-	sealed := strings.HasSuffix(sf.path, ".seal")
+	path := r.resolveSegmentPath(sf)
+	sealed := strings.HasSuffix(path, ".seal")
 	if sealed {
-		st, err := scanSegment(sf.path, r.opts.MaxRecordBytes)
+		st, err := scanSegment(path, r.opts.MaxRecordBytes)
 		switch {
 		case err != nil:
 			r.Report.CorruptSegments++
@@ -210,7 +251,7 @@ func (r *Recovery) replaySegment(sf segFile, fn func(rec []byte) error) error {
 			r.note("sealed segment %08d checksum mismatch (got %08x want %08x); replaying parseable lines", sf.seq, st.crc, st.footer.CRC32)
 		}
 	}
-	f, err := os.Open(sf.path)
+	f, err := os.Open(path)
 	if err != nil {
 		r.Report.CorruptSegments++
 		r.note("segment %08d unreadable: %v", sf.seq, err)

@@ -338,10 +338,14 @@ func (s *Store) WriteSnapshot(upTo uint64, state []byte) error {
 }
 
 // Compact deletes sealed segments fully covered by the previous
-// retained snapshot and snapshots older than it, keeping the newest
-// two snapshots so recovery can fall back one snapshot and still find
-// that snapshot's tail intact. It returns the number of segment files
-// removed.
+// retained snapshot and snapshots older than it — including corrupt
+// snapshot files behind that boundary, which no recovery will ever
+// use and which would otherwise accumulate forever. The newest two
+// valid snapshots are kept so recovery can fall back one snapshot and
+// still find that snapshot's tail intact. Concurrent compactions (the
+// snapshotter racing a shutdown checkpoint) may each try to remove
+// the same file; a remove that loses that race is a success, not an
+// error. Returns the number of segment files removed.
 func (s *Store) Compact() (int, error) {
 	s.mu.Lock()
 	dir := s.opts.Dir
@@ -350,12 +354,15 @@ func (s *Store) Compact() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Only checksum-valid snapshots count: compacting up to a corrupt
-	// snapshot would delete the sole copy of its records.
-	var valid []snapFile
+	// Only checksum-valid snapshots count toward the retained pair:
+	// compacting up to a corrupt snapshot would delete the sole copy
+	// of its records.
+	var valid, invalid []snapFile
 	for _, sf := range ls.snaps {
 		if _, _, err := readSnapshotFile(sf.path); err == nil {
 			valid = append(valid, sf)
+		} else {
+			invalid = append(invalid, sf)
 		}
 	}
 	if len(valid) < 2 {
@@ -365,18 +372,39 @@ func (s *Store) Compact() (int, error) {
 	removed := 0
 	for _, sf := range ls.sealed {
 		if sf.seq <= keepFrom.upTo {
-			if err := os.Remove(sf.path); err != nil {
-				return removed, fmt.Errorf("store: compact: %w", err)
+			if err := removeTolerant(sf.path); err != nil {
+				return removed, err
 			}
 			removed++
 		}
 	}
 	for _, sf := range valid[:len(valid)-2] {
-		if err := os.Remove(sf.path); err != nil {
-			return removed, fmt.Errorf("store: compact: %w", err)
+		if err := removeTolerant(sf.path); err != nil {
+			return removed, err
+		}
+	}
+	// Corrupt snapshots behind the retained boundary are dead weight:
+	// the ladder skips them and their covered records live on in the
+	// retained snapshots. Newer corrupt ones stay — deleting the
+	// newest snapshot's file out from under a concurrent writer that
+	// is mid-rename would be needless aggression.
+	for _, sf := range invalid {
+		if sf.upTo < keepFrom.upTo {
+			if err := removeTolerant(sf.path); err != nil {
+				return removed, err
+			}
 		}
 	}
 	return removed, nil
+}
+
+// removeTolerant removes a file, treating "already gone" as success so
+// concurrent compactions do not fail each other.
+func removeTolerant(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	return nil
 }
 
 // LastSealed reports the highest sealed segment sequence.

@@ -407,6 +407,128 @@ func TestAdoptFinishesInterruptedSeal(t *testing.T) {
 	}
 }
 
+// TestReplaySurvivesOpenFinishingPendingSeal: a plan built before Open
+// normalizes the directory must still replay a fully-sealed-but-
+// unrenamed active segment after Open finishes the seal (renaming
+// .active → .seal out from under the plan). Losing that segment would
+// silently drop acked records, and the next compaction would make the
+// loss permanent.
+func TestReplaySurvivesOpenFinishingPendingSeal(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var body []byte
+	for i := 0; i < 5; i++ {
+		body = append(body, rec(i)...)
+		body = append(body, '\n')
+	}
+	footer := sealFooter{Seal: sealMagic, Records: 5, Bytes: int64(len(body)), CRC32: crc32.ChecksumIEEE(body)}
+	content := append(body, footer.encode()...)
+	content = append(content, '\n')
+	if err := os.WriteFile(activePath(dir, 3), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plan first — the plan's tail references seg-3.active.
+	r, err := PlanRecovery(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open finishes the pending seal: seg-3.active becomes seg-3.seal.
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sealedPath(dir, 3)); err != nil {
+		t.Fatalf("open did not finish the pending seal: %v", err)
+	}
+	var lines []string
+	if err := r.Replay(context.Background(), func(line []byte) error {
+		lines = append(lines, string(line))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantLines(t, lines, 0, 5)
+	if r.Report.CorruptSegments != 0 {
+		t.Fatalf("renamed segment reported corrupt: %+v", r.Report)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenedVirginDirPlansFresh: recovery paths open the store before
+// planning, so a virgin directory holds one empty active segment by
+// plan time — that is still a fresh store, not a full replay.
+func TestOpenedVirginDirPlansFresh(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, lines := recoverAll(t, dir)
+	if r.Report.Mode != "fresh" || len(lines) != 0 {
+		t.Fatalf("mode=%q lines=%d, want fresh/0", r.Report.Mode, len(lines))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactRemovesStaleCorruptSnapshots: a corrupt snapshot behind
+// the retained boundary is dead weight — no recovery uses it — and
+// must be deleted instead of accumulating forever. A corrupt snapshot
+// at or above the boundary stays.
+func TestCompactRemovesStaleCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []uint64
+	next := 0
+	for snap := 1; snap <= 3; snap++ {
+		appendRecords(t, s, next, 30)
+		next += 30
+		upTo, err := s.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteSnapshot(upTo, []byte(fmt.Sprintf(`{"snap":%d}`, snap))); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, upTo)
+	}
+	corruptFile(t, snapshotPath(dir, bounds[0]), -1)
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snapshotPath(dir, bounds[0])); !os.IsNotExist(err) {
+		t.Fatalf("stale corrupt snapshot not removed: %v", err)
+	}
+	ls, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.snaps) != 2 {
+		t.Fatalf("snapshots after compact = %d, want 2", len(ls.snaps))
+	}
+	// Corrupt the NEWEST snapshot: it is above the retained boundary,
+	// and with only one valid snapshot left compaction is a no-op that
+	// must not delete it.
+	corruptFile(t, snapshotPath(dir, bounds[2]), -1)
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snapshotPath(dir, bounds[2])); err != nil {
+		t.Fatalf("corrupt newest snapshot deleted by compaction: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSnapshotDueSignal(t *testing.T) {
 	dir := t.TempDir()
 	opts := testOpts(dir)
